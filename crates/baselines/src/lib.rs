@@ -1,0 +1,90 @@
+//! # klotski-baselines — the five comparator engines
+//!
+//! Faithful policy re-implementations of the systems the Klotski paper
+//! compares against (§9.1), all running over the same simulated substrate
+//! and cost model as Klotski itself so that every difference in the
+//! reports is a difference in *scheduling policy*:
+//!
+//! * [`seq::Accelerate`] — synchronous per-module device-map offloading
+//!   from pageable memory (no overlap).
+//! * [`seq::FastGen`] — DeepSpeed-FastGen-style pinned whole-layer
+//!   prefetch, single batch.
+//! * [`flexgen::FlexGen`] — zig-zag multi-batch with whole-MoE-layer
+//!   prefetch and batch-major expert compute.
+//! * [`moe_infinity::MoeInfinity`] — activation-aware expert prefetch +
+//!   LRU expert cache, experts-only offloading.
+//! * [`fiddler::Fiddler`] — CPU-GPU orchestration: cold experts compute on
+//!   the CPU when that beats moving them.
+//!
+//! ```
+//! use klotski_baselines::all_engines;
+//!
+//! let engines = all_engines();
+//! assert_eq!(engines.len(), 5);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod common;
+pub mod fiddler;
+pub mod flexgen;
+pub mod moe_infinity;
+pub mod seq;
+
+use klotski_core::scenario::Engine;
+
+pub use fiddler::Fiddler;
+pub use flexgen::FlexGen;
+pub use moe_infinity::MoeInfinity;
+pub use seq::{Accelerate, FastGen};
+
+/// All five baselines, in the paper's presentation order.
+pub fn all_engines() -> Vec<Box<dyn Engine>> {
+    vec![
+        Box::new(Accelerate),
+        Box::new(FastGen),
+        Box::new(FlexGen),
+        Box::new(MoeInfinity),
+        Box::new(Fiddler),
+    ]
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use klotski_core::scenario::Scenario;
+    use klotski_model::hardware::HardwareSpec;
+    use klotski_model::spec::ModelSpec;
+    use klotski_model::workload::Workload;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(6))]
+        /// Every baseline drains every random (feasible) scenario without
+        /// internal errors, with a consistent report.
+        #[test]
+        fn baselines_complete_random_scenarios(
+            bs in 1u32..10,
+            n in 1u32..4,
+            prompt in 16u32..96,
+            gen in 2u32..5,
+            seed in 0u64..30,
+        ) {
+            let wl = Workload::new(bs, n, prompt, gen);
+            let sc = Scenario::generate(
+                ModelSpec::mixtral_8x7b(),
+                HardwareSpec::env1_rtx3090(),
+                wl,
+                seed,
+            );
+            for engine in all_engines() {
+                let r = engine.run(&sc).expect("no internal errors");
+                prop_assert!(r.succeeded(), "{}: {:?}", r.engine, r.oom);
+                prop_assert_eq!(r.generated_tokens, wl.total_generated());
+                prop_assert!(r.peak_vram <= sc.hw.vram_bytes, "{}", r.engine);
+                prop_assert!(r.gpu_busy <= r.total_time, "{}", r.engine);
+            }
+        }
+    }
+}

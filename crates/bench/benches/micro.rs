@@ -1,0 +1,163 @@
+//! Criterion microbenchmarks for the library's hot paths: the simulator
+//! core, the planner, the prefetcher, the quantizer, the native kernels,
+//! trace generation, and a small end-to-end engine run.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use klotski_core::compress::Compression;
+use klotski_core::engine::{KlotskiConfig, KlotskiEngine};
+use klotski_core::native::{run_pipeline, NativePipelineConfig};
+use klotski_core::planner::Planner;
+use klotski_core::prefetcher::CorrelationTable;
+use klotski_core::scenario::{Engine, Scenario};
+use klotski_model::cost::CostModel;
+use klotski_model::hardware::HardwareSpec;
+use klotski_model::spec::ModelSpec;
+use klotski_model::trace::{GatingModel, TraceConfig};
+use klotski_model::workload::Workload;
+use klotski_moe::config::MoeConfig;
+use klotski_moe::model::MoeModel;
+use klotski_sim::event::EventQueue;
+use klotski_sim::prelude::*;
+use klotski_tensor::init::xavier_matrix;
+use klotski_tensor::quant::{QuantConfig, QuantizedMatrix};
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("sim/event_queue_push_pop_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..10_000u64 {
+                q.push(SimTime::from_nanos((i * 7919) % 100_000), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, v)) = q.pop() {
+                acc = acc.wrapping_add(v);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    c.bench_function("sim/chain_10k_tasks", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(TierCapacities::unbounded());
+            let mut prev: Option<TaskId> = None;
+            for _ in 0..10_000 {
+                let mut spec = TaskSpec::new(
+                    Resource::GpuCompute,
+                    SimDuration::from_micros(5),
+                    TaskMeta::of(OpClass::Misc),
+                );
+                if let Some(p) = prev {
+                    spec = spec.after(p);
+                }
+                prev = Some(sim.submit(spec));
+            }
+            while sim.step().unwrap().is_some() {}
+            black_box(sim.now())
+        })
+    });
+}
+
+fn bench_planner(c: &mut Criterion) {
+    let cost = CostModel::new(ModelSpec::mixtral_8x7b(), HardwareSpec::env1_rtx3090());
+    let planner = Planner::new(cost, Compression::none());
+    let gating = GatingModel::new(&TraceConfig::for_model(&ModelSpec::mixtral_8x7b(), 1));
+    let wl = Workload::paper_default(16);
+    c.bench_function("core/planner_solve", |b| {
+        b.iter(|| black_box(planner.plan(&wl, Some(&gating))))
+    });
+}
+
+fn bench_prefetcher(c: &mut Criterion) {
+    let gating = GatingModel::new(&TraceConfig::for_model(&ModelSpec::mixtral_8x7b(), 1));
+    let mut table = CorrelationTable::new(32, 8);
+    table.warm_up(&gating, 4096, 3);
+    let prev: Vec<u16> = (0..960).map(|i| (i % 8) as u16).collect();
+    c.bench_function("core/prefetcher_predict_960_tokens", |b| {
+        b.iter(|| black_box(table.predict(black_box(17), &prev, 2)))
+    });
+    c.bench_function("core/correlation_warmup_1k_tokens", |b| {
+        b.iter(|| {
+            let mut t = CorrelationTable::new(32, 8);
+            t.warm_up(&gating, 1000, 7);
+            black_box(t.total_records())
+        })
+    });
+}
+
+fn bench_quantizer(c: &mut Criterion) {
+    let w = xavier_matrix(64, 1024, 5);
+    c.bench_function("tensor/quantize_64x1024_4bit", |b| {
+        b.iter(|| black_box(QuantizedMatrix::quantize(&w, QuantConfig::paper_default())))
+    });
+    let q = QuantizedMatrix::quantize(&w, QuantConfig::paper_default());
+    c.bench_function("tensor/dequantize_64x1024_4bit", |b| {
+        b.iter(|| black_box(q.dequantize()))
+    });
+}
+
+fn bench_native_kernels(c: &mut Criterion) {
+    let a = xavier_matrix(64, 64, 1);
+    let bm = xavier_matrix(64, 64, 2);
+    c.bench_function("tensor/matmul_64x64x64", |b| {
+        b.iter(|| black_box(a.matmul(&bm)))
+    });
+    let model = MoeModel::new(MoeConfig::tiny(3));
+    let x = vec![0.1f32; model.config().d_model];
+    c.bench_function("moe/expert_forward_tiny", |b| {
+        b.iter(|| black_box(model.expert_out(0, 0, &x)))
+    });
+}
+
+fn bench_trace_generation(c: &mut Criterion) {
+    let gating = GatingModel::new(&TraceConfig::for_model(&ModelSpec::mixtral_8x7b(), 1));
+    c.bench_function("model/generate_trace_64seq_8steps", |b| {
+        b.iter(|| black_box(gating.generate_trace(64, 512, 8, 9)))
+    });
+}
+
+fn bench_engine_end_to_end(c: &mut Criterion) {
+    let sc = Scenario::generate(
+        ModelSpec::mixtral_8x7b(),
+        HardwareSpec::env1_rtx3090(),
+        Workload::new(8, 4, 128, 4),
+        11,
+    );
+    let engine = KlotskiEngine::new(KlotskiConfig::full());
+    c.bench_function("core/klotski_sim_run_small", |b| {
+        b.iter(|| black_box(engine.run(&sc).unwrap().throughput_tps()))
+    });
+}
+
+fn bench_native_pipeline(c: &mut Criterion) {
+    let model = MoeModel::new(MoeConfig::tiny(13));
+    let prompts: Vec<Vec<u32>> = (0..4)
+        .map(|s| (0..6).map(|p| ((s * 31 + p * 7) % 96) as u32).collect())
+        .collect();
+    c.bench_function("core/native_pipeline_tiny", |b| {
+        b.iter(|| {
+            black_box(run_pipeline(
+                &model,
+                &prompts,
+                3,
+                &NativePipelineConfig::default(),
+            ))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_simulator,
+    bench_planner,
+    bench_prefetcher,
+    bench_quantizer,
+    bench_native_kernels,
+    bench_trace_generation,
+    bench_engine_end_to_end,
+    bench_native_pipeline,
+);
+criterion_main!(benches);

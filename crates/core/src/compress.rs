@@ -1,0 +1,113 @@
+//! Compression options: quantization and sparse attention (§7 of the paper).
+//!
+//! Both are *options* in Klotski because their role in the pipeline is to
+//! shrink bytes moved between heterogeneous memories: quantization shrinks
+//! weight transfers (experts are robust to 3–4 bit quantization), sparse
+//! attention (StreamingLLM sinks + window) shrinks the KV cache that
+//! multi-batch processing multiplies.
+
+use klotski_model::spec::{Dtype, QuantScheme};
+
+/// StreamingLLM-style sparse attention shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SparseAttention {
+    /// Always-kept initial positions.
+    pub sinks: u32,
+    /// Kept recent positions.
+    pub window: u32,
+}
+
+impl SparseAttention {
+    /// The fraction of a `context`-token KV cache that is actually kept.
+    pub fn kv_factor(&self, context: u64) -> f64 {
+        if context == 0 {
+            return 1.0;
+        }
+        let kept = (self.sinks as u64 + self.window as u64).min(context);
+        kept as f64 / context as f64
+    }
+}
+
+/// The compression configuration of one engine run.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Compression {
+    /// Weight quantization (applied to experts and attention weights).
+    pub quant: Option<QuantScheme>,
+    /// Sparse attention (applied to KV transfers and attention compute).
+    pub sparse_attention: Option<SparseAttention>,
+}
+
+impl Compression {
+    /// No compression.
+    pub fn none() -> Self {
+        Compression::default()
+    }
+
+    /// The paper's "(q)" configuration: 4-bit HQQ-style weights.
+    pub fn quantized() -> Self {
+        Compression {
+            quant: Some(QuantScheme::paper_default()),
+            sparse_attention: None,
+        }
+    }
+
+    /// Size multiplier for weight transfers relative to `dtype`.
+    pub fn weight_factor(&self, dtype: Dtype) -> f64 {
+        self.quant.map_or(1.0, |q| q.factor_vs(dtype))
+    }
+
+    /// Size multiplier for KV transfers at `context` tokens.
+    pub fn kv_factor(&self, context: u64) -> f64 {
+        self.sparse_attention.map_or(1.0, |s| s.kv_factor(context))
+    }
+
+    /// Effective context length seen by attention at `context` tokens.
+    pub fn effective_context(&self, context: u64) -> u64 {
+        match self.sparse_attention {
+            None => context,
+            Some(s) => context.min(s.sinks as u64 + s.window as u64),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_identity() {
+        let c = Compression::none();
+        assert_eq!(c.weight_factor(Dtype::Bf16), 1.0);
+        assert_eq!(c.kv_factor(512), 1.0);
+        assert_eq!(c.effective_context(512), 512);
+    }
+
+    #[test]
+    fn quantized_shrinks_weights_only() {
+        let c = Compression::quantized();
+        let f = c.weight_factor(Dtype::Bf16);
+        assert!((0.25..0.30).contains(&f), "factor = {f}");
+        assert_eq!(c.kv_factor(512), 1.0);
+    }
+
+    #[test]
+    fn sparse_attention_caps_context() {
+        let c = Compression {
+            quant: None,
+            sparse_attention: Some(SparseAttention {
+                sinks: 4,
+                window: 124,
+            }),
+        };
+        assert_eq!(c.effective_context(512), 128);
+        assert_eq!(c.effective_context(100), 100);
+        assert!((c.kv_factor(512) - 0.25).abs() < 1e-9);
+        assert_eq!(c.kv_factor(64), 1.0);
+    }
+
+    #[test]
+    fn kv_factor_handles_zero_context() {
+        let s = SparseAttention { sinks: 4, window: 4 };
+        assert_eq!(s.kv_factor(0), 1.0);
+    }
+}

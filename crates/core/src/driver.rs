@@ -1,0 +1,276 @@
+//! Shared plumbing for engines: step/group bookkeeping, trace views,
+//! the simulation drain loop and report assembly.
+//!
+//! Both the Klotski engine and the five baselines are built on these
+//! helpers so that their reports are measured identically.
+
+use klotski_model::spec::ModelSpec;
+use klotski_model::trace::GatingTrace;
+use klotski_model::workload::Workload;
+use klotski_sim::prelude::*;
+
+use crate::report::InferenceReport;
+use crate::scenario::EngineError;
+
+/// One autoregressive phase of a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepKind {
+    /// Prompt ingestion (also produces the first generated token).
+    Prefill,
+    /// Decode step `i` (0-based; there are `gen_len − 1` of them).
+    Decode(u32),
+}
+
+impl StepKind {
+    /// Monotone step index for task labels: prefill = 0, decode i = i+1.
+    pub fn index(self) -> u32 {
+        match self {
+            StepKind::Prefill => 0,
+            StepKind::Decode(i) => i + 1,
+        }
+    }
+
+    /// All steps of a workload generating `gen_len` tokens.
+    pub fn all(gen_len: u32) -> impl Iterator<Item = StepKind> {
+        std::iter::once(StepKind::Prefill)
+            .chain((0..gen_len.saturating_sub(1)).map(StepKind::Decode))
+    }
+
+    /// Context length (tokens attended over) at this step.
+    pub fn context(self, prompt_len: u32) -> u64 {
+        match self {
+            StepKind::Prefill => prompt_len as u64,
+            StepKind::Decode(i) => prompt_len as u64 + i as u64 + 1,
+        }
+    }
+}
+
+/// A group-aware view over the routing trace.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceView<'a> {
+    trace: &'a GatingTrace,
+}
+
+impl<'a> TraceView<'a> {
+    /// Wraps a trace.
+    pub fn new(trace: &'a GatingTrace) -> Self {
+        TraceView { trace }
+    }
+
+    /// The underlying trace.
+    pub fn trace(&self) -> &'a GatingTrace {
+        self.trace
+    }
+
+    /// Routed-token counts per expert at (`step`, MoE layer `m`) restricted
+    /// to sequences `[s0, s1)`. Prefill counts are apportioned by share of
+    /// the total sequence population.
+    pub fn expert_tokens(&self, step: StepKind, m: u32, s0: u32, s1: u32) -> Vec<u32> {
+        match step {
+            StepKind::Prefill => {
+                let total = self.trace.n_seqs() as u64;
+                self.trace
+                    .prefill_tokens_per_expert(m)
+                    .iter()
+                    .map(|&c| (c as u64 * (s1 - s0) as u64 / total.max(1)) as u32)
+                    .collect()
+            }
+            StepKind::Decode(i) => self.trace.tokens_per_expert_in(i, m, s0, s1),
+        }
+    }
+
+    /// Experts with ≥1 routed token at (`step`, `m`) within `[s0, s1)`.
+    pub fn activated(&self, step: StepKind, m: u32, s0: u32, s1: u32) -> Vec<u16> {
+        self.expert_tokens(step, m, s0, s1)
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(e, _)| e as u16)
+            .collect()
+    }
+
+    /// The first batch (of `batch_size`-wide batches within `[s0, s1)`)
+    /// whose tokens request `expert`, if any — the gate whose completion
+    /// triggers the on-demand transfer.
+    pub fn first_requesting_batch(
+        &self,
+        step: StepKind,
+        m: u32,
+        s0: u32,
+        s1: u32,
+        batch_size: u32,
+        expert: u16,
+    ) -> Option<u32> {
+        match step {
+            // Prefill activates experts from the first batch onwards in
+            // aggregate; attribute to batch 0.
+            StepKind::Prefill => Some(0),
+            StepKind::Decode(i) => {
+                let n_batches = (s1 - s0) / batch_size;
+                (0..n_batches).find(|&b| {
+                    let from = s0 + b * batch_size;
+                    let counts = self.trace.tokens_per_expert_in(i, m, from, from + batch_size);
+                    counts[expert as usize] > 0
+                })
+            }
+        }
+    }
+
+    /// Per-sequence first choices at the previous MoE layer (`m − 1`) of
+    /// the same decode step — the correlation-prefetcher's lookup keys.
+    pub fn prev_choices(&self, decode_step: u32, m: u32, s0: u32, s1: u32) -> Vec<u16> {
+        assert!(m > 0, "layer 0 has no previous MoE layer");
+        (s0..s1)
+            .map(|s| self.trace.seq_choices(decode_step, m - 1, s)[0])
+            .collect()
+    }
+}
+
+/// Statistics collected while draining the simulation.
+#[derive(Debug, Clone, Default)]
+pub struct RunStats {
+    /// Completion time of the last prefill-phase task.
+    pub prefill_end: SimTime,
+    /// `(gpu-op index, VRAM bytes in use)` samples, one per GPU compute
+    /// completion (paper Fig. 12's x-axis is exactly this op index).
+    pub memory_curve: Vec<(u64, u64)>,
+}
+
+/// Drains the simulator to completion.
+///
+/// Returns run statistics, or the OOM message if the run died of memory
+/// exhaustion (an expected *result* for some engines).
+///
+/// # Errors
+///
+/// Returns [`EngineError::Internal`] on scheduling deadlocks (engine bugs).
+pub fn drain(
+    sim: &mut Simulator,
+    record_memory_curve: bool,
+) -> Result<(RunStats, Option<String>), EngineError> {
+    let mut stats = RunStats::default();
+    let mut gpu_ops = 0u64;
+    loop {
+        match sim.step() {
+            Ok(Some(done)) => {
+                if done.meta.step == 0 && done.end > stats.prefill_end {
+                    stats.prefill_end = done.end;
+                }
+                if record_memory_curve
+                    && done.resource == Resource::GpuCompute
+                    && done.meta.class.is_compute()
+                {
+                    gpu_ops += 1;
+                    stats
+                        .memory_curve
+                        .push((gpu_ops, sim.pool(Tier::Vram).in_use()));
+                }
+            }
+            Ok(None) => return Ok((stats, None)),
+            Err(SimError::Oom { meta, source, .. }) => {
+                return Ok((stats, Some(format!("{meta}: {source}"))));
+            }
+            Err(e @ SimError::Deadlock { .. }) => return Err(EngineError::Internal(e)),
+        }
+    }
+}
+
+/// Assembles the standard report after a drained run.
+pub fn build_report(
+    engine: String,
+    spec: &ModelSpec,
+    wl: &Workload,
+    sim: &Simulator,
+    stats: &RunStats,
+    oom: Option<String>,
+) -> InferenceReport {
+    let total = sim.now().saturating_since(SimTime::ZERO);
+    let prefill = stats.prefill_end.saturating_since(SimTime::ZERO);
+    InferenceReport {
+        engine,
+        model: spec.name.clone(),
+        total_time: total,
+        prefill_time: prefill,
+        decode_time: total.saturating_sub(prefill),
+        generated_tokens: wl.total_generated(),
+        gpu_busy: sim.busy(Resource::GpuCompute),
+        gpu_bubble: sim.bubble(Resource::GpuCompute),
+        peak_vram: sim.pool(Tier::Vram).peak(),
+        peak_dram: sim.pool(Tier::Dram).peak(),
+        oom,
+        metrics: if sim.metrics().timeline().is_empty()
+            && sim.metrics().memory_samples().is_empty()
+        {
+            None
+        } else {
+            Some(sim.metrics().clone())
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use klotski_model::spec::ModelSpec;
+    use klotski_model::trace::{GatingModel, TraceConfig};
+
+    fn trace() -> GatingTrace {
+        let cfg = TraceConfig::for_model(&ModelSpec::mixtral_8x7b(), 5);
+        GatingModel::new(&cfg).generate_trace(32, 64, 4, 9)
+    }
+
+    #[test]
+    fn step_kinds_enumerate_correctly() {
+        let steps: Vec<StepKind> = StepKind::all(4).collect();
+        assert_eq!(steps.len(), 4);
+        assert_eq!(steps[0], StepKind::Prefill);
+        assert_eq!(steps[3], StepKind::Decode(2));
+        assert_eq!(steps[0].index(), 0);
+        assert_eq!(steps[3].index(), 3);
+        assert_eq!(StepKind::Prefill.context(512), 512);
+        assert_eq!(StepKind::Decode(0).context(512), 513);
+    }
+
+    #[test]
+    fn prefill_tokens_are_apportioned_by_group() {
+        let t = trace();
+        let v = TraceView::new(&t);
+        let all = v.expert_tokens(StepKind::Prefill, 0, 0, 32);
+        let half = v.expert_tokens(StepKind::Prefill, 0, 0, 16);
+        for e in 0..8 {
+            assert_eq!(half[e], all[e] / 2);
+        }
+    }
+
+    #[test]
+    fn decode_tokens_sum_to_group_routing() {
+        let t = trace();
+        let v = TraceView::new(&t);
+        let counts = v.expert_tokens(StepKind::Decode(1), 3, 8, 24);
+        let total: u32 = counts.iter().sum();
+        assert_eq!(total, 16 * 2);
+    }
+
+    #[test]
+    fn first_requesting_batch_is_consistent_with_activation() {
+        let t = trace();
+        let v = TraceView::new(&t);
+        let step = StepKind::Decode(0);
+        for e in v.activated(step, 2, 0, 32) {
+            let b = v
+                .first_requesting_batch(step, 2, 0, 32, 8, e)
+                .expect("activated expert must have a requesting batch");
+            assert!(b < 4);
+            let from = b * 8;
+            let counts = v.expert_tokens(step, 2, from, from + 8);
+            assert!(counts[e as usize] > 0);
+        }
+    }
+
+    #[test]
+    fn prev_choices_have_group_width() {
+        let t = trace();
+        let v = TraceView::new(&t);
+        assert_eq!(v.prev_choices(0, 1, 4, 20).len(), 16);
+    }
+}

@@ -1,0 +1,1130 @@
+//! The Klotski engine: the expert-aware multi-batch pipeline (§5) executed
+//! over the simulated substrate.
+//!
+//! Per layer, the engine:
+//!
+//! 1. streams each batch's KV chunk in and computes attention, sharing the
+//!    layer's weights across the whole batch group (inter-layer bubbles
+//!    shrink because `n` batches of compute cover the next transfers);
+//! 2. prefetches only the gate and the K predicted **hot** experts during
+//!    the attention phase (inequalities (4)–(5));
+//! 3. fires on-demand transfers for gate-selected cold experts the moment
+//!    the selecting batch's gate completes — at higher link priority than
+//!    background prefetches;
+//! 4. partitions expert computation **by expert across batches** and lets
+//!    experts execute in readiness order — prefetched hot experts first,
+//!    cold experts in transfer-completion order (intra-layer bubbles hide
+//!    under hot-expert compute) — and offloads each expert the moment its
+//!    computation finishes;
+//! 5. prefetches the next layer's attention weights during the expert phase
+//!    (inequality (7)) and, when experts live on disk, keeps a sliding
+//!    disk→DRAM staging window ahead of the compute front (§6.1).
+//!
+//! Every ablation row of the paper's Table 3 is a switch on
+//! [`KlotskiConfig`].
+
+use std::collections::HashMap;
+
+use klotski_model::cost::CostModel;
+use klotski_model::spec::ModelSpec;
+use klotski_model::workload::Workload;
+use klotski_sim::prelude::*;
+
+use crate::compress::Compression;
+use crate::driver::{build_report, drain, StepKind, TraceView};
+use crate::placement::{plan_placement, PlacementPlan};
+use crate::planner::Planner;
+use crate::prefetcher::CorrelationTable;
+use crate::report::InferenceReport;
+use crate::scenario::{Engine, EngineError, Scenario};
+
+/// Link priorities (lower = more urgent among simultaneously-ready tasks).
+mod prio {
+    /// KV chunks are on the critical path of the very next attention.
+    pub const KV: i32 = -2;
+    /// Gate-selected cold experts must arrive as soon as possible.
+    pub const ON_DEMAND: i32 = -1;
+    /// Gate + hot-expert prefetches.
+    pub const PREFETCH: i32 = 0;
+    /// Next layer's attention weights are the least urgent.
+    pub const BACKGROUND: i32 = 1;
+}
+
+/// Feature switches of the Klotski engine (the paper's Table 3 rows).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KlotskiConfig {
+    /// Share each loaded layer across the whole batch group (vs. one batch
+    /// at a time).
+    pub multi_batch: bool,
+    /// Prefetch only gate + hot experts (vs. the whole MoE layer).
+    pub hot_expert_prefetch: bool,
+    /// Let experts compute in readiness order (vs. gate-discovery order).
+    pub reorder_experts: bool,
+    /// Partition the expert phase **by batch** instead of by expert
+    /// (FlexGen's zig-zag block order): every batch runs its own expert
+    /// ops, so weights are shared but expert kernels are not batched
+    /// across the group.
+    pub batch_major_experts: bool,
+    /// Quantization / sparse-attention options.
+    pub compression: Compression,
+    /// Park the first layers' experts in spare VRAM (Fig. 12's
+    /// "Further Use Memory" mode).
+    pub use_spare_vram: bool,
+    /// Record a full task timeline (Fig. 15).
+    pub record_timeline: bool,
+    /// Record the per-op VRAM curve (Fig. 12).
+    pub record_memory: bool,
+    /// Tokens used to warm up the expert-correlation table (§8 pre-run).
+    pub warmup_tokens: u32,
+    /// Number of hot experts to prefetch; defaults to the model's top-k.
+    pub prefetch_k: Option<u32>,
+}
+
+impl Default for KlotskiConfig {
+    fn default() -> Self {
+        KlotskiConfig {
+            multi_batch: true,
+            hot_expert_prefetch: true,
+            reorder_experts: true,
+            batch_major_experts: false,
+            compression: Compression::none(),
+            use_spare_vram: false,
+            record_timeline: false,
+            record_memory: false,
+            warmup_tokens: 4096,
+            prefetch_k: None,
+        }
+    }
+}
+
+impl KlotskiConfig {
+    /// Table 3 row 1: single batch, whole-MoE-layer prefetch.
+    pub fn ablation_simple_pipeline() -> Self {
+        KlotskiConfig {
+            multi_batch: false,
+            hot_expert_prefetch: false,
+            reorder_experts: false,
+            batch_major_experts: true,
+            ..Self::default()
+        }
+    }
+
+    /// Table 3 row 2: + multi-batch weight sharing (expert computation
+    /// still partitioned by batch, as in the Fig. 4(b) strawman).
+    pub fn ablation_multi_batch() -> Self {
+        KlotskiConfig {
+            hot_expert_prefetch: false,
+            reorder_experts: false,
+            batch_major_experts: true,
+            ..Self::default()
+        }
+    }
+
+    /// Table 3 row 3: + prefetch only hot experts. Expert computation is
+    /// expert-major (one kernel per expert over all batches) but stays in
+    /// gate-discovery order — the "adjust order" step of Fig. 7 (hot-first
+    /// + transfer-completion order) is what the full configuration adds.
+    pub fn ablation_hot_prefetch() -> Self {
+        KlotskiConfig {
+            reorder_experts: false,
+            ..Self::default()
+        }
+    }
+
+    /// Table 3 row 4 (full Klotski: + adjusted expert order).
+    pub fn full() -> Self {
+        Self::default()
+    }
+
+    /// Table 3 row 5: full Klotski + 4-bit weight quantization.
+    pub fn quantized() -> Self {
+        KlotskiConfig {
+            compression: Compression::quantized(),
+            ..Self::default()
+        }
+    }
+}
+
+/// The Klotski inference engine.
+#[derive(Debug, Clone, Default)]
+pub struct KlotskiEngine {
+    cfg: KlotskiConfig,
+}
+
+impl KlotskiEngine {
+    /// Creates an engine with the given configuration.
+    pub fn new(cfg: KlotskiConfig) -> Self {
+        KlotskiEngine { cfg }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &KlotskiConfig {
+        &self.cfg
+    }
+
+    /// The constraint-sensitive planner for `scenario`'s model/hardware
+    /// under this engine's compression settings.
+    pub fn planner(&self, scenario: &Scenario) -> Planner {
+        Planner::new(scenario.cost_model(), self.cfg.compression)
+    }
+}
+
+impl Engine for KlotskiEngine {
+    fn name(&self) -> String {
+        let base = match (
+            self.cfg.multi_batch,
+            self.cfg.hot_expert_prefetch,
+            self.cfg.reorder_experts,
+        ) {
+            (false, _, _) => "Simple pipeline",
+            (true, false, _) => "Klotski (whole-layer prefetch)",
+            (true, true, false) => "Klotski (no reorder)",
+            (true, true, true) => "Klotski",
+        };
+        if self.cfg.compression.quant.is_some() {
+            format!("{base} (q)")
+        } else {
+            base.to_owned()
+        }
+    }
+
+    fn run(&self, sc: &Scenario) -> Result<InferenceReport, EngineError> {
+        if sc.spec.is_moe() && sc.trace.is_none() {
+            return Err(EngineError::InvalidConfig(
+                "MoE scenario without a gating trace".into(),
+            ));
+        }
+        let cost = sc.cost_model();
+        let wl = sc.workload;
+        let group_size = if self.cfg.multi_batch {
+            wl.num_batches
+        } else {
+            1
+        };
+
+        let placement = match plan_placement(
+            &sc.spec,
+            &sc.hw,
+            &wl,
+            group_size,
+            &self.cfg.compression,
+            self.cfg.use_spare_vram,
+        ) {
+            Ok(p) => p,
+            Err(e) => {
+                let sim = Simulator::new(sc.hw.tier_capacities());
+                let stats = crate::driver::RunStats::default();
+                return Ok(build_report(
+                    self.name(),
+                    &sc.spec,
+                    &wl,
+                    &sim,
+                    &stats,
+                    Some(e.to_string()),
+                ));
+            }
+        };
+
+        let mut table = sc.base_gating.as_ref().map(|base| {
+            let mut t = CorrelationTable::new(sc.spec.n_moe_layers(), sc.spec.n_experts);
+            t.warm_up(base, self.cfg.warmup_tokens, 0xC0FFEE);
+            t
+        });
+
+        let mut sim = Simulator::new(sc.hw.tier_capacities());
+        sim.metrics_mut().set_record_timeline(self.cfg.record_timeline);
+        sim.metrics_mut().set_record_memory(self.cfg.record_memory);
+
+        // Static allocations: embeddings + activation workspace + resident
+        // experts in VRAM; DRAM-resident weights; disk-resident layers.
+        let act_ws = 8 * sc.spec.hidden_bytes(group_size as u64 * wl.batch_size as u64);
+        let static_vram = sc.spec.embed_bytes() + act_ws + placement.vram_resident;
+        if sim.pool_mut(Tier::Vram).alloc(static_vram).is_err() {
+            let stats = crate::driver::RunStats::default();
+            return Ok(build_report(
+                self.name(),
+                &sc.spec,
+                &wl,
+                &sim,
+                &stats,
+                Some(format!(
+                    "static working set {:.1} GB exceeds VRAM",
+                    static_vram as f64 / 1e9
+                )),
+            ));
+        }
+        sim.pool_mut(Tier::Dram)
+            .alloc(placement.dram_weights)
+            .expect("placement guarantees DRAM weight fit");
+        let disk_bytes: u64 = (0..sc.spec.n_layers)
+            .filter(|&l| placement.is_expert_on_disk(l))
+            .map(|l| expert_layer_bytes(&sc.spec, l))
+            .sum();
+        let disk_cap = sim.pool(Tier::Disk).capacity();
+        sim.pool_mut(Tier::Disk)
+            .alloc(disk_bytes.min(disk_cap))
+            .expect("disk capacity is ample in both environments");
+
+        {
+            let mut b = Builder {
+                spec: &sc.spec,
+                cost: &cost,
+                cfg: &self.cfg,
+                placement: &placement,
+                view: sc.trace.as_ref().map(TraceView::new),
+                table: table.as_mut(),
+                sim: &mut sim,
+                wl: &wl,
+                k_prefetch: self.cfg.prefetch_k.unwrap_or(sc.spec.top_k.max(1)),
+                carry: Vec::new(),
+                prev_attn_tasks: Vec::new(),
+                pending_attn_w: None,
+                layer_ends: Vec::new(),
+                stage_map: HashMap::new(),
+            };
+            let n_groups = wl.num_batches.div_ceil(group_size);
+            for g in 0..n_groups {
+                let b0 = g * group_size;
+                let b1 = (b0 + group_size).min(wl.num_batches);
+                b.submit_group(b0, b1);
+            }
+        }
+
+        let (stats, oom) = drain(&mut sim, self.cfg.record_memory)?;
+        Ok(build_report(self.name(), &sc.spec, &wl, &sim, &stats, oom))
+    }
+}
+
+fn expert_layer_bytes(spec: &ModelSpec, layer: u32) -> u64 {
+    if spec.is_moe_layer(layer) {
+        spec.n_experts as u64 * spec.expert_bytes()
+    } else {
+        spec.dense_ffn_bytes()
+    }
+}
+
+/// DAG builder for one run.
+struct Builder<'a> {
+    spec: &'a ModelSpec,
+    cost: &'a CostModel,
+    cfg: &'a KlotskiConfig,
+    placement: &'a PlacementPlan,
+    view: Option<TraceView<'a>>,
+    table: Option<&'a mut CorrelationTable>,
+    sim: &'a mut Simulator,
+    wl: &'a Workload,
+    k_prefetch: u32,
+    /// Completion anchors of the previous layer (its layer-end task).
+    carry: Vec<TaskId>,
+    /// Attention computes of the previous layer, per batch: the KV stream
+    /// prefetches layer `l`'s chunk for batch `b` as soon as layer `l−1`'s
+    /// attention for `b` has finished (one layer of KV double-buffering,
+    /// mirroring the dedicated KV-prefetch CUDA stream of §8).
+    prev_attn_tasks: Vec<TaskId>,
+    /// The prefetched attention-weight transfer for the next layer.
+    pending_attn_w: Option<TaskId>,
+    /// Every layer-end task, in execution order (disk staging anchors).
+    layer_ends: Vec<TaskId>,
+    /// Disk→DRAM stage task per layer of the current step.
+    stage_map: HashMap<u32, TaskId>,
+}
+
+impl<'a> Builder<'a> {
+    fn submit_group(&mut self, batch0: u32, batch1: u32) {
+        let n_b = batch1 - batch0;
+        let s0 = batch0 * self.wl.batch_size;
+        let s1 = batch1 * self.wl.batch_size;
+        for step in StepKind::all(self.wl.gen_len) {
+            self.stage_map.clear();
+            self.stage_initial_window(step);
+            if self.pending_attn_w.is_none() {
+                self.pending_attn_w = Some(self.submit_attn_weights(0, step));
+            }
+            for l in 0..self.spec.n_layers {
+                self.submit_layer(step, l, n_b, s0, s1);
+            }
+        }
+    }
+
+    /// Stages the first `window` disk layers of a step, anchored to layer
+    /// ends `window` layers back in global execution order.
+    fn stage_initial_window(&mut self, step: StepKind) {
+        let w = self.placement.staging_window;
+        for l in 0..w.min(self.spec.n_layers) {
+            if !self.placement.is_expert_on_disk(l) {
+                continue;
+            }
+            let anchor_idx = (self.layer_ends.len() as i64) + l as i64 - w as i64;
+            let dep = if anchor_idx >= 0 {
+                Some(self.layer_ends[anchor_idx as usize])
+            } else {
+                None
+            };
+            self.submit_stage(step, l, dep);
+        }
+    }
+
+    fn submit_stage(&mut self, step: StepKind, layer: u32, dep: Option<TaskId>) {
+        // Disk and DRAM hold full-precision weights; quantization is applied
+        // on the DRAM→VRAM transfer path only (the paper dequantizes before
+        // compute and reports that quantization barely moves the disk-bound
+        // Mixtral-8×22B Env-1 numbers, which pins the quantizer to PCIe).
+        let bytes = expert_layer_bytes(self.spec, layer);
+        let mut spec = TaskSpec::new(
+            Resource::LinkDisk,
+            self.cost.disk_time(bytes),
+            TaskMeta::of(OpClass::DiskStage).layer(layer).step(step.index()),
+        )
+        .alloc_on_start(Tier::Dram, bytes);
+        if let Some(d) = dep {
+            spec = spec.after(d);
+        }
+        let id = self.sim.submit(spec);
+        self.stage_map.insert(layer, id);
+    }
+
+    /// The prefetch throttle: weight transfers for the layer at the
+    /// current global position may not start before the layer two
+    /// positions back has finished, bounding in-flight weights to roughly
+    /// two layers (double buffering). Without this, phases where compute
+    /// outpaces I/O (prefill) would let the link run arbitrarily far ahead
+    /// and flood VRAM.
+    fn throttle_dep(&self) -> Option<TaskId> {
+        self.layer_ends
+            .len()
+            .checked_sub(2)
+            .map(|i| self.layer_ends[i])
+    }
+
+    /// Submits the attention (+ dense FFN) weight transfer for `layer`.
+    fn submit_attn_weights(&mut self, layer: u32, step: StepKind) -> TaskId {
+        let wf = self.cfg.compression.weight_factor(self.spec.dtype);
+        let mut vram = self.spec.attn_bytes();
+        if !self.spec.is_moe_layer(layer) {
+            vram += self.spec.dense_ffn_bytes();
+        }
+        let bytes = (vram as f64 * wf) as u64;
+        let mut spec = TaskSpec::new(
+            Resource::LinkH2d,
+            self.cost.h2d_time(bytes),
+            TaskMeta::of(OpClass::WeightTransfer)
+                .layer(layer)
+                .step(step.index()),
+        )
+        .alloc_on_start(Tier::Vram, vram);
+        if let Some(t) = self.throttle_dep() {
+            spec = spec.after(t);
+        }
+        self.sim.submit_with_priority(spec, prio::BACKGROUND)
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn submit_layer(&mut self, step: StepKind, l: u32, n_b: u32, s0: u32, s1: u32) {
+        let spec = self.spec;
+        let cost = self.cost;
+        let comp = &self.cfg.compression;
+        let bs = self.wl.batch_size as u64;
+        let step_idx = step.index();
+        let ctx = step.context(self.wl.prompt_len);
+        let eff_ctx = comp.effective_context(ctx);
+        let kv_factor = comp.kv_factor(ctx);
+        let kv_per_tok = spec.kv_bytes_per_token_layer();
+        let is_moe = spec.is_moe_layer(l);
+        let resident = is_moe && self.placement.is_expert_resident(l);
+
+        let attn_w = self.pending_attn_w.take().expect("attn weights prefetched");
+
+        // --- Gate + hot-expert prefetch (issued while attention computes).
+        let mut gate_w: Option<TaskId> = None;
+        let mut transfers: HashMap<u16, TaskId> = HashMap::new();
+        let mut hot: Vec<u16> = Vec::new();
+        let stage_dep = self.stage_map.get(&l).copied();
+
+        let moe_idx = spec.moe_index(l);
+        let counts: Vec<u32> = match (is_moe, moe_idx, self.view.as_ref()) {
+            (true, Some(m), Some(view)) => view.expert_tokens(step, m, s0, s1),
+            _ => Vec::new(),
+        };
+        let activated: Vec<u16> = counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(e, _)| e as u16)
+            .collect();
+
+        let throttle = self.throttle_dep();
+        // Whole-MoE-layer blob transfer (gate + every expert as one unit),
+        // used when hot-expert prefetch is off: this is FlexGen's (and the
+        // strawman's) granularity — no compute may start before the whole
+        // layer has arrived.
+        let mut layer_blob: Option<TaskId> = None;
+        if is_moe && !resident && !self.cfg.hot_expert_prefetch {
+            let wf = comp.weight_factor(spec.dtype);
+            let vram = spec.gate_bytes() + spec.n_experts as u64 * spec.expert_bytes();
+            let bytes = (vram as f64 * wf) as u64;
+            let mut t = TaskSpec::new(
+                Resource::LinkH2d,
+                cost.h2d_time(bytes),
+                TaskMeta::of(OpClass::ExpertTransfer).layer(l).step(step_idx),
+            )
+            .alloc_on_start(Tier::Vram, vram);
+            if let Some(d) = stage_dep {
+                t = t.after(d);
+            }
+            if let Some(d) = throttle {
+                t = t.after(d);
+            }
+            layer_blob = Some(self.sim.submit_with_priority(t, prio::PREFETCH));
+            hot = (0..spec.n_experts as u16).collect();
+        } else if is_moe && !resident {
+            let wf = comp.weight_factor(spec.dtype);
+            let mut gate_spec = TaskSpec::new(
+                Resource::LinkH2d,
+                cost.gate_h2d_time(),
+                TaskMeta::of(OpClass::GateTransfer).layer(l).step(step_idx),
+            )
+            .alloc_on_start(Tier::Vram, spec.gate_bytes());
+            if let Some(t) = throttle {
+                gate_spec = gate_spec.after(t);
+            }
+            gate_w = Some(self.sim.submit_with_priority(gate_spec, prio::PREFETCH));
+
+            let m = moe_idx.expect("moe layer has a moe index");
+            hot = self.predict_hot(step, m, s0, s1);
+            for &e in &hot {
+                let mut t = TaskSpec::new(
+                    Resource::LinkH2d,
+                    cost.expert_h2d_time(wf),
+                    TaskMeta::of(OpClass::ExpertTransfer)
+                        .layer(l)
+                        .expert(e as u32)
+                        .step(step_idx),
+                )
+                .alloc_on_start(Tier::Vram, spec.expert_bytes());
+                if let Some(d) = stage_dep {
+                    t = t.after(d);
+                }
+                if let Some(d) = throttle {
+                    t = t.after(d);
+                }
+                transfers.insert(e, self.sim.submit_with_priority(t, prio::PREFETCH));
+            }
+        } else if is_moe && resident {
+            hot = if self.cfg.hot_expert_prefetch {
+                let m = moe_idx.expect("moe layer has a moe index");
+                self.predict_hot(step, m, s0, s1)
+            } else {
+                (0..spec.n_experts as u16).collect()
+            };
+        }
+
+        // --- Attention phase: KV in, attention, gate, KV out (per batch).
+        let mut attn_tasks = Vec::with_capacity(n_b as usize);
+        let mut gate_tasks = Vec::with_capacity(n_b as usize);
+        for b in 0..n_b {
+            let kv_load = if matches!(step, StepKind::Decode(_)) {
+                let bytes = (bs as f64 * ctx as f64 * kv_per_tok as f64 * kv_factor) as u64;
+                let mut t = TaskSpec::new(
+                    Resource::LinkH2d,
+                    cost.kv_h2d_time(bs, ctx, kv_factor),
+                    TaskMeta::of(OpClass::KvLoad)
+                        .layer(l)
+                        .batch(b)
+                        .step(step_idx),
+                )
+                .alloc_on_start(Tier::Vram, bytes);
+                if let Some(&anchor) = self.prev_attn_tasks.get(b as usize) {
+                    t = t.after(anchor);
+                } else if b > 0 {
+                    t = t.after(attn_tasks[b as usize - 1]);
+                }
+                Some((self.sim.submit_with_priority(t, prio::KV), bytes))
+            } else {
+                None
+            };
+
+            let attn_dur = match step {
+                StepKind::Prefill => {
+                    cost.attention_time(bs, self.wl.prompt_len as u64, eff_ctx / 2 + 1)
+                }
+                StepKind::Decode(_) => cost.attention_time(bs, 1, eff_ctx),
+            };
+            let mut attn = TaskSpec::new(
+                Resource::GpuCompute,
+                attn_dur,
+                TaskMeta::of(OpClass::AttentionCompute)
+                    .layer(l)
+                    .batch(b)
+                    .step(step_idx),
+            )
+            .after(attn_w)
+            .after_all(self.carry.iter().copied());
+            if let Some((kv, _)) = kv_load {
+                attn = attn.after(kv);
+            }
+            let attn = self.sim.submit(attn);
+            attn_tasks.push(attn);
+
+            // Write back the new KV entries (and release the chunk).
+            let new_tokens = match step {
+                StepKind::Prefill => self.wl.prompt_len as u64,
+                StepKind::Decode(_) => 1,
+            };
+            let store_bytes = bs * new_tokens * kv_per_tok;
+            let dram_growth = (store_bytes as f64 * kv_factor) as u64;
+            let mut store = TaskSpec::new(
+                Resource::LinkD2h,
+                cost.kv_d2h_time(bs, new_tokens),
+                TaskMeta::of(OpClass::KvStore)
+                    .layer(l)
+                    .batch(b)
+                    .step(step_idx),
+            )
+            .after(attn)
+            .alloc_on_start(Tier::Vram, store_bytes)
+            .free_on_end(Tier::Vram, store_bytes);
+            store.mem_on_end.push(MemDelta::alloc(Tier::Dram, dram_growth));
+            if let Some((_, chunk_bytes)) = kv_load {
+                store.mem_on_end.push(MemDelta::free(Tier::Vram, chunk_bytes));
+            }
+            self.sim.submit(store);
+
+            if is_moe {
+                let gate_tokens = bs * new_tokens;
+                let mut gate = TaskSpec::new(
+                    Resource::GpuCompute,
+                    cost.gate_time(gate_tokens),
+                    TaskMeta::of(OpClass::GateCompute)
+                        .layer(l)
+                        .batch(b)
+                        .step(step_idx),
+                )
+                .after(attn);
+                if let Some(g) = gate_w {
+                    gate = gate.after(g);
+                }
+                if let Some(blob) = layer_blob {
+                    gate = gate.after(blob);
+                }
+                gate_tasks.push(self.sim.submit(gate));
+            }
+        }
+
+        // --- Expert phase (or dense FFN).
+        let mut compute_tasks: Vec<TaskId> = Vec::new();
+        if is_moe {
+            let m = moe_idx.expect("moe layer has a moe index");
+            // On-demand transfers for activated cold experts.
+            if self.cfg.hot_expert_prefetch && !resident {
+                let wf = comp.weight_factor(spec.dtype);
+                for &e in &activated {
+                    if transfers.contains_key(&e) {
+                        continue;
+                    }
+                    let b_first = self
+                        .view
+                        .as_ref()
+                        .and_then(|v| {
+                            v.first_requesting_batch(step, m, s0, s1, self.wl.batch_size, e)
+                        })
+                        .unwrap_or(0);
+                    let mut t = TaskSpec::new(
+                        Resource::LinkH2d,
+                        cost.expert_h2d_time(wf),
+                        TaskMeta::of(OpClass::ExpertTransfer)
+                            .layer(l)
+                            .expert(e as u32)
+                            .step(step_idx),
+                    )
+                    .after(gate_tasks[b_first as usize])
+                    .alloc_on_start(Tier::Vram, spec.expert_bytes());
+                    if let Some(d) = stage_dep {
+                        t = t.after(d);
+                    }
+                    transfers.insert(e, self.sim.submit_with_priority(t, prio::ON_DEMAND));
+                }
+            }
+
+            let whole_layer_deps: Vec<TaskId> = layer_blob.into_iter().collect();
+            if self.cfg.batch_major_experts {
+                // FlexGen-style: each batch runs its own expert ops after
+                // its gate; weights are shared but kernels are per-batch.
+                let view = self.view.as_ref().expect("moe run has a trace");
+                let mut prev_in_chain: Option<TaskId> = None;
+                for b in 0..n_b {
+                    let from = s0 + b * self.wl.batch_size;
+                    let to = from + self.wl.batch_size;
+                    let batch_counts = view.expert_tokens(step, m, from, to);
+                    for (e, &tokens) in batch_counts.iter().enumerate() {
+                        if tokens == 0 {
+                            continue;
+                        }
+                        let mut t = TaskSpec::new(
+                            Resource::GpuCompute,
+                            cost.expert_time(tokens as u64),
+                            TaskMeta::of(OpClass::ExpertCompute)
+                                .layer(l)
+                                .batch(b)
+                                .expert(e as u32)
+                                .step(step_idx),
+                        )
+                        .after(gate_tasks[b as usize])
+                        .after_all(whole_layer_deps.iter().copied());
+                        if let Some(&tr) = transfers.get(&(e as u16)) {
+                            t = t.after(tr);
+                        }
+                        if let Some(p) = prev_in_chain {
+                            t = t.after(p);
+                        }
+                        let id = self.sim.submit(t);
+                        prev_in_chain = Some(id);
+                        compute_tasks.push(id);
+                    }
+                }
+                // Expert weights release at layer end (no per-expert
+                // offload: any batch may still need them).
+            } else {
+                // Execution order: reordered (readiness) vs. fixed.
+                let order = self.execution_order(step, m, s0, s1, &activated, &hot, &counts);
+                let mut prev_in_chain: Option<TaskId> = None;
+                for e in order {
+                    let tokens = counts[e as usize] as u64;
+                    let mut t = TaskSpec::new(
+                        Resource::GpuCompute,
+                        cost.expert_time(tokens),
+                        TaskMeta::of(OpClass::ExpertCompute)
+                            .layer(l)
+                            .expert(e as u32)
+                            .step(step_idx),
+                    )
+                    .after_all(gate_tasks.iter().copied());
+                    if self.cfg.hot_expert_prefetch {
+                        if let Some(&tr) = transfers.get(&e) {
+                            t = t.after(tr);
+                        }
+                    } else {
+                        t = t.after_all(whole_layer_deps.iter().copied());
+                    }
+                    if !self.cfg.reorder_experts {
+                        if let Some(p) = prev_in_chain {
+                            t = t.after(p);
+                        }
+                    }
+                    if !resident && transfers.contains_key(&e) {
+                        // Offload immediately after this expert's computations.
+                        t = t.free_on_end(Tier::Vram, spec.expert_bytes());
+                    }
+                    let id = self.sim.submit(t);
+                    prev_in_chain = Some(id);
+                    compute_tasks.push(id);
+                }
+            }
+        } else {
+            // Dense FFN per batch (weights arrived with the attention
+            // transfer).
+            let tokens_per_batch = match step {
+                StepKind::Prefill => bs * self.wl.prompt_len as u64,
+                StepKind::Decode(_) => bs,
+            };
+            for (b, &attn) in attn_tasks.iter().enumerate() {
+                let t = TaskSpec::new(
+                    Resource::GpuCompute,
+                    cost.dense_ffn_time(tokens_per_batch),
+                    TaskMeta::of(OpClass::DenseCompute)
+                        .layer(l)
+                        .batch(b as u32)
+                        .step(step_idx),
+                )
+                .after(attn);
+                compute_tasks.push(self.sim.submit(t));
+            }
+        }
+
+        // --- Layer end: free the layer's transient weights, anchor the
+        // next layer, slide the disk window.
+        let mut freed = self.spec.attn_bytes();
+        if !is_moe {
+            freed += self.spec.dense_ffn_bytes();
+        }
+        if is_moe && !resident {
+            freed += spec.gate_bytes();
+            if layer_blob.is_some() {
+                // The blob (gate + every expert) releases as one unit.
+                freed += spec.expert_bytes() * spec.n_experts as u64;
+            } else if self.cfg.batch_major_experts {
+                // Batch-major mode keeps every transferred expert until the
+                // whole layer finishes (any later batch may need it).
+                freed += spec.expert_bytes() * transfers.len() as u64;
+            } else {
+                // Prefetched-but-inactive experts were never computed:
+                // release them here (the active ones freed themselves).
+                for (&e, _) in transfers.iter() {
+                    if counts.get(e as usize).copied().unwrap_or(0) == 0 {
+                        freed += spec.expert_bytes();
+                    }
+                }
+            }
+        }
+        let mut end = TaskSpec::new(
+            Resource::GpuCompute,
+            SimDuration::ZERO,
+            TaskMeta::of(OpClass::Offload).layer(l).step(step_idx),
+        )
+        .after_all(compute_tasks.iter().copied())
+        .after_all(attn_tasks.iter().copied())
+        // Transfers with no dependent compute (inactive prefetched experts)
+        // must still land before their bytes can be released here.
+        .after_all(transfers.values().copied())
+        .after_all(gate_w)
+        .after_all(layer_blob)
+        .free_on_end(Tier::Vram, freed);
+        if let Some(stage) = self.stage_map.get(&l) {
+            // The staged DRAM window slot is released once the layer is done.
+            end = end.free_on_end(Tier::Dram, expert_layer_bytes(spec, l));
+            let _ = stage;
+        }
+        let end = self.sim.submit(end);
+        self.layer_ends.push(end);
+
+        // Slide the staging window.
+        let w = self.placement.staging_window;
+        if w > 0 && l + w < spec.n_layers && self.placement.is_expert_on_disk(l + w) {
+            self.submit_stage(step, l + w, Some(end));
+        }
+
+        // Prefetch the next layer slot's attention weights.
+        let (next_step, next_layer) = if l + 1 < spec.n_layers {
+            (step, l + 1)
+        } else {
+            // Wraps into the next step (or the next group's prefill; the
+            // transfer is reusable since layer 0 is next either way).
+            (step, 0)
+        };
+        self.pending_attn_w = Some(self.submit_attn_weights(next_layer, next_step));
+
+        // Online correlation-table update with this layer's actual routing.
+        self.record_actuals(step, l, s0, s1);
+
+        self.carry = vec![end];
+        self.prev_attn_tasks = attn_tasks;
+    }
+
+    /// Predicted hot experts for (`step`, MoE layer `m`).
+    fn predict_hot(&self, step: StepKind, m: u32, s0: u32, s1: u32) -> Vec<u16> {
+        let Some(table) = self.table.as_deref() else {
+            return (0..self.k_prefetch.min(self.spec.n_experts) as u16).collect();
+        };
+        match step {
+            StepKind::Prefill => table.predict_marginal(m, self.k_prefetch),
+            StepKind::Decode(i) => {
+                if m == 0 {
+                    table.predict_marginal(0, self.k_prefetch)
+                } else {
+                    let view = self.view.as_ref().expect("moe run has a trace");
+                    let prev = view.prev_choices(i, m, s0, s1);
+                    table.predict(m, &prev, self.k_prefetch)
+                }
+            }
+        }
+    }
+
+    /// Expert execution order for the fixed-order (non-reordered) modes;
+    /// in reorder mode the submission order is hot-first but actual start
+    /// times follow readiness.
+    fn execution_order(
+        &self,
+        step: StepKind,
+        m: u32,
+        s0: u32,
+        s1: u32,
+        activated: &[u16],
+        hot: &[u16],
+        counts: &[u32],
+    ) -> Vec<u16> {
+        let mut order: Vec<u16> = activated.to_vec();
+        if self.cfg.reorder_experts {
+            // Hot (prefetched) experts first, by token count descending;
+            // then the rest (their true order emerges from transfer
+            // completion via readiness).
+            order.sort_by_key(|&e| {
+                let is_hot = hot.contains(&e);
+                (!is_hot, std::cmp::Reverse(counts[e as usize]), e)
+            });
+        } else if self.cfg.hot_expert_prefetch {
+            // Gate-discovery order: by first requesting batch, then id —
+            // the strawman's stall-prone order (§3.2 problem (2)).
+            let view = self.view.as_ref().expect("moe run has a trace");
+            order.sort_by_key(|&e| {
+                let b = view
+                    .first_requesting_batch(step, m, s0, s1, self.wl.batch_size, e)
+                    .unwrap_or(u32::MAX);
+                (b, e)
+            });
+        } else {
+            order.sort_unstable();
+        }
+        order
+    }
+
+    /// Feeds the layer's actual routing back into the correlation table.
+    fn record_actuals(&mut self, step: StepKind, l: u32, s0: u32, s1: u32) {
+        let Some(m) = self.spec.moe_index(l) else {
+            return;
+        };
+        let Some(view) = self.view else {
+            return;
+        };
+        let Some(table) = self.table.as_deref_mut() else {
+            return;
+        };
+        match step {
+            StepKind::Prefill => {
+                for (e, &c) in view.expert_tokens(step, m, s0, s1).iter().enumerate() {
+                    if c > 0 {
+                        table.record_marginal(m, e as u16, c as u64);
+                    }
+                }
+            }
+            StepKind::Decode(i) => {
+                let trace = view.trace();
+                for s in s0..s1 {
+                    let choices = trace.seq_choices(i, m, s);
+                    let prev = if m == 0 {
+                        None
+                    } else {
+                        Some(trace.seq_choices(i, m - 1, s)[0])
+                    };
+                    table.record(m, prev, choices);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use klotski_model::hardware::HardwareSpec;
+
+    fn scenario(bs: u32, n: u32) -> Scenario {
+        Scenario::generate(
+            ModelSpec::mixtral_8x7b(),
+            HardwareSpec::env1_rtx3090(),
+            Workload::new(bs, n, 128, 4),
+            42,
+        )
+    }
+
+    fn run(cfg: KlotskiConfig, sc: &Scenario) -> InferenceReport {
+        KlotskiEngine::new(cfg).run(sc).expect("engine run")
+    }
+
+    #[test]
+    fn full_engine_completes_and_reports() {
+        let sc = scenario(8, 4);
+        let r = run(KlotskiConfig::full(), &sc);
+        assert!(r.succeeded(), "{:?}", r.oom);
+        assert!(r.throughput_tps() > 0.0);
+        assert_eq!(r.generated_tokens, 8 * 4 * 4);
+        assert!(r.peak_vram > 0);
+        assert!(r.peak_vram < 24_000_000_000, "fits the 3090");
+        assert!(r.prefill_time > SimDuration::ZERO);
+        assert!(r.decode_time > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn ablation_order_matches_table3() {
+        // Paper Table 3: each added technique increases throughput. The
+        // ordering needs the planner's regime — a batch group large enough
+        // that inequality (5) is satisfiable — so this runs at bs 16 × n 10
+        // (the paper's own Table 3 scale).
+        let sc = scenario(16, 10);
+        let simple = run(KlotskiConfig::ablation_simple_pipeline(), &sc);
+        let multi = run(KlotskiConfig::ablation_multi_batch(), &sc);
+        let hot = run(KlotskiConfig::ablation_hot_prefetch(), &sc);
+        let full = run(KlotskiConfig::full(), &sc);
+        assert!(
+            multi.throughput_tps() > simple.throughput_tps() * 1.5,
+            "multi-batch {} ≤ simple {}",
+            multi.throughput_tps(),
+            simple.throughput_tps()
+        );
+        // Strict hot > multi ordering is asserted at full paper scale in
+        // tests/ablation.rs; this fast scenario (short prompt/generation)
+        // is prefill-dominated, so allow a tie within noise here.
+        assert!(
+            hot.throughput_tps() > multi.throughput_tps() * 0.97,
+            "hot-prefetch {} ≪ multi {}",
+            hot.throughput_tps(),
+            multi.throughput_tps()
+        );
+        assert!(
+            full.throughput_tps() >= hot.throughput_tps() * 0.98,
+            "reorder {} < hot {}",
+            full.throughput_tps(),
+            hot.throughput_tps()
+        );
+    }
+
+    #[test]
+    fn reordering_reduces_bubbles() {
+        let sc = scenario(8, 6);
+        let fixed = run(KlotskiConfig::ablation_hot_prefetch(), &sc);
+        let reordered = run(KlotskiConfig::full(), &sc);
+        assert!(
+            reordered.gpu_bubble <= fixed.gpu_bubble,
+            "reorder bubbles {} > fixed {}",
+            reordered.gpu_bubble,
+            fixed.gpu_bubble
+        );
+    }
+
+    #[test]
+    fn quantization_speeds_up_io_bound_runs() {
+        let sc = scenario(4, 4);
+        let full = run(KlotskiConfig::full(), &sc);
+        let quant = run(KlotskiConfig::quantized(), &sc);
+        assert!(
+            quant.total_time < full.total_time,
+            "quantized {} ≥ full {}",
+            quant.total_time,
+            full.total_time
+        );
+    }
+
+    #[test]
+    fn names_reflect_configuration() {
+        assert_eq!(KlotskiEngine::new(KlotskiConfig::full()).name(), "Klotski");
+        assert_eq!(
+            KlotskiEngine::new(KlotskiConfig::quantized()).name(),
+            "Klotski (q)"
+        );
+        assert_eq!(
+            KlotskiEngine::new(KlotskiConfig::ablation_simple_pipeline()).name(),
+            "Simple pipeline"
+        );
+    }
+
+    #[test]
+    fn memory_is_conserved_across_the_run() {
+        let sc = scenario(4, 3);
+        let engine = KlotskiEngine::new(KlotskiConfig::full());
+        let r = engine.run(&sc).unwrap();
+        assert!(r.succeeded());
+        // Peak DRAM covers weights + all KV written back.
+        assert!(r.peak_dram > 0);
+    }
+
+    #[test]
+    fn dense_models_run_without_traces() {
+        let sc = Scenario::generate(
+            ModelSpec::opt_1_3b(),
+            HardwareSpec::env1_rtx3090(),
+            Workload::new(4, 4, 128, 4),
+            1,
+        );
+        let r = run(KlotskiConfig::full(), &sc);
+        assert!(r.succeeded(), "{:?}", r.oom);
+        assert!(r.throughput_tps() > 0.0);
+    }
+
+    #[test]
+    fn infeasible_workloads_report_oom_not_panic() {
+        // A batch group whose KV alone exceeds DRAM.
+        let sc = Scenario::generate(
+            ModelSpec::mixtral_8x22b(),
+            HardwareSpec::env1_rtx3090(),
+            Workload::new(512, 64, 512, 4),
+            1,
+        );
+        let r = run(KlotskiConfig::full(), &sc);
+        assert!(!r.succeeded());
+        assert_eq!(r.throughput_tps(), 0.0);
+    }
+
+    #[test]
+    fn timeline_recording_is_optional_and_works() {
+        let sc = scenario(4, 2);
+        let mut cfg = KlotskiConfig::full();
+        cfg.record_timeline = true;
+        let r = run(cfg, &sc);
+        let metrics = r.metrics.expect("timeline requested");
+        assert!(!metrics.timeline().is_empty());
+        let off = run(KlotskiConfig::full(), &sc);
+        assert!(off.metrics.is_none());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use klotski_model::hardware::HardwareSpec;
+    use proptest::prelude::*;
+
+    fn config_for(selector: u8) -> KlotskiConfig {
+        match selector % 5 {
+            0 => KlotskiConfig::ablation_simple_pipeline(),
+            1 => KlotskiConfig::ablation_multi_batch(),
+            2 => KlotskiConfig::ablation_hot_prefetch(),
+            3 => KlotskiConfig::quantized(),
+            _ => KlotskiConfig::full(),
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+        /// Schedule legality across random workload shapes and engine
+        /// configurations: the submitted task graph must drain without
+        /// deadlock or OOM, account every generated token, and respect
+        /// the machine's memory limits.
+        #[test]
+        fn random_scenarios_complete_consistently(
+            bs in 1u32..12,
+            n in 1u32..6,
+            prompt in 16u32..128,
+            gen in 2u32..6,
+            seed in 0u64..50,
+            selector in 0u8..5,
+        ) {
+            let wl = Workload::new(bs, n, prompt, gen);
+            let sc = Scenario::generate(
+                ModelSpec::mixtral_8x7b(),
+                HardwareSpec::env1_rtx3090(),
+                wl,
+                seed,
+            );
+            let r = KlotskiEngine::new(config_for(selector))
+                .run(&sc)
+                .expect("no internal scheduling errors");
+            prop_assert!(r.succeeded(), "unexpected OOM: {:?}", r.oom);
+            prop_assert_eq!(r.generated_tokens, wl.total_generated());
+            prop_assert!(r.peak_vram <= sc.hw.vram_bytes);
+            prop_assert!(r.peak_dram <= sc.hw.dram_bytes);
+            prop_assert!(r.gpu_busy <= r.total_time);
+            prop_assert!(r.prefill_time <= r.total_time);
+            prop_assert!(r.throughput_tps() > 0.0);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        /// Determinism: the same scenario and configuration always produce
+        /// the identical report.
+        #[test]
+        fn runs_are_deterministic(seed in 0u64..20, selector in 0u8..5) {
+            let wl = Workload::new(4, 3, 64, 3);
+            let sc = Scenario::generate(
+                ModelSpec::mixtral_8x7b(),
+                HardwareSpec::env1_rtx3090(),
+                wl,
+                seed,
+            );
+            let cfg = config_for(selector);
+            let a = KlotskiEngine::new(cfg).run(&sc).unwrap();
+            let b = KlotskiEngine::new(cfg).run(&sc).unwrap();
+            prop_assert_eq!(a.total_time, b.total_time);
+            prop_assert_eq!(a.gpu_busy, b.gpu_busy);
+            prop_assert_eq!(a.peak_vram, b.peak_vram);
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! # klotski-core — the paper's contribution
+//!
+//! The Klotski inference engine (ASPLOS 2025): an expert-aware multi-batch
+//! pipeline that eliminates inter- and intra-layer bubbles when running
+//! mixture-of-experts models under offloading.
+//!
+//! * [`engine`] — the pipeline paradigm (§5) over the simulated substrate,
+//!   with every ablation switch of the paper's Table 3.
+//! * [`planner`] — the constraint-sensitive I/O-compute planner (§7),
+//!   solving inequalities (4)–(7) for the minimal batch-group size `n`.
+//! * [`prefetcher`] — the correlation-aware expert prefetcher (§6.2) and
+//!   its expert correlation table.
+//! * [`placement`] — adaptive tensor placement across VRAM/DRAM/disk (§6.1).
+//! * [`compress`] — quantization + sparse-attention options (§7).
+//! * [`native`] — the really-executed two-thread pipeline over the tiny MoE
+//!   model, bit-exact against the reference runner.
+//! * [`scenario`] / [`driver`] / [`report`] — shared engine infrastructure
+//!   (also used by the `klotski-baselines` crate).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod compress;
+pub mod driver;
+pub mod engine;
+pub mod native;
+pub mod placement;
+pub mod planner;
+pub mod prefetcher;
+pub mod prefetcher_io;
+pub mod report;
+pub mod scenario;
+
+/// Convenience re-exports of the most used types.
+pub mod prelude {
+    pub use crate::compress::{Compression, SparseAttention};
+    pub use crate::engine::{KlotskiConfig, KlotskiEngine};
+    pub use crate::native::{run_pipeline, NativePipelineConfig};
+    pub use crate::placement::{plan_placement, PlacementPlan};
+    pub use crate::planner::{PipelinePlan, Planner};
+    pub use crate::prefetcher::{CorrelationTable, DeepCorrelationTable};
+    pub use crate::prefetcher_io::{parse_table, serialize_table};
+    pub use crate::report::InferenceReport;
+    pub use crate::scenario::{Engine, EngineError, Scenario};
+}

@@ -1,0 +1,474 @@
+//! The two-thread native pipeline.
+//!
+//! Thread layout mirrors the paper's implementation (§4, Fig. 6): an
+//! **inference thread** walks steps × layers × sequences, and an **I/O
+//! thread** serves expert-fetch requests from the [`ExpertStore`] through a
+//! bounded slot pool (the VRAM expert buffers). Klotski's schedule shows up
+//! as three decisions:
+//!
+//! * hot experts (predicted from the online marginal table) are requested
+//!   *before* the layer's attention, so they stream in under compute;
+//! * gate-selected cold experts are requested the moment gating finishes,
+//!   in discovery order;
+//! * expert computations run in **arrival order** (hot first, then
+//!   transfer-completion order), with each expert's slot released as soon
+//!   as its tokens are done — "offloaded immediately".
+
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{bounded, unbounded};
+use klotski_moe::attention::AttnMask;
+use klotski_moe::h2o::{H2oConfig, H2oState};
+use klotski_moe::kv::KvCache;
+use klotski_moe::model::MoeModel;
+use klotski_moe::weights::ExpertWeights;
+use klotski_tensor::quant::QuantConfig;
+
+use super::store::ExpertStore;
+
+/// Configuration of the native pipeline.
+#[derive(Debug, Clone, Copy)]
+pub struct NativePipelineConfig {
+    /// Bounded VRAM expert slots (must be ≥ 1; 2+ enables overlap).
+    pub vram_slots: usize,
+    /// Hot experts to prefetch per layer.
+    pub prefetch_k: usize,
+    /// Store experts quantized (fetch dequantizes). Quantization changes
+    /// numerics, so bit-exactness versus the reference holds only with
+    /// `None`.
+    pub quant: Option<QuantConfig>,
+    /// Attention mask (dense or StreamingLLM).
+    pub mask: AttnMask,
+    /// Heavy-hitter KV policy (the §9.8 future-work extension); when set,
+    /// it replaces `mask`, and bit-exactness is checked against
+    /// [`MoeModel::generate_h2o`].
+    pub h2o: Option<H2oConfig>,
+}
+
+impl Default for NativePipelineConfig {
+    fn default() -> Self {
+        NativePipelineConfig {
+            vram_slots: 3,
+            prefetch_k: 2,
+            quant: None,
+            mask: AttnMask::Dense,
+            h2o: None,
+        }
+    }
+}
+
+/// Result of a native pipelined generation.
+#[derive(Debug, Clone)]
+pub struct NativeRunResult {
+    /// Generated tokens per sequence.
+    pub tokens: Vec<Vec<u32>>,
+    /// Final hidden state per sequence (for bit-exact comparison).
+    pub final_hidden: Vec<Vec<f32>>,
+    /// Total expert fetches served by the I/O thread.
+    pub expert_fetches: u64,
+    /// Prefetched experts that did receive tokens.
+    pub prefetch_hits: u64,
+    /// Prefetched experts that received no tokens (wasted transfers).
+    pub prefetch_misses: u64,
+    /// Wall-clock run time.
+    pub elapsed: Duration,
+}
+
+#[derive(Debug)]
+struct FetchRequest {
+    layer: usize,
+    expert: usize,
+}
+
+#[derive(Debug)]
+struct FetchedExpert {
+    expert: usize,
+    weights: ExpertWeights,
+}
+
+/// Runs Klotski's native pipeline over `prompts`, generating `gen_len`
+/// tokens per sequence.
+///
+/// All sequences form one batch group: each layer's experts are fetched
+/// once and shared across every sequence's tokens (the multi-batch weight
+/// sharing of §5).
+///
+/// # Panics
+///
+/// Panics if `cfg.vram_slots == 0`, prompts are empty, or any prompt is
+/// empty.
+pub fn run_pipeline(
+    model: &MoeModel,
+    prompts: &[Vec<u32>],
+    gen_len: usize,
+    cfg: &NativePipelineConfig,
+) -> NativeRunResult {
+    assert!(cfg.vram_slots >= 1, "need at least one VRAM slot");
+    assert!(!prompts.is_empty(), "no prompts");
+    let start = Instant::now();
+    let mcfg = *model.config();
+    let n_seqs = prompts.len();
+    let store = ExpertStore::from_model(model, cfg.quant);
+
+    let (req_tx, req_rx) = unbounded::<FetchRequest>();
+    let (res_tx, res_rx) = unbounded::<FetchedExpert>();
+    // Slot pool: the I/O thread takes a token per in-flight expert; the
+    // inference thread returns it when the expert is offloaded.
+    let (slot_tx, slot_rx) = bounded::<()>(cfg.vram_slots);
+    for _ in 0..cfg.vram_slots {
+        slot_tx.send(()).expect("filling fresh slot pool");
+    }
+
+    let mut result = NativeRunResult {
+        tokens: vec![Vec::new(); n_seqs],
+        final_hidden: Vec::new(),
+        expert_fetches: 0,
+        prefetch_hits: 0,
+        prefetch_misses: 0,
+        elapsed: Duration::ZERO,
+    };
+
+    crossbeam::scope(|scope| {
+        // --- I/O thread.
+        let io_store = &store;
+        let io = scope.spawn(move |_| {
+            let mut served = 0u64;
+            while let Ok(req) = req_rx.recv() {
+                // Block until a VRAM slot frees up (bounded staging).
+                if slot_rx.recv().is_err() {
+                    break;
+                }
+                let weights = io_store.fetch(req.layer, req.expert);
+                served += 1;
+                if res_tx
+                    .send(FetchedExpert {
+                        expert: req.expert,
+                        weights,
+                    })
+                    .is_err()
+                {
+                    break;
+                }
+            }
+            served
+        });
+
+        // --- Inference thread (this thread).
+        // Online marginal popularity table (the prefetcher's layer-0 /
+        // prefill mode; path-aware prediction lives in the simulated
+        // engine's CorrelationTable).
+        let mut popularity = vec![vec![0u64; mcfg.n_experts]; mcfg.n_layers];
+
+        let mut caches: Vec<KvCache> = (0..n_seqs).map(|_| model.new_cache()).collect();
+        let mut h2o_states: Vec<Option<H2oState>> = (0..n_seqs)
+            .map(|_| cfg.h2o.map(|c| H2oState::new(mcfg.n_layers, c)))
+            .collect();
+        // Token streams: per sequence, the positions processed so far.
+        let mut hidden: Vec<Vec<f32>> = vec![Vec::new(); n_seqs];
+        let mut positions: Vec<usize> = vec![0; n_seqs];
+
+        // Steps: every prompt position (prefill), then gen_len − 1 decode
+        // steps; each step pushes one token of every sequence through all
+        // layers. Ragged prompts are handled by per-sequence position.
+        let max_prompt = prompts.iter().map(Vec::len).max().unwrap_or(0);
+        let total_steps = max_prompt + gen_len - 1;
+
+        for step in 0..total_steps {
+            // Which sequences have a token this step, and which token.
+            let mut active: Vec<usize> = Vec::new();
+            let mut h: Vec<Vec<f32>> = vec![Vec::new(); n_seqs];
+            for (s, prompt) in prompts.iter().enumerate() {
+                let pos = positions[s];
+                let tok = if step < prompt.len() {
+                    if step != pos {
+                        continue; // this sequence's prompt is shorter; wait
+                    }
+                    prompt[pos]
+                } else if pos == step
+                    && step >= prompt.len()
+                    && result.tokens[s].len() + 1 < gen_len
+                {
+                    // Greedy continuation from the previous hidden state
+                    // (the final token of each sequence is emitted after
+                    // the step loop).
+                    let next = model.next_token(&hidden[s]);
+                    result.tokens[s].push(next);
+                    next
+                } else {
+                    continue;
+                };
+                h[s] = model.embed(tok, pos);
+                positions[s] += 1;
+                active.push(s);
+            }
+            if active.is_empty() {
+                continue;
+            }
+
+            for layer in 0..mcfg.n_layers {
+                // (1) Prefetch predicted hot experts before attention.
+                let hot = top_k_by(&popularity[layer], cfg.prefetch_k);
+                let mut requested: HashSet<usize> = HashSet::new();
+                for &e in &hot {
+                    req_tx
+                        .send(FetchRequest { layer, expert: e })
+                        .expect("I/O thread alive");
+                    requested.insert(e);
+                }
+
+                // (2) Attention for every active sequence (weights shared).
+                for &s in &active {
+                    h[s] = match h2o_states[s].as_mut() {
+                        Some(state) => {
+                            model.attn_block_h2o(layer, &h[s], &mut caches[s], state)
+                        }
+                        None => model.attn_block(layer, &h[s], &mut caches[s], cfg.mask),
+                    };
+                }
+
+                // (3) Gate every token; group tokens by expert.
+                let mut normed: Vec<Vec<f32>> = vec![Vec::new(); n_seqs];
+                let mut tokens_of: Vec<Vec<(usize, f32)>> =
+                    vec![Vec::new(); mcfg.n_experts];
+                for &s in &active {
+                    normed[s] = model.moe_norm(layer, &h[s]);
+                    let routing = model.route_token(layer, &normed[s]);
+                    for &(e, w) in &routing.picks {
+                        tokens_of[e].push((s, w));
+                        popularity[layer][e] += 1;
+                    }
+                }
+
+                // (4) On-demand requests for activated cold experts, in
+                // discovery (expert-id within gate output) order.
+                let activated: Vec<usize> = (0..mcfg.n_experts)
+                    .filter(|&e| !tokens_of[e].is_empty())
+                    .collect();
+                for &e in &activated {
+                    if requested.insert(e) {
+                        req_tx
+                            .send(FetchRequest { layer, expert: e })
+                            .expect("I/O thread alive");
+                    }
+                }
+
+                // (5) Compute experts in ARRIVAL order; release each slot
+                // immediately after its tokens finish.
+                let mut contributions: Vec<Vec<(usize, f32, Vec<f32>)>> =
+                    vec![Vec::new(); n_seqs];
+                let mut remaining = requested.len();
+                let mut done: HashSet<usize> = HashSet::new();
+                while remaining > 0 {
+                    let fetched = res_rx.recv().expect("I/O thread alive");
+                    remaining -= 1;
+                    let e = fetched.expert;
+                    assert!(done.insert(e), "duplicate expert arrival");
+                    if tokens_of[e].is_empty() {
+                        result.prefetch_misses += 1;
+                    } else {
+                        if hot.contains(&e) {
+                            result.prefetch_hits += 1;
+                        }
+                        for &(s, w) in &tokens_of[e] {
+                            let out = fetched.weights.forward(&normed[s]);
+                            contributions[s].push((e, w, out));
+                        }
+                    }
+                    // Expert finished: offload immediately (free the slot).
+                    slot_tx.send(()).expect("returning slot");
+                }
+
+                // (6) Combine in fixed expert-index order (bit-exactness).
+                for &s in &active {
+                    h[s] = model.combine(&h[s], &mut contributions[s]);
+                }
+            }
+
+            for &s in &active {
+                hidden[s] = std::mem::take(&mut h[s]);
+            }
+        }
+
+        // Emit the final token of each sequence.
+        for s in 0..n_seqs {
+            let next = model.next_token(&hidden[s]);
+            result.tokens[s].push(next);
+            // Advance once more so final_hidden matches the reference,
+            // which runs the last generated token back through the model.
+            let pos = positions[s];
+            let mut hh = model.embed(next, pos);
+            for layer in 0..mcfg.n_layers {
+                hh = match h2o_states[s].as_mut() {
+                    Some(state) => model.attn_block_h2o(layer, &hh, &mut caches[s], state),
+                    None => model.attn_block(layer, &hh, &mut caches[s], cfg.mask),
+                };
+                let normed = model.moe_norm(layer, &hh);
+                let routing = model.route_token(layer, &normed);
+                let mut contributions: Vec<(usize, f32, Vec<f32>)> = routing
+                    .picks
+                    .iter()
+                    .map(|&(e, w)| {
+                        (e, w, {
+                            req_tx
+                                .send(FetchRequest { layer, expert: e })
+                                .expect("I/O thread alive");
+                            let fetched = res_rx.recv().expect("I/O thread alive");
+                            let out = fetched.weights.forward(&normed);
+                            slot_tx.send(()).expect("returning slot");
+                            out
+                        })
+                    })
+                    .collect();
+                hh = model.combine(&hh, &mut contributions);
+            }
+            hidden[s] = hh;
+        }
+
+        drop(req_tx);
+        result.expert_fetches = io.join().expect("I/O thread panicked");
+        result.final_hidden = hidden;
+    })
+    .expect("pipeline threads");
+
+    result.elapsed = start.elapsed();
+    result
+}
+
+fn top_k_by(counts: &[u64], k: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..counts.len()).collect();
+    idx.sort_by_key(|&e| (std::cmp::Reverse(counts[e]), e));
+    idx.truncate(k);
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use klotski_moe::config::MoeConfig;
+
+    fn prompts(n: usize, len: usize, vocab: usize) -> Vec<Vec<u32>> {
+        (0..n)
+            .map(|s| {
+                (0..len)
+                    .map(|p| ((s * 31 + p * 7 + 3) % vocab) as u32)
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pipeline_matches_reference_bit_exactly() {
+        let model = MoeModel::new(MoeConfig::tiny(21));
+        let p = prompts(4, 6, model.config().vocab);
+        let reference = model.generate(&p, 4, AttnMask::Dense);
+        let piped = run_pipeline(&model, &p, 4, &NativePipelineConfig::default());
+        assert_eq!(piped.tokens, reference.tokens, "token streams diverged");
+        assert_eq!(
+            piped.final_hidden, reference.final_hidden,
+            "hidden states diverged: the reorder is not numerics-neutral"
+        );
+    }
+
+    #[test]
+    fn pipeline_matches_reference_with_one_slot() {
+        // Fully serialized I/O (1 slot) must still be correct.
+        let model = MoeModel::new(MoeConfig::tiny(5));
+        let p = prompts(2, 5, model.config().vocab);
+        let reference = model.generate(&p, 3, AttnMask::Dense);
+        let cfg = NativePipelineConfig {
+            vram_slots: 1,
+            ..Default::default()
+        };
+        let piped = run_pipeline(&model, &p, 3, &cfg);
+        assert_eq!(piped.tokens, reference.tokens);
+        assert_eq!(piped.final_hidden, reference.final_hidden);
+    }
+
+    #[test]
+    fn pipeline_matches_reference_with_streaming_mask() {
+        let model = MoeModel::new(MoeConfig::tiny(9));
+        let p = prompts(2, 12, model.config().vocab);
+        let mask = AttnMask::Streaming { sinks: 2, window: 4 };
+        let reference = model.generate(&p, 3, mask);
+        let cfg = NativePipelineConfig {
+            mask,
+            ..Default::default()
+        };
+        let piped = run_pipeline(&model, &p, 3, &cfg);
+        assert_eq!(piped.tokens, reference.tokens);
+        assert_eq!(piped.final_hidden, reference.final_hidden);
+    }
+
+    #[test]
+    fn ragged_prompts_are_handled() {
+        let model = MoeModel::new(MoeConfig::tiny(13));
+        let vocab = model.config().vocab;
+        let p = vec![
+            prompts(1, 4, vocab).remove(0),
+            prompts(1, 7, vocab).remove(0),
+            prompts(1, 5, vocab).remove(0),
+        ];
+        let reference = model.generate(&p, 3, AttnMask::Dense);
+        let piped = run_pipeline(&model, &p, 3, &NativePipelineConfig::default());
+        assert_eq!(piped.tokens, reference.tokens);
+        assert_eq!(piped.final_hidden, reference.final_hidden);
+    }
+
+    #[test]
+    fn quantized_run_differs_but_stays_reasonable() {
+        let model = MoeModel::new(MoeConfig::tiny(3));
+        let p = prompts(2, 6, model.config().vocab);
+        let exact = run_pipeline(&model, &p, 3, &NativePipelineConfig::default());
+        let cfg = NativePipelineConfig {
+            quant: Some(QuantConfig::paper_default()),
+            ..Default::default()
+        };
+        let quant = run_pipeline(&model, &p, 3, &cfg);
+        // Hidden states are close but not identical.
+        assert_ne!(exact.final_hidden, quant.final_hidden);
+        let max_diff: f32 = exact.final_hidden[0]
+            .iter()
+            .zip(&quant.final_hidden[0])
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max);
+        assert!(max_diff < 1.0, "quantized drift too large: {max_diff}");
+    }
+
+    #[test]
+    fn pipeline_matches_reference_with_h2o_policy() {
+        // The future-work sparse-KV policy composes with the reordered
+        // pipeline: bit-exact against the sequential H2O reference.
+        let model = MoeModel::new(MoeConfig::tiny(19));
+        let p = prompts(3, 14, model.config().vocab);
+        let h2o_cfg = H2oConfig { budget: 6, sinks: 2 };
+        let reference = model.generate_h2o(&p, 4, h2o_cfg);
+        let cfg = NativePipelineConfig {
+            h2o: Some(h2o_cfg),
+            ..Default::default()
+        };
+        let piped = run_pipeline(&model, &p, 4, &cfg);
+        assert_eq!(piped.tokens, reference.tokens);
+        assert_eq!(piped.final_hidden, reference.final_hidden);
+        // And the policy actually bites on these long prompts.
+        let dense = model.generate(&p, 4, AttnMask::Dense);
+        assert_ne!(dense.final_hidden, reference.final_hidden);
+    }
+
+    #[test]
+    fn prefetch_statistics_are_collected() {
+        let model = MoeModel::new(MoeConfig::tiny(17));
+        let p = prompts(6, 8, model.config().vocab);
+        let r = run_pipeline(&model, &p, 4, &NativePipelineConfig::default());
+        assert!(r.expert_fetches > 0);
+        assert!(
+            r.prefetch_hits + r.prefetch_misses > 0,
+            "prefetches must be scored"
+        );
+        // With 6 sequences routed top-2 over 6 experts, predicted hot
+        // experts should mostly participate.
+        let hit_rate =
+            r.prefetch_hits as f64 / (r.prefetch_hits + r.prefetch_misses).max(1) as f64;
+        assert!(hit_rate > 0.5, "hit rate = {hit_rate}");
+    }
+}

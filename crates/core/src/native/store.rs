@@ -1,0 +1,113 @@
+//! The DRAM-tier expert store.
+//!
+//! Experts are the offloaded tensor class (they dominate MoE parameter
+//! counts); attention, gate and norm weights stay resident. The store can
+//! hold experts quantized — fetching then performs the dequantization the
+//! paper does "before computation" (§7), on the I/O thread, so the compute
+//! thread only ever sees full-precision weights.
+
+use klotski_moe::model::MoeModel;
+use klotski_moe::weights::ExpertWeights;
+use klotski_tensor::quant::{QuantConfig, QuantizedMatrix};
+
+/// One expert as stored in the DRAM tier.
+#[derive(Debug, Clone)]
+pub enum StoredExpert {
+    /// Full precision (fetch is a copy).
+    Full(ExpertWeights),
+    /// Group-quantized (fetch dequantizes).
+    Quantized {
+        /// Quantized gate projection.
+        w1: QuantizedMatrix,
+        /// Quantized down projection.
+        w2: QuantizedMatrix,
+        /// Quantized up projection.
+        w3: QuantizedMatrix,
+    },
+}
+
+/// The expert weights of a whole model, held in the slow tier.
+#[derive(Debug, Clone)]
+pub struct ExpertStore {
+    experts: Vec<Vec<StoredExpert>>,
+}
+
+impl ExpertStore {
+    /// Builds a store from `model`'s weights, optionally quantizing.
+    pub fn from_model(model: &MoeModel, quant: Option<QuantConfig>) -> Self {
+        let experts = model
+            .weights()
+            .layers
+            .iter()
+            .map(|layer| {
+                layer
+                    .experts
+                    .iter()
+                    .map(|e| match quant {
+                        None => StoredExpert::Full(e.clone()),
+                        Some(cfg) => StoredExpert::Quantized {
+                            w1: QuantizedMatrix::quantize(&e.w1, cfg),
+                            w2: QuantizedMatrix::quantize(&e.w2, cfg),
+                            w3: QuantizedMatrix::quantize(&e.w3, cfg),
+                        },
+                    })
+                    .collect()
+            })
+            .collect();
+        ExpertStore { experts }
+    }
+
+    /// Number of layers.
+    pub fn n_layers(&self) -> usize {
+        self.experts.len()
+    }
+
+    /// Experts per layer.
+    pub fn n_experts(&self) -> usize {
+        self.experts.first().map_or(0, Vec::len)
+    }
+
+    /// Fetches (`layer`, `expert`) into "VRAM": clones full-precision
+    /// weights or dequantizes — the I/O-thread work of one expert transfer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    pub fn fetch(&self, layer: usize, expert: usize) -> ExpertWeights {
+        match &self.experts[layer][expert] {
+            StoredExpert::Full(w) => w.clone(),
+            StoredExpert::Quantized { w1, w2, w3 } => ExpertWeights {
+                w1: w1.dequantize(),
+                w2: w2.dequantize(),
+                w3: w3.dequantize(),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use klotski_moe::config::MoeConfig;
+
+    #[test]
+    fn full_store_fetches_identical_weights() {
+        let model = MoeModel::new(MoeConfig::tiny(7));
+        let store = ExpertStore::from_model(&model, None);
+        assert_eq!(store.n_layers(), 4);
+        assert_eq!(store.n_experts(), 6);
+        let fetched = store.fetch(2, 3);
+        assert_eq!(&fetched, &model.weights().layers[2].experts[3]);
+    }
+
+    #[test]
+    fn quantized_store_fetches_close_weights() {
+        let model = MoeModel::new(MoeConfig::tiny(7));
+        let store = ExpertStore::from_model(&model, Some(QuantConfig::paper_default()));
+        let fetched = store.fetch(1, 2);
+        let original = &model.weights().layers[1].experts[2];
+        let err = fetched.w1.max_abs_diff(&original.w1);
+        assert!(err > 0.0, "quantization must not be lossless here");
+        assert!(err < 0.05, "4-bit error too large: {err}");
+    }
+}

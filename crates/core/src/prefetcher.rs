@@ -1,0 +1,700 @@
+//! The correlation-aware expert prefetcher (§6.2 of the paper).
+//!
+//! An **expert correlation table** records, per MoE layer, how often each
+//! expert follows each previous-layer expert on a token's activation path
+//! (path length `l = 1`, the paper's implementation choice in §8). The
+//! table is warmed up with a pre-run over sample data; during inference,
+//! each token's previous-layer choice indexes a row, the rows of all tokens
+//! in the batch group are aggregated, and the top-K experts become the
+//! prefetch set for the layer. The table keeps learning online; updates are
+//! deliberately not persisted, so one task's tendencies never leak into the
+//! next (§6.2).
+
+use klotski_model::trace::GatingModel;
+
+/// The expert correlation table plus prediction logic.
+///
+/// # Examples
+///
+/// ```
+/// use klotski_core::prefetcher::CorrelationTable;
+/// use klotski_model::spec::ModelSpec;
+/// use klotski_model::trace::{GatingModel, TraceConfig};
+///
+/// let model = GatingModel::new(&TraceConfig::for_model(&ModelSpec::mixtral_8x7b(), 1));
+/// let mut table = CorrelationTable::new(32, 8);
+/// table.warm_up(&model, 4096, 2);
+/// // Predict layer-0 hot experts for a batch with no history yet:
+/// let hot = table.predict_first_layer(2);
+/// assert_eq!(hot.len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CorrelationTable {
+    n_layers: u32,
+    n_experts: u32,
+    /// `[layer][prev][cur]` transition counts (layer 0's `prev` dimension is
+    /// unused; kept for uniform indexing).
+    counts: Vec<u64>,
+    /// `[layer][cur]` marginal counts (used for layer 0 and as smoothing).
+    marginals: Vec<u64>,
+}
+
+impl CorrelationTable {
+    /// An empty table for `n_layers` MoE layers of `n_experts` experts.
+    pub fn new(n_layers: u32, n_experts: u32) -> Self {
+        let l = n_layers as usize;
+        let e = n_experts as usize;
+        CorrelationTable {
+            n_layers,
+            n_experts,
+            counts: vec![0; l * e * e],
+            marginals: vec![0; l * e],
+        }
+    }
+
+    /// Number of MoE layers.
+    pub fn n_layers(&self) -> u32 {
+        self.n_layers
+    }
+
+    /// Experts per layer.
+    pub fn n_experts(&self) -> u32 {
+        self.n_experts
+    }
+
+    fn idx(&self, layer: u32, prev: u16, cur: u16) -> usize {
+        let e = self.n_experts as usize;
+        (layer as usize * e + prev as usize) * e + cur as usize
+    }
+
+    /// Records one token's routing at `layer`: previous-layer first choice
+    /// (if any) and the selected experts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn record(&mut self, layer: u32, prev: Option<u16>, chosen: &[u16]) {
+        assert!(layer < self.n_layers, "layer out of range");
+        for &c in chosen {
+            assert!((c as u32) < self.n_experts, "expert out of range");
+            self.marginals[layer as usize * self.n_experts as usize + c as usize] += 1;
+            if let Some(p) = prev {
+                let i = self.idx(layer, p, c);
+                self.counts[i] += 1;
+            }
+        }
+    }
+
+    /// Warm-up pre-run (§8: wikitext-2 sampled at batch 8 × seq 512 in the
+    /// paper; here `n_tokens` walks of the gating model).
+    pub fn warm_up(&mut self, model: &GatingModel, n_tokens: u32, seed: u64) {
+        model.for_each_token_walk(n_tokens, seed, |layer, prev, chosen| {
+            self.record(layer, prev, chosen);
+        });
+    }
+
+    /// Records `count` routed tokens for `expert` at `layer` without
+    /// transition context (used for prefill phases, whose routing is
+    /// observed in aggregate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn record_marginal(&mut self, layer: u32, expert: u16, count: u64) {
+        assert!(layer < self.n_layers, "layer out of range");
+        assert!((expert as u32) < self.n_experts, "expert out of range");
+        self.marginals[layer as usize * self.n_experts as usize + expert as usize] += count;
+    }
+
+    /// Aggregated expert tendencies at `layer` for a batch group whose
+    /// tokens had `prev_choices` as their previous-MoE-layer first choices.
+    /// Returns unnormalized scores per expert.
+    pub fn tendencies(&self, layer: u32, prev_choices: &[u16]) -> Vec<f64> {
+        let e = self.n_experts as usize;
+        let mut scores = vec![0.0f64; e];
+        for &p in prev_choices {
+            let row_base = self.idx(layer, p, 0);
+            let row = &self.counts[row_base..row_base + e];
+            let total: u64 = row.iter().sum();
+            if total == 0 {
+                // Unseen context: fall back to the layer marginal.
+                let m = &self.marginals[layer as usize * e..(layer as usize + 1) * e];
+                let mt: u64 = m.iter().sum();
+                if mt > 0 {
+                    for (s, &c) in scores.iter_mut().zip(m) {
+                        *s += c as f64 / mt as f64;
+                    }
+                }
+                continue;
+            }
+            for (s, &c) in scores.iter_mut().zip(row) {
+                *s += c as f64 / total as f64;
+            }
+        }
+        scores
+    }
+
+    /// The top-`k` predicted hot experts at `layer` given the batch group's
+    /// previous-layer choices.
+    pub fn predict(&self, layer: u32, prev_choices: &[u16], k: u32) -> Vec<u16> {
+        top_k_indices(&self.tendencies(layer, prev_choices), k)
+    }
+
+    /// The top-`k` experts of the first MoE layer (no history: marginals).
+    pub fn predict_first_layer(&self, k: u32) -> Vec<u16> {
+        self.predict_marginal(0, k)
+    }
+
+    /// The top-`k` experts of `layer` by marginal frequency alone (used for
+    /// the prefill phase, where per-token history spans thousands of tokens
+    /// and the marginal is the right aggregate).
+    pub fn predict_marginal(&self, layer: u32, k: u32) -> Vec<u16> {
+        let e = self.n_experts as usize;
+        let base = layer as usize * e;
+        let m: Vec<f64> = self.marginals[base..base + e]
+            .iter()
+            .map(|&c| c as f64)
+            .collect();
+        top_k_indices(&m, k)
+    }
+
+    /// Total recorded routing events (sanity/diagnostics).
+    pub fn total_records(&self) -> u64 {
+        self.marginals.iter().sum()
+    }
+
+    /// The marginal counter for (`layer`, `expert`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    pub fn marginal_count(&self, layer: u32, expert: u16) -> u64 {
+        assert!(layer < self.n_layers, "layer out of range");
+        assert!((expert as u32) < self.n_experts, "expert out of range");
+        self.marginals[layer as usize * self.n_experts as usize + expert as usize]
+    }
+
+    /// The transition counter for (`layer`, `prev` → `cur`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    pub fn transition_count(&self, layer: u32, prev: u16, cur: u16) -> u64 {
+        assert!(layer < self.n_layers, "layer out of range");
+        assert!(
+            (prev as u32) < self.n_experts && (cur as u32) < self.n_experts,
+            "expert out of range"
+        );
+        self.counts[self.idx(layer, prev, cur)]
+    }
+
+    /// Adds `count` to the transition counter for (`layer`, `prev` → `cur`)
+    /// without touching the marginals (used by the persistence codec).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    pub fn add_transition(&mut self, layer: u32, prev: u16, cur: u16, count: u64) {
+        assert!(layer < self.n_layers, "layer out of range");
+        assert!(
+            (prev as u32) < self.n_experts && (cur as u32) < self.n_experts,
+            "expert out of range"
+        );
+        let i = self.idx(layer, prev, cur);
+        self.counts[i] += count;
+    }
+}
+
+fn top_k_indices(scores: &[f64], k: u32) -> Vec<u16> {
+    let mut idx: Vec<u16> = (0..scores.len() as u16).collect();
+    idx.sort_by(|&a, &b| {
+        scores[b as usize]
+            .total_cmp(&scores[a as usize])
+            .then(a.cmp(&b))
+    });
+    idx.truncate(k as usize);
+    idx
+}
+
+/// A correlation table with activation-path length `l = 2`: tendencies are
+/// conditioned on the token's first choices at the **two** previous MoE
+/// layers.
+///
+/// §8 of the paper sets `l = 1` and argues that "increasing l would add
+/// dimension to path recording, which increases the complexity of the
+/// table lookup and memory occupation" while Klotski "does not heavily
+/// rely on the accuracy of expert prefetching". This type exists to make
+/// that trade-off measurable: memory grows from `L·E²` to `L·E³` counters
+/// and each lookup keys on a pair, for a (typically small) accuracy gain —
+/// see the `sweep` bench binary.
+#[derive(Debug, Clone)]
+pub struct DeepCorrelationTable {
+    n_layers: u32,
+    n_experts: u32,
+    /// `[layer][prev2][prev1][cur]` counts (layers 0 and 1 fall back to
+    /// the embedded `l = 1` table).
+    counts: Vec<u64>,
+    /// Fallback for shallow layers and unseen pair contexts.
+    shallow: CorrelationTable,
+}
+
+impl DeepCorrelationTable {
+    /// An empty table for `n_layers` MoE layers of `n_experts` experts.
+    pub fn new(n_layers: u32, n_experts: u32) -> Self {
+        let l = n_layers as usize;
+        let e = n_experts as usize;
+        DeepCorrelationTable {
+            n_layers,
+            n_experts,
+            counts: vec![0; l * e * e * e],
+            shallow: CorrelationTable::new(n_layers, n_experts),
+        }
+    }
+
+    /// Bytes of counter storage (the memory-occupation side of §8's
+    /// trade-off; compare with `l = 1`'s `L·E²` table).
+    pub fn counter_bytes(&self) -> usize {
+        8 * self.counts.len()
+    }
+
+    /// Number of MoE layers.
+    pub fn n_layers(&self) -> u32 {
+        self.n_layers
+    }
+
+    fn idx(&self, layer: u32, prev2: u16, prev1: u16, cur: u16) -> usize {
+        let e = self.n_experts as usize;
+        ((layer as usize * e + prev2 as usize) * e + prev1 as usize) * e + cur as usize
+    }
+
+    /// Records one token's routing at `layer` given its first choices at
+    /// the previous two MoE layers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn record(&mut self, layer: u32, prev2: Option<u16>, prev1: Option<u16>, chosen: &[u16]) {
+        self.shallow.record(layer, prev1, chosen);
+        if let (Some(p2), Some(p1)) = (prev2, prev1) {
+            for &c in chosen {
+                let i = self.idx(layer, p2, p1, c);
+                self.counts[i] += 1;
+            }
+        }
+    }
+
+    /// Warm-up pre-run over `n_tokens` token walks.
+    pub fn warm_up(&mut self, model: &GatingModel, n_tokens: u32, seed: u64) {
+        let mut path: Vec<u16> = Vec::new();
+        let mut last_layer = u32::MAX;
+        model.for_each_token_walk(n_tokens, seed, |layer, prev, chosen| {
+            if layer <= last_layer {
+                path.clear(); // new token walk
+            }
+            last_layer = layer;
+            let prev2 = path.len().checked_sub(2).map(|i| path[i]);
+            self.record(layer, prev2, prev, chosen);
+            path.push(chosen[0]);
+        });
+    }
+
+    /// The top-`k` predicted experts at `layer` for a batch group whose
+    /// tokens carry `(prev2, prev1)` first-choice pairs.
+    pub fn predict(&self, layer: u32, pairs: &[(u16, u16)], k: u32) -> Vec<u16> {
+        let e = self.n_experts as usize;
+        let mut scores = vec![0.0f64; e];
+        for &(p2, p1) in pairs {
+            let base = self.idx(layer, p2, p1, 0);
+            let row = &self.counts[base..base + e];
+            let total: u64 = row.iter().sum();
+            if total == 0 {
+                // Unseen pair: fall back to the l = 1 tendencies.
+                for (s, v) in scores
+                    .iter_mut()
+                    .zip(self.shallow.tendencies(layer, &[p1]))
+                {
+                    *s += v;
+                }
+                continue;
+            }
+            for (s, &c) in scores.iter_mut().zip(row) {
+                *s += c as f64 / total as f64;
+            }
+        }
+        top_k_indices(&scores, k)
+    }
+
+    /// The embedded path-length-1 table (for shallow layers / comparison).
+    pub fn shallow(&self) -> &CorrelationTable {
+        &self.shallow
+    }
+}
+
+/// Scores `l = 2` prefetching on a trace, mirroring [`measure_accuracy`]
+/// (predictions start at MoE layer 2, where a full pair context exists).
+pub fn measure_accuracy_l2(
+    base: &GatingModel,
+    trace: &klotski_model::trace::GatingTrace,
+    k: u32,
+    warmup_tokens: u32,
+) -> AccuracyReport {
+    let layers = trace.n_moe_layers();
+    let mut table = DeepCorrelationTable::new(layers, trace.n_experts());
+    table.warm_up(base, warmup_tokens, 0xC0FFEE);
+
+    let mut participation = vec![0.0f64; layers as usize];
+    let mut really_hot = vec![0.0f64; layers as usize];
+    let steps = trace.gen_len();
+    let seqs = trace.n_seqs();
+
+    for step in 0..steps {
+        for m in 2..layers {
+            let pairs: Vec<(u16, u16)> = (0..seqs)
+                .map(|s| {
+                    (
+                        trace.seq_choices(step, m - 2, s)[0],
+                        trace.seq_choices(step, m - 1, s)[0],
+                    )
+                })
+                .collect();
+            let predicted = table.predict(m, &pairs, k);
+            let counts = trace.tokens_per_expert(step, m);
+            let actual_hot = trace.step_hot_experts(step, m, k);
+            participation[m as usize] += predicted
+                .iter()
+                .filter(|&&e| counts[e as usize] > 0)
+                .count() as f64
+                / k as f64;
+            really_hot[m as usize] += predicted
+                .iter()
+                .filter(|e| actual_hot.contains(e))
+                .count() as f64
+                / k as f64;
+        }
+        for m in 0..layers {
+            for s in 0..seqs {
+                let chosen = trace.seq_choices(step, m, s);
+                let prev1 = (m >= 1).then(|| trace.seq_choices(step, m - 1, s)[0]);
+                let prev2 = (m >= 2).then(|| trace.seq_choices(step, m - 2, s)[0]);
+                table.record(m, prev2, prev1, chosen);
+            }
+        }
+    }
+
+    let per_layer: Vec<PrefetchAccuracy> = (2..layers as usize)
+        .map(|m| PrefetchAccuracy {
+            participation: participation[m] / steps as f64,
+            really_hot: really_hot[m] / steps as f64,
+        })
+        .collect();
+    let avg_participation =
+        per_layer.iter().map(|a| a.participation).sum::<f64>() / per_layer.len().max(1) as f64;
+    let avg_really_hot =
+        per_layer.iter().map(|a| a.really_hot).sum::<f64>() / per_layer.len().max(1) as f64;
+    AccuracyReport {
+        per_layer,
+        avg_participation,
+        avg_really_hot,
+        single_seq_accuracy: 0.0,
+    }
+}
+
+/// Per-layer prefetch-accuracy measurements (paper Fig. 13).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrefetchAccuracy {
+    /// Fraction of prefetched experts that received ≥1 token ("Participate
+    /// in comp." — the green line, ≈100% with multi-batch aggregation).
+    pub participation: f64,
+    /// Fraction of prefetched experts that were among the step's actual
+    /// top-K ("Really hot" — the blue line, ≈58.9% average in the paper).
+    pub really_hot: f64,
+}
+
+/// Aggregate prefetch-accuracy report (the paper's Fig. 13 data).
+#[derive(Debug, Clone)]
+pub struct AccuracyReport {
+    /// Per-MoE-layer accuracies, averaged over decode steps (layer 0 is
+    /// skipped — it has no previous layer for the correlation lookup, as
+    /// in the paper's figure, which starts at layer 1).
+    pub per_layer: Vec<PrefetchAccuracy>,
+    /// Mean participation across layers.
+    pub avg_participation: f64,
+    /// Mean really-hot accuracy across layers.
+    pub avg_really_hot: f64,
+    /// Accuracy of predicting for a *single sequence* instead of the whole
+    /// batch group (the paper measures 42.24%, demonstrating why
+    /// multi-batch aggregation reduces I/O waste).
+    pub single_seq_accuracy: f64,
+}
+
+/// Replays a routing trace through a warmed correlation table (with online
+/// updates, exactly as the engine performs them) and scores the prefetch
+/// decisions — the experiment behind the paper's Fig. 13.
+pub fn measure_accuracy(
+    base: &GatingModel,
+    trace: &klotski_model::trace::GatingTrace,
+    k: u32,
+    warmup_tokens: u32,
+) -> AccuracyReport {
+    let layers = trace.n_moe_layers();
+    let mut table = CorrelationTable::new(layers, trace.n_experts());
+    table.warm_up(base, warmup_tokens, 0xC0FFEE);
+
+    let mut participation = vec![0.0f64; layers as usize];
+    let mut really_hot = vec![0.0f64; layers as usize];
+    let mut single_hits = 0u64;
+    let mut single_total = 0u64;
+    let steps = trace.gen_len();
+    let seqs = trace.n_seqs();
+
+    for step in 0..steps {
+        for m in 1..layers {
+            let prev: Vec<u16> = (0..seqs)
+                .map(|s| trace.seq_choices(step, m - 1, s)[0])
+                .collect();
+            let predicted = table.predict(m, &prev, k);
+            let counts = trace.tokens_per_expert(step, m);
+            let actual_hot = trace.step_hot_experts(step, m, k);
+            participation[m as usize] += predicted
+                .iter()
+                .filter(|&&e| counts[e as usize] > 0)
+                .count() as f64
+                / k as f64;
+            really_hot[m as usize] += predicted
+                .iter()
+                .filter(|e| actual_hot.contains(e))
+                .count() as f64
+                / k as f64;
+
+            // Single-sequence prediction: what prefetching for one request
+            // at a time (no batching) would achieve.
+            for s in (0..seqs).step_by(seqs.max(8) as usize / 8) {
+                let single = table.predict(m, &prev[s as usize..s as usize + 1], k);
+                let chosen = trace.seq_choices(step, m, s);
+                single_hits += single.iter().filter(|e| chosen.contains(e)).count() as u64;
+                single_total += k as u64;
+            }
+        }
+        // Online updates after the step, engine-style.
+        for m in 0..layers {
+            for s in 0..seqs {
+                let choices = trace.seq_choices(step, m, s);
+                let prev = if m == 0 {
+                    None
+                } else {
+                    Some(trace.seq_choices(step, m - 1, s)[0])
+                };
+                table.record(m, prev, choices);
+            }
+        }
+    }
+
+    let per_layer: Vec<PrefetchAccuracy> = (1..layers as usize)
+        .map(|m| PrefetchAccuracy {
+            participation: participation[m] / steps as f64,
+            really_hot: really_hot[m] / steps as f64,
+        })
+        .collect();
+    let avg_participation =
+        per_layer.iter().map(|a| a.participation).sum::<f64>() / per_layer.len().max(1) as f64;
+    let avg_really_hot =
+        per_layer.iter().map(|a| a.really_hot).sum::<f64>() / per_layer.len().max(1) as f64;
+    AccuracyReport {
+        per_layer,
+        avg_participation,
+        avg_really_hot,
+        single_seq_accuracy: single_hits as f64 / single_total.max(1) as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use klotski_model::spec::ModelSpec;
+    use klotski_model::trace::TraceConfig;
+
+    fn warmed() -> (GatingModel, CorrelationTable) {
+        let cfg = TraceConfig::for_model(&ModelSpec::mixtral_8x7b(), 3);
+        let model = GatingModel::new(&cfg);
+        let mut t = CorrelationTable::new(cfg.n_moe_layers, cfg.n_experts);
+        t.warm_up(&model, 4096, 17);
+        (model, t)
+    }
+
+    #[test]
+    fn warm_up_fills_the_table() {
+        let (_, t) = warmed();
+        // 4096 tokens × 32 layers × top-2 records.
+        assert_eq!(t.total_records(), 4096 * 32 * 2);
+    }
+
+    #[test]
+    fn prediction_beats_chance() {
+        // Predicting with correlation context must recover the generator's
+        // hot experts far more often than random (2/8 = 25%).
+        let (model, t) = warmed();
+        let trace = model.generate_trace(64, 32, 8, 99);
+        let mut hits = 0u32;
+        let mut total = 0u32;
+        for step in 0..trace.gen_len() {
+            for layer in 1..trace.n_moe_layers() {
+                let prev: Vec<u16> = (0..trace.n_seqs())
+                    .map(|s| trace.seq_choices(step, layer - 1, s)[0])
+                    .collect();
+                let predicted = t.predict(layer, &prev, 2);
+                let actual = trace.step_hot_experts(step, layer, 2);
+                hits += predicted.iter().filter(|e| actual.contains(e)).count() as u32;
+                total += 2;
+            }
+        }
+        let acc = hits as f64 / total as f64;
+        assert!(acc > 0.45, "really-hot accuracy = {acc}");
+    }
+
+    #[test]
+    fn first_layer_prediction_matches_marginal_hot_experts() {
+        let (model, t) = warmed();
+        let predicted = t.predict_first_layer(2);
+        let actual = model.hot_experts(0, 2);
+        let overlap = predicted.iter().filter(|e| actual.contains(e)).count();
+        assert!(overlap >= 1, "predicted {predicted:?} vs actual {actual:?}");
+    }
+
+    #[test]
+    fn online_records_shift_predictions() {
+        let mut t = CorrelationTable::new(2, 4);
+        // Seed: at layer 1, expert 0 always follows expert 3.
+        for _ in 0..100 {
+            t.record(1, Some(3), &[0]);
+        }
+        assert_eq!(t.predict(1, &[3, 3, 3], 1), vec![0]);
+        // Online drift: expert 2 starts following expert 3 overwhelmingly.
+        for _ in 0..1000 {
+            t.record(1, Some(3), &[2]);
+        }
+        assert_eq!(t.predict(1, &[3, 3, 3], 1), vec![2]);
+    }
+
+    #[test]
+    fn unseen_context_falls_back_to_marginal() {
+        let mut t = CorrelationTable::new(2, 4);
+        for _ in 0..10 {
+            t.record(1, Some(0), &[1]); // marginal favours 1
+        }
+        // prev=3 was never seen: fall back to marginal.
+        assert_eq!(t.predict(1, &[3], 1), vec![1]);
+    }
+
+    #[test]
+    fn empty_table_predicts_lowest_indices() {
+        let t = CorrelationTable::new(2, 4);
+        // All-zero scores: deterministic tie-break by index.
+        assert_eq!(t.predict_first_layer(2), vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "expert out of range")]
+    fn out_of_range_expert_rejected() {
+        let mut t = CorrelationTable::new(2, 4);
+        t.record(0, None, &[9]);
+    }
+
+    #[test]
+    fn deep_table_learns_pair_contexts() {
+        let mut t = DeepCorrelationTable::new(3, 4);
+        // Layer 2: expert 1 follows the pair (0, 3); expert 2 follows (3, 3).
+        for _ in 0..50 {
+            t.record(2, Some(0), Some(3), &[1]);
+            t.record(2, Some(3), Some(3), &[2]);
+        }
+        assert_eq!(t.predict(2, &[(0, 3)], 1), vec![1]);
+        assert_eq!(t.predict(2, &[(3, 3)], 1), vec![2]);
+        // The l = 1 view cannot separate the two contexts: prev1 = 3 maps
+        // to both experts equally; deterministic tie-break picks 1.
+        let shallow = t.shallow().predict(2, &[3], 1);
+        assert_eq!(shallow, vec![1]);
+    }
+
+    #[test]
+    fn deep_table_falls_back_on_unseen_pairs() {
+        let mut t = DeepCorrelationTable::new(3, 4);
+        for _ in 0..10 {
+            t.record(2, Some(0), Some(1), &[3]);
+        }
+        // Pair (2, 1) unseen → fall back to l = 1 (prev1 = 1 → expert 3).
+        assert_eq!(t.predict(2, &[(2, 1)], 1), vec![3]);
+    }
+
+    #[test]
+    fn deep_warmup_records_both_depths() {
+        let (model, _) = warmed();
+        let mut t = DeepCorrelationTable::new(32, 8);
+        t.warm_up(&model, 512, 5);
+        assert_eq!(t.shallow().total_records(), 512 * 32 * 2);
+        assert!(t.counts.iter().any(|&c| c > 0), "pair counts recorded");
+        // Memory trade-off of §8: E× larger than the shallow table.
+        assert_eq!(t.counter_bytes(), 8 * 32 * 8 * 8 * 8);
+    }
+
+    #[test]
+    fn l2_accuracy_at_least_matches_l1_on_correlated_traces() {
+        let cfg = klotski_model::trace::TraceConfig::for_model(&ModelSpec::mixtral_8x7b(), 9);
+        let base = GatingModel::new(&cfg);
+        let task = base.drifted(cfg.drift, 10);
+        let trace = task.generate_trace(96, 128, 8, 11);
+        let l1 = measure_accuracy(&base, &trace, 2, 4096);
+        let l2 = measure_accuracy_l2(&base, &trace, 2, 4096);
+        assert!(
+            l2.avg_really_hot > l1.avg_really_hot - 0.08,
+            "l2 {:.3} collapsed vs l1 {:.3}",
+            l2.avg_really_hot,
+            l1.avg_really_hot
+        );
+        assert!(l2.avg_participation > 0.95);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Aggregated tendencies of per-token probability rows sum to the
+        /// number of tokens (each row is a distribution).
+        #[test]
+        fn tendencies_are_row_normalized(
+            records in proptest::collection::vec((0u16..4, 0u16..4), 1..200),
+            query in proptest::collection::vec(0u16..4, 1..50),
+        ) {
+            let mut t = CorrelationTable::new(2, 4);
+            for &(p, c) in &records {
+                t.record(1, Some(p), &[c]);
+            }
+            // Ensure every queried row is non-empty by recording one event
+            // per context.
+            for p in 0..4u16 {
+                t.record(1, Some(p), &[0]);
+            }
+            let scores = t.tendencies(1, &query);
+            let total: f64 = scores.iter().sum();
+            prop_assert!((total - query.len() as f64).abs() < 1e-6);
+        }
+
+        /// predict returns k distinct in-range experts.
+        #[test]
+        fn predict_shape(k in 1u32..4, prevs in proptest::collection::vec(0u16..4, 1..20)) {
+            let mut t = CorrelationTable::new(3, 4);
+            for p in 0..4u16 {
+                for c in 0..4u16 {
+                    t.record(2, Some(p), &[c]);
+                }
+            }
+            let picks = t.predict(2, &prevs, k);
+            prop_assert_eq!(picks.len(), k as usize);
+            let set: std::collections::HashSet<u16> = picks.iter().copied().collect();
+            prop_assert_eq!(set.len(), k as usize);
+            prop_assert!(picks.iter().all(|&e| e < 4));
+        }
+    }
+}

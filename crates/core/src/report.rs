@@ -1,0 +1,138 @@
+//! Run reports: the measurements every experiment consumes.
+
+use std::fmt;
+
+use klotski_sim::metrics::Metrics;
+use klotski_sim::time::SimDuration;
+
+/// The outcome of one simulated inference run.
+#[derive(Debug, Clone)]
+pub struct InferenceReport {
+    /// Engine name (e.g. "Klotski", "FlexGen").
+    pub engine: String,
+    /// Model name.
+    pub model: String,
+    /// Total wall-clock (simulated) time, prefill + decode.
+    pub total_time: SimDuration,
+    /// Completion time of the last prefill-phase task. Meaningful as a
+    /// phase boundary for single-group (multi-batch) runs; engines that
+    /// process batches sequentially interleave prefills throughout the
+    /// run, so only [`total_time`](InferenceReport::total_time) compares
+    /// across engines.
+    pub prefill_time: SimDuration,
+    /// `total_time − prefill_time` (see the caveat above).
+    pub decode_time: SimDuration,
+    /// Generated tokens (the throughput numerator).
+    pub generated_tokens: u64,
+    /// GPU busy time.
+    pub gpu_busy: SimDuration,
+    /// GPU idle time within its active span (pipeline bubbles).
+    pub gpu_bubble: SimDuration,
+    /// Peak VRAM bytes observed.
+    pub peak_vram: u64,
+    /// Peak DRAM bytes observed.
+    pub peak_dram: u64,
+    /// Set when the run aborted with out-of-memory; throughput is then 0.
+    pub oom: Option<String>,
+    /// Recorded metrics (timeline / memory traces), when enabled.
+    pub metrics: Option<Metrics>,
+}
+
+impl InferenceReport {
+    /// Throughput in generated tokens per second (0 for OOM runs).
+    pub fn throughput_tps(&self) -> f64 {
+        if self.oom.is_some() || self.total_time.is_zero() {
+            return 0.0;
+        }
+        self.generated_tokens as f64 / self.total_time.as_secs_f64()
+    }
+
+    /// End-to-end latency in seconds (`f64::INFINITY` for OOM runs).
+    pub fn latency_secs(&self) -> f64 {
+        if self.oom.is_some() {
+            return f64::INFINITY;
+        }
+        self.total_time.as_secs_f64()
+    }
+
+    /// Fraction of the GPU's active span spent idle.
+    pub fn bubble_fraction(&self) -> f64 {
+        let span = self.gpu_busy + self.gpu_bubble;
+        if span.is_zero() {
+            return 0.0;
+        }
+        self.gpu_bubble.as_secs_f64() / span.as_secs_f64()
+    }
+
+    /// Whether the run completed without OOM.
+    pub fn succeeded(&self) -> bool {
+        self.oom.is_none()
+    }
+}
+
+impl fmt::Display for InferenceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(reason) = &self.oom {
+            return write!(f, "{} on {}: OOM ({reason})", self.engine, self.model);
+        }
+        write!(
+            f,
+            "{} on {}: {:.2} tok/s ({} tokens in {}, {:.0}% bubbles, peak VRAM {:.1} GB)",
+            self.engine,
+            self.model,
+            self.throughput_tps(),
+            self.generated_tokens,
+            self.total_time,
+            self.bubble_fraction() * 100.0,
+            self.peak_vram as f64 / 1e9,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> InferenceReport {
+        InferenceReport {
+            engine: "Klotski".into(),
+            model: "Mixtral-8x7B".into(),
+            total_time: SimDuration::from_secs(10),
+            prefill_time: SimDuration::from_secs(4),
+            decode_time: SimDuration::from_secs(6),
+            generated_tokens: 200,
+            gpu_busy: SimDuration::from_secs(8),
+            gpu_bubble: SimDuration::from_secs(2),
+            peak_vram: 20_000_000_000,
+            peak_dram: 90_000_000_000,
+            oom: None,
+            metrics: None,
+        }
+    }
+
+    #[test]
+    fn throughput_and_latency() {
+        let r = base();
+        assert!((r.throughput_tps() - 20.0).abs() < 1e-9);
+        assert!((r.latency_secs() - 10.0).abs() < 1e-9);
+        assert!((r.bubble_fraction() - 0.2).abs() < 1e-9);
+        assert!(r.succeeded());
+    }
+
+    #[test]
+    fn oom_zeroes_throughput() {
+        let mut r = base();
+        r.oom = Some("vram exhausted".into());
+        assert_eq!(r.throughput_tps(), 0.0);
+        assert_eq!(r.latency_secs(), f64::INFINITY);
+        assert!(!r.succeeded());
+        assert!(r.to_string().contains("OOM"));
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let s = base().to_string();
+        assert!(s.contains("20.00 tok/s"));
+        assert!(s.contains("Klotski"));
+    }
+}

@@ -1,0 +1,220 @@
+//! Scenarios: one (model, hardware, workload, routing trace) tuple.
+//!
+//! Every engine — Klotski and the five baselines — runs against the same
+//! [`Scenario`], so comparisons differ only in *policy*: same cost model,
+//! same gating ground truth, same memory capacities.
+
+use std::error::Error;
+use std::fmt;
+
+use klotski_model::cost::CostModel;
+use klotski_model::hardware::HardwareSpec;
+use klotski_model::spec::ModelSpec;
+use klotski_model::trace::{GatingModel, GatingTrace, TraceConfig};
+use klotski_model::workload::Workload;
+use klotski_sim::sim::SimError;
+
+use crate::placement::PlacementError;
+use crate::report::InferenceReport;
+
+/// A fully specified experiment input.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// The model architecture.
+    pub spec: ModelSpec,
+    /// The machine.
+    pub hw: HardwareSpec,
+    /// The workload shape (total batches × batch size × lengths).
+    pub workload: Workload,
+    /// Ground-truth routing for MoE models (`None` for dense models).
+    pub trace: Option<GatingTrace>,
+    /// The *base* (undrifted) gating model — what a warm-up pre-run on
+    /// public sample data sees (§8 of the paper uses wikitext-2).
+    pub base_gating: Option<GatingModel>,
+    /// The task's (drifted) gating model — the distribution the trace was
+    /// actually sampled from. Engines must not peek at this for decisions;
+    /// it exists for planners' statistical estimates and for analysis.
+    pub task_gating: Option<GatingModel>,
+}
+
+impl Scenario {
+    /// Generates a scenario: builds the gating model for `spec`, applies a
+    /// task-level drift (data sensitivity), and samples the routing trace
+    /// for the whole workload.
+    pub fn generate(spec: ModelSpec, hw: HardwareSpec, workload: Workload, seed: u64) -> Self {
+        if !spec.is_moe() {
+            return Scenario {
+                spec,
+                hw,
+                workload,
+                trace: None,
+                base_gating: None,
+                task_gating: None,
+            };
+        }
+        let cfg = TraceConfig::for_model(&spec, seed);
+        let base = GatingModel::new(&cfg);
+        let task = base.drifted(cfg.drift, seed.wrapping_add(1));
+        let trace = task.generate_trace(
+            workload.total_seqs() as u32,
+            workload.prompt_len,
+            workload.gen_len,
+            seed.wrapping_add(2),
+        );
+        Scenario {
+            spec,
+            hw,
+            workload,
+            trace: Some(trace),
+            base_gating: Some(base),
+            task_gating: Some(task),
+        }
+    }
+
+    /// The cost model of this scenario.
+    pub fn cost_model(&self) -> CostModel {
+        CostModel::new(self.spec.clone(), self.hw.clone())
+    }
+
+    /// The routing trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics for dense models; guard with [`ModelSpec::is_moe`].
+    pub fn trace(&self) -> &GatingTrace {
+        self.trace.as_ref().expect("dense models have no trace")
+    }
+}
+
+/// An inference engine: one offloading policy over the shared substrate.
+pub trait Engine {
+    /// Engine name as it appears in reports and figures.
+    fn name(&self) -> String;
+
+    /// Runs the scenario to completion.
+    ///
+    /// Out-of-memory is a *result* (reported via
+    /// [`InferenceReport::oom`]), not an error; errors are reserved for
+    /// invalid configurations and internal bugs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError`] on configuration errors or internal
+    /// scheduling bugs (deadlocks).
+    fn run(&self, scenario: &Scenario) -> Result<InferenceReport, EngineError>;
+}
+
+/// Errors from engine runs.
+#[derive(Debug)]
+pub enum EngineError {
+    /// The engine cannot express this scenario (e.g. a dense-only engine on
+    /// an MoE model).
+    InvalidConfig(String),
+    /// Internal scheduling bug: the submitted task graph deadlocked.
+    Internal(SimError),
+    /// The model/workload cannot be placed at all (distinct from a runtime
+    /// OOM, which is reported in the [`InferenceReport`]).
+    Placement(PlacementError),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            EngineError::Internal(e) => write!(f, "internal scheduling error: {e}"),
+            EngineError::Placement(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl Error for EngineError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            EngineError::Internal(e) => Some(e),
+            EngineError::Placement(e) => Some(e),
+            EngineError::InvalidConfig(_) => None,
+        }
+    }
+}
+
+impl From<PlacementError> for EngineError {
+    fn from(e: PlacementError) -> Self {
+        EngineError::Placement(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn moe_scenarios_carry_traces() {
+        let s = Scenario::generate(
+            ModelSpec::mixtral_8x7b(),
+            HardwareSpec::env1_rtx3090(),
+            Workload::paper_default(4).with_batches(3),
+            7,
+        );
+        let t = s.trace();
+        assert_eq!(t.n_seqs(), 12);
+        assert_eq!(t.n_moe_layers(), 32);
+        assert!(s.base_gating.is_some());
+        assert!(s.task_gating.is_some());
+    }
+
+    #[test]
+    fn dense_scenarios_have_no_trace() {
+        let s = Scenario::generate(
+            ModelSpec::opt_1_3b(),
+            HardwareSpec::env1_rtx3090(),
+            Workload::paper_default(4),
+            7,
+        );
+        assert!(s.trace.is_none());
+    }
+
+    #[test]
+    fn generation_is_seed_deterministic() {
+        let make = |seed| {
+            Scenario::generate(
+                ModelSpec::mixtral_8x7b(),
+                HardwareSpec::env1_rtx3090(),
+                Workload::paper_default(4).with_batches(2),
+                seed,
+            )
+        };
+        let a = make(3);
+        let b = make(3);
+        assert_eq!(
+            a.trace().decode_choices(0, 0),
+            b.trace().decode_choices(0, 0)
+        );
+        let c = make(4);
+        assert_ne!(
+            a.trace().decode_choices(0, 0),
+            c.trace().decode_choices(0, 0)
+        );
+    }
+
+    #[test]
+    fn task_gating_is_drifted_from_base() {
+        let s = Scenario::generate(
+            ModelSpec::mixtral_8x7b(),
+            HardwareSpec::env1_rtx3090(),
+            Workload::paper_default(4),
+            11,
+        );
+        let base = s.base_gating.as_ref().unwrap();
+        let task = s.task_gating.as_ref().unwrap();
+        let diff: f64 = (0..base.n_moe_layers())
+            .map(|l| {
+                base.popularity(l)
+                    .iter()
+                    .zip(task.popularity(l))
+                    .map(|(a, b)| (a - b).abs())
+                    .sum::<f64>()
+            })
+            .sum();
+        assert!(diff > 0.01, "drift must perturb popularity");
+    }
+}

@@ -1,0 +1,309 @@
+//! The analytic cost model: op → simulated duration.
+//!
+//! Every engine (Klotski and the baselines) and the constraint-sensitive
+//! planner derive task durations from one [`CostModel`], so comparisons are
+//! apples-to-apples. GPU ops follow a roofline: the longer of the FLOP time
+//! and the memory-traffic time, plus a per-kernel dispatch overhead that
+//! models the eager PyTorch/HF stack the paper's engine is built on (this
+//! overhead is what makes the paper's measured ≈2.6 ms attention at batch 16
+//! so much larger than the raw roofline value). Transfers are
+//! `bytes / bandwidth + latency`.
+
+use klotski_sim::time::SimDuration;
+
+use crate::hardware::HardwareSpec;
+use crate::spec::ModelSpec;
+
+/// Kernel-count estimates per logical op on an eager framework
+/// (norm + projections + softmax + cache ops for attention, etc.).
+pub mod kernels {
+    /// Kernels launched by one attention op (one batch, one layer).
+    pub const ATTENTION: u32 = 30;
+    /// Kernels launched by one gate op.
+    pub const GATE: u32 = 4;
+    /// Kernels launched by one expert FFN op.
+    pub const EXPERT: u32 = 5;
+    /// Kernels launched by one dense FFN op.
+    pub const DENSE: u32 = 5;
+}
+
+/// Computes op durations for one (model, hardware) pair.
+///
+/// # Examples
+///
+/// ```
+/// use klotski_model::cost::CostModel;
+/// use klotski_model::hardware::HardwareSpec;
+/// use klotski_model::spec::ModelSpec;
+///
+/// let cm = CostModel::new(ModelSpec::mixtral_8x7b(), HardwareSpec::env1_rtx3090());
+/// // Paper anchor: one expert transfer ≈ 21 ms on the 3090's PCIe 4.0 link.
+/// let t = cm.expert_h2d_time(1.0);
+/// assert!((t.as_millis_f64() - 21.0).abs() < 1.5, "{t}");
+/// ```
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    spec: ModelSpec,
+    hw: HardwareSpec,
+}
+
+impl CostModel {
+    /// Creates a cost model for `spec` running on `hw`.
+    pub fn new(spec: ModelSpec, hw: HardwareSpec) -> Self {
+        CostModel { spec, hw }
+    }
+
+    /// The model specification.
+    pub fn spec(&self) -> &ModelSpec {
+        &self.spec
+    }
+
+    /// The hardware specification.
+    pub fn hardware(&self) -> &HardwareSpec {
+        &self.hw
+    }
+
+    // ---- Generic rooflines ------------------------------------------------
+
+    fn gpu_op(&self, flops: f64, bytes: f64, kernel_count: u32) -> SimDuration {
+        let flop_time = flops / self.hw.gpu_flops;
+        let mem_time = bytes / self.hw.gpu_mem_bw;
+        SimDuration::from_secs_f64(flop_time.max(mem_time))
+            + self.hw.kernel_overhead * kernel_count as u64
+    }
+
+    fn cpu_op(&self, flops: f64, bytes: f64) -> SimDuration {
+        let flop_time = flops / self.hw.cpu_flops;
+        let mem_time = bytes / self.hw.cpu_mem_bw;
+        SimDuration::from_secs_f64(flop_time.max(mem_time))
+    }
+
+    fn link(&self, bytes: f64, bw: f64) -> SimDuration {
+        SimDuration::from_secs_f64(bytes / bw) + self.hw.transfer_latency
+    }
+
+    // ---- Compute ops -------------------------------------------------------
+
+    /// Attention (projections + scores + norms) for `seqs` sequences, each
+    /// contributing `new_tokens` query tokens attending over `context` keys.
+    ///
+    /// Decode: `new_tokens = 1`, `context` = current sequence length.
+    /// Prefill: `new_tokens` = prompt length, `context` ≈ `prompt / 2`
+    /// (causal average) — pass [`CostModel::attention_prefill_time`] instead.
+    pub fn attention_time(&self, seqs: u64, new_tokens: u64, context: u64) -> SimDuration {
+        let tokens = seqs * new_tokens;
+        let flops = tokens as f64
+            * (self.spec.attn_proj_flops_per_token() + self.spec.attn_score_flops(context))
+                as f64;
+        let weight_bytes = self.spec.attn_bytes() as f64;
+        let kv_bytes = (seqs * context) as f64 * self.spec.kv_bytes_per_token_layer() as f64;
+        let act_bytes = 4.0 * self.spec.hidden_bytes(tokens) as f64;
+        self.gpu_op(flops, weight_bytes + kv_bytes + act_bytes, kernels::ATTENTION)
+    }
+
+    /// Attention over a full prompt of `prompt_len` tokens (prefill phase).
+    pub fn attention_prefill_time(&self, seqs: u64, prompt_len: u64) -> SimDuration {
+        self.attention_time(seqs, prompt_len, prompt_len / 2 + 1)
+    }
+
+    /// Gate (router) over `tokens` tokens.
+    pub fn gate_time(&self, tokens: u64) -> SimDuration {
+        let flops = tokens as f64 * self.spec.gate_flops_per_token() as f64;
+        let bytes = self.spec.gate_bytes() as f64 + 2.0 * self.spec.hidden_bytes(tokens) as f64;
+        self.gpu_op(flops, bytes, kernels::GATE)
+    }
+
+    /// One expert's FFN over the `tokens` tokens routed to it (GPU).
+    ///
+    /// With few tokens this is memory-bound on reading the expert's own
+    /// weights from VRAM — the paper's "<1 ms per token" anchor.
+    pub fn expert_time(&self, tokens: u64) -> SimDuration {
+        if tokens == 0 {
+            return SimDuration::ZERO;
+        }
+        let flops = tokens as f64 * self.spec.expert_flops_per_token() as f64;
+        let bytes =
+            self.spec.expert_bytes() as f64 + 3.0 * self.spec.hidden_bytes(tokens) as f64;
+        self.gpu_op(flops, bytes, kernels::EXPERT)
+    }
+
+    /// Dense FFN over `tokens` tokens (dense layers / dense models).
+    pub fn dense_ffn_time(&self, tokens: u64) -> SimDuration {
+        let flops = tokens as f64 * self.spec.expert_flops_per_token() as f64;
+        let bytes =
+            self.spec.dense_ffn_bytes() as f64 + 3.0 * self.spec.hidden_bytes(tokens) as f64;
+        self.gpu_op(flops, bytes, kernels::DENSE)
+    }
+
+    /// One expert's FFN over `tokens` tokens executed **on the CPU**
+    /// (Fiddler-style orchestration); bound by streaming the expert weights
+    /// through host memory at decode-sized token counts.
+    pub fn cpu_expert_time(&self, tokens: u64) -> SimDuration {
+        if tokens == 0 {
+            return SimDuration::ZERO;
+        }
+        let flops = tokens as f64 * self.spec.expert_flops_per_token() as f64;
+        let bytes = self.spec.expert_bytes() as f64;
+        self.cpu_op(flops, bytes)
+    }
+
+    // ---- Transfers ---------------------------------------------------------
+
+    /// Host→device time for `bytes` over pinned memory.
+    pub fn h2d_time(&self, bytes: u64) -> SimDuration {
+        self.link(bytes as f64, self.hw.h2d_bw)
+    }
+
+    /// Host→device time for `bytes` from pageable (unpinned) memory —
+    /// what naive `.to(device)` offloading implementations pay.
+    pub fn h2d_time_unpinned(&self, bytes: u64) -> SimDuration {
+        self.link(bytes as f64, self.hw.h2d_bw * self.hw.unpinned_factor)
+    }
+
+    /// Device→host time for `bytes`.
+    pub fn d2h_time(&self, bytes: u64) -> SimDuration {
+        self.link(bytes as f64, self.hw.d2h_bw)
+    }
+
+    /// Disk→DRAM staging time for `bytes`.
+    pub fn disk_time(&self, bytes: u64) -> SimDuration {
+        self.link(bytes as f64, self.hw.disk_bw)
+    }
+
+    /// H2D time of one expert, with `size_factor` scaling the bytes
+    /// (1.0 = unquantized; pass a [`QuantScheme`](crate::spec::QuantScheme)
+    /// factor for quantized transfers).
+    pub fn expert_h2d_time(&self, size_factor: f64) -> SimDuration {
+        self.link(
+            self.spec.expert_bytes() as f64 * size_factor,
+            self.hw.h2d_bw,
+        )
+    }
+
+    /// H2D time of one layer's attention weights, scaled by `size_factor`.
+    pub fn attn_h2d_time(&self, size_factor: f64) -> SimDuration {
+        self.link(self.spec.attn_bytes() as f64 * size_factor, self.hw.h2d_bw)
+    }
+
+    /// H2D time of the gate weights.
+    pub fn gate_h2d_time(&self) -> SimDuration {
+        self.link(self.spec.gate_bytes() as f64, self.hw.h2d_bw)
+    }
+
+    /// H2D time of the KV cache of `seqs` sequences × `context` tokens for
+    /// one layer, scaled by `kv_factor` (sparse attention shrinks this).
+    pub fn kv_h2d_time(&self, seqs: u64, context: u64, kv_factor: f64) -> SimDuration {
+        let bytes =
+            (seqs * context) as f64 * self.spec.kv_bytes_per_token_layer() as f64 * kv_factor;
+        self.link(bytes, self.hw.h2d_bw)
+    }
+
+    /// D2H time of the newly produced KV entries (`seqs` × `new_tokens`).
+    pub fn kv_d2h_time(&self, seqs: u64, new_tokens: u64) -> SimDuration {
+        let bytes = (seqs * new_tokens) as f64 * self.spec.kv_bytes_per_token_layer() as f64;
+        self.link(bytes, self.hw.d2h_bw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env1_mixtral() -> CostModel {
+        CostModel::new(ModelSpec::mixtral_8x7b(), HardwareSpec::env1_rtx3090())
+    }
+
+    #[test]
+    fn attention_anchor_batch16_is_about_2_6_ms() {
+        // Paper §1: "the average attention computation is about 2.6 ms"
+        // (Mixtral-8×7B, RTX 3090, batch 16).
+        let cm = env1_mixtral();
+        let t = cm.attention_time(16, 1, 512).as_millis_f64();
+        assert!((1.8..3.6).contains(&t), "attention = {t} ms");
+    }
+
+    #[test]
+    fn expert_transfer_anchor_is_about_21_ms() {
+        // Paper §1: "the single expert transmission time is about 21 ms".
+        let cm = env1_mixtral();
+        let t = cm.expert_h2d_time(1.0).as_millis_f64();
+        assert!((19.5..22.5).contains(&t), "expert transfer = {t} ms");
+    }
+
+    #[test]
+    fn expert_token_anchor_is_under_1_ms() {
+        // Paper §1: "processing a token with a single expert … takes less
+        // than 1 ms, which is much less than the transmission delays".
+        let cm = env1_mixtral();
+        let t = cm.expert_time(1);
+        assert!(t.as_millis_f64() < 1.0, "expert(1 token) = {t}");
+        assert!(t < cm.expert_h2d_time(1.0));
+    }
+
+    #[test]
+    fn compute_scales_with_tokens_and_io_does_not() {
+        let cm = env1_mixtral();
+        let one = cm.expert_time(1);
+        let many = cm.expert_time(2048);
+        assert!(many > one * 4);
+        assert_eq!(cm.expert_h2d_time(1.0), cm.expert_h2d_time(1.0));
+    }
+
+    #[test]
+    fn quantization_shrinks_transfer_proportionally() {
+        let cm = env1_mixtral();
+        let full = cm.expert_h2d_time(1.0);
+        let quant = cm.expert_h2d_time(0.27);
+        let ratio = quant.as_secs_f64() / full.as_secs_f64();
+        assert!((0.25..0.32).contains(&ratio), "ratio = {ratio}");
+    }
+
+    #[test]
+    fn unpinned_transfers_are_slower() {
+        let cm = env1_mixtral();
+        let bytes = 100_000_000;
+        assert!(cm.h2d_time_unpinned(bytes) > cm.h2d_time(bytes) * 2);
+    }
+
+    #[test]
+    fn cpu_expert_is_memory_bound_at_decode() {
+        // One token on the CPU: streaming 352 MB at ~45 GB/s ≈ 8 ms,
+        // far above the FLOP time — Fiddler's regime.
+        let cm = env1_mixtral();
+        let t = cm.cpu_expert_time(1).as_millis_f64();
+        assert!((4.0..16.0).contains(&t), "cpu expert = {t} ms");
+        // And still cheaper than transfer+compute for a single token is NOT
+        // guaranteed — that's exactly Fiddler's runtime decision.
+    }
+
+    #[test]
+    fn prefill_attention_exceeds_decode_attention() {
+        let cm = env1_mixtral();
+        let prefill = cm.attention_prefill_time(16, 512);
+        let decode = cm.attention_time(16, 1, 512);
+        assert!(prefill > decode * 20);
+    }
+
+    #[test]
+    fn zero_token_ops_cost_nothing() {
+        let cm = env1_mixtral();
+        assert_eq!(cm.expert_time(0), SimDuration::ZERO);
+        assert_eq!(cm.cpu_expert_time(0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn kv_transfer_times_scale_with_population() {
+        let cm = env1_mixtral();
+        let small = cm.kv_h2d_time(16, 512, 1.0);
+        let big = cm.kv_h2d_time(64, 512, 1.0);
+        assert!(big > small * 3);
+        let sparse = cm.kv_h2d_time(64, 512, 0.25);
+        assert!(sparse < big / 2);
+    }
+
+    #[test]
+    fn gate_is_cheap() {
+        let cm = env1_mixtral();
+        assert!(cm.gate_time(960) < cm.attention_time(16, 1, 512));
+    }
+}

@@ -1,0 +1,42 @@
+//! # klotski-model — models, hardware, costs, workloads, traces
+//!
+//! Everything the scheduling layer needs to know about *what* is being run
+//! and *where*:
+//!
+//! * [`spec`] — architecture descriptions with exact per-tensor byte sizes
+//!   and FLOP counts (Mixtral-8×7B/8×22B, Switch-base-8/16/128, OPT).
+//! * [`hardware`] — effective machine rates for the paper's two
+//!   environments (Table 2), calibrated against the paper's own anchors.
+//! * [`cost`] — the roofline cost model mapping ops to simulated durations.
+//! * [`workload`] — batch/prompt/generation shapes.
+//! * [`trace`] — a generative model of expert routing with hot-expert skew,
+//!   inter-layer correlation and per-task drift, plus materialized traces.
+//!
+//! ```
+//! use klotski_model::cost::CostModel;
+//! use klotski_model::hardware::HardwareSpec;
+//! use klotski_model::spec::ModelSpec;
+//!
+//! let cm = CostModel::new(ModelSpec::mixtral_8x7b(), HardwareSpec::env1_rtx3090());
+//! // The paper's core imbalance: one expert's transfer dwarfs a whole
+//! // batch-16 attention computation.
+//! assert!(cm.expert_h2d_time(1.0) > cm.attention_time(16, 1, 512) * 5);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cost;
+pub mod hardware;
+pub mod spec;
+pub mod trace;
+pub mod workload;
+
+/// Convenience re-exports of the most used types.
+pub mod prelude {
+    pub use crate::cost::CostModel;
+    pub use crate::hardware::HardwareSpec;
+    pub use crate::spec::{Dtype, FfnKind, ModelSpec, QuantScheme};
+    pub use crate::trace::{GatingModel, GatingTrace, TraceConfig};
+    pub use crate::workload::Workload;
+}

@@ -1,0 +1,731 @@
+//! Synthetic gating traces: which experts each token activates.
+//!
+//! The paper's scheduler exploits two statistical properties of real MoE
+//! routing (its Fig. 5 and §3.2):
+//!
+//! 1. **Hot experts** — per layer, a few experts receive most tokens
+//!    (top-K of 8 covering ≈54–60% in Mixtral-8×7B).
+//! 2. **Inter-layer correlation** — a token's expert at layer *l* predicts
+//!    its expert at layer *l+1* (the basis of the correlation-aware
+//!    prefetcher, §6.2), while routing remains **data sensitive**: the hot
+//!    set shifts between tasks.
+//!
+//! [`GatingModel`] is a generative model with exactly these properties:
+//! per-layer Zipf-skewed popularity over a layer-specific expert
+//! permutation, first-order Markov transitions between consecutive MoE
+//! layers, and a per-task multiplicative drift. [`GatingTrace`] is a
+//! materialized sample: aggregated token counts for the prefill plus
+//! per-sequence top-k choices for every decode step.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::spec::ModelSpec;
+
+/// Configuration of the gating generative model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceConfig {
+    /// Number of MoE layers.
+    pub n_moe_layers: u32,
+    /// Experts per MoE layer.
+    pub n_experts: u32,
+    /// Experts chosen per token.
+    pub top_k: u32,
+    /// Zipf exponent of the per-layer popularity skew (≈1.15 reproduces
+    /// the paper's "top-K covers most tokens" observation for 8 experts).
+    pub skew: f64,
+    /// Strength of inter-layer correlation in `[0, 1]`.
+    pub correlation: f64,
+    /// Per-task popularity drift in `[0, 1]` (data sensitivity).
+    pub drift: f64,
+    /// Per-decode-step popularity drift: real routing's hot set wobbles
+    /// from step to step, which is what keeps prefetch accuracy below
+    /// 100% even with perfect long-run statistics (paper Fig. 13).
+    pub step_drift: f64,
+    /// Seed for the model's structural randomness (permutations, maps).
+    pub seed: u64,
+}
+
+impl TraceConfig {
+    /// Default statistical parameters for `spec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spec` is a dense model (no experts to route to).
+    pub fn for_model(spec: &ModelSpec, seed: u64) -> Self {
+        assert!(spec.is_moe(), "dense models have no gating trace");
+        TraceConfig {
+            n_moe_layers: spec.n_moe_layers(),
+            n_experts: spec.n_experts,
+            top_k: spec.top_k,
+            skew: 1.15,
+            correlation: 0.55,
+            drift: 0.35,
+            step_drift: 0.9,
+            seed,
+        }
+    }
+}
+
+/// Generative model of expert routing.
+#[derive(Debug, Clone)]
+pub struct GatingModel {
+    n_layers: u32,
+    n_experts: u32,
+    top_k: u32,
+    /// `popularity[l][e]`: stationary routing probability (sums to 1 per layer).
+    popularity: Vec<Vec<f64>>,
+    /// `affinity_map[l][e_prev]`: the "aligned" expert at MoE layer `l`
+    /// given the first choice at layer `l-1`.
+    affinity_map: Vec<Vec<u16>>,
+    /// Correlation strength.
+    correlation: f64,
+    /// Per-step popularity wobble strength.
+    step_drift: f64,
+    /// Seed for per-step modulation streams.
+    seed: u64,
+}
+
+impl GatingModel {
+    /// Builds the base model for `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `top_k` is zero or exceeds `n_experts`.
+    pub fn new(cfg: &TraceConfig) -> Self {
+        assert!(cfg.top_k > 0, "top_k must be positive");
+        assert!(
+            cfg.top_k <= cfg.n_experts,
+            "top_k cannot exceed n_experts"
+        );
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let e = cfg.n_experts as usize;
+        let mut popularity = Vec::with_capacity(cfg.n_moe_layers as usize);
+        let mut affinity_map = Vec::with_capacity(cfg.n_moe_layers as usize);
+        for _ in 0..cfg.n_moe_layers {
+            // Zipf weights assigned to a random permutation of the experts,
+            // so each layer has its own hot set (as in the paper's Fig. 5).
+            let mut perm: Vec<usize> = (0..e).collect();
+            shuffle(&mut perm, &mut rng);
+            let mut weights = vec![0.0; e];
+            for (rank, &expert) in perm.iter().enumerate() {
+                weights[expert] = 1.0 / ((rank + 1) as f64).powf(cfg.skew);
+            }
+            normalize(&mut weights);
+            popularity.push(weights);
+            // Each previous-layer expert maps to one "aligned" expert here.
+            let mut map: Vec<u16> = (0..e as u16).collect();
+            shuffle(&mut map, &mut rng);
+            affinity_map.push(map);
+        }
+        GatingModel {
+            n_layers: cfg.n_moe_layers,
+            n_experts: cfg.n_experts,
+            top_k: cfg.top_k,
+            popularity,
+            affinity_map,
+            correlation: cfg.correlation,
+            step_drift: cfg.step_drift,
+            seed: cfg.seed,
+        }
+    }
+
+    /// Number of MoE layers.
+    pub fn n_moe_layers(&self) -> u32 {
+        self.n_layers
+    }
+
+    /// Experts per layer.
+    pub fn n_experts(&self) -> u32 {
+        self.n_experts
+    }
+
+    /// Experts per token.
+    pub fn top_k(&self) -> u32 {
+        self.top_k
+    }
+
+    /// A task-specific variant: popularity perturbed multiplicatively by
+    /// `drift`, re-normalized. Models the paper's observation that hot
+    /// experts change with the input data.
+    pub fn drifted(&self, drift: f64, task_seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(task_seed ^ 0x9e37_79b9_7f4a_7c15);
+        let mut out = self.clone();
+        for layer in &mut out.popularity {
+            for w in layer.iter_mut() {
+                // log-uniform multiplicative noise in [e^-d, e^d].
+                let u: f64 = rng.gen_range(-drift..=drift);
+                *w *= u.exp();
+            }
+            normalize(layer);
+        }
+        out
+    }
+
+    /// Stationary routing distribution at MoE layer `l`.
+    pub fn popularity(&self, l: u32) -> &[f64] {
+        &self.popularity[l as usize]
+    }
+
+    /// The model-level hot experts of MoE layer `l` (top `k` by popularity).
+    pub fn hot_experts(&self, l: u32, k: u32) -> Vec<u16> {
+        let mut idx: Vec<u16> = (0..self.n_experts as u16).collect();
+        idx.sort_by(|&a, &b| {
+            self.popularity[l as usize][b as usize]
+                .total_cmp(&self.popularity[l as usize][a as usize])
+        });
+        idx.truncate(k as usize);
+        idx
+    }
+
+    /// Routing distribution at layer `l` conditioned on the previous MoE
+    /// layer's first choice, over base distribution `pop`.
+    fn conditional_over(&self, l: u32, prev: Option<u16>, pop: &[f64]) -> Vec<f64> {
+        match prev {
+            None => pop.to_vec(),
+            Some(p) => {
+                let aligned = self.affinity_map[l as usize][p as usize] as usize;
+                let mut dist: Vec<f64> =
+                    pop.iter().map(|w| w * (1.0 - self.correlation)).collect();
+                dist[aligned] += self.correlation;
+                dist
+            }
+        }
+    }
+
+    /// The per-step modulated popularity of layer `l` at decode step
+    /// `step` — the long-run distribution perturbed by a step-local
+    /// log-uniform wobble, modelling the data-sensitivity of routing
+    /// within one batch of inputs.
+    fn step_popularity(&self, l: u32, step: u32) -> Vec<f64> {
+        let mut pop = self.popularity[l as usize].clone();
+        if self.step_drift > 0.0 {
+            let mut rng = StdRng::seed_from_u64(
+                self.seed
+                    ^ (step as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                    ^ (l as u64).wrapping_mul(0xbf58_476d_1ce4_e5b9),
+            );
+            for w in pop.iter_mut() {
+                let u: f64 = rng.gen_range(-self.step_drift..=self.step_drift);
+                *w *= u.exp();
+            }
+            normalize(&mut pop);
+        }
+        pop
+    }
+
+    /// Samples the top-k choices of one token at layer `l` from the
+    /// long-run distribution.
+    fn sample_choices(&self, l: u32, prev: Option<u16>, rng: &mut StdRng) -> Vec<u16> {
+        self.sample_from(self.conditional_over(l, prev, &self.popularity[l as usize]), rng)
+    }
+
+    fn sample_from(&self, mut dist: Vec<f64>, rng: &mut StdRng) -> Vec<u16> {
+        let mut out = Vec::with_capacity(self.top_k as usize);
+        for _ in 0..self.top_k {
+            let idx = sample_index(&dist, rng);
+            out.push(idx as u16);
+            dist[idx] = 0.0;
+        }
+        out
+    }
+
+    /// Walks `n_tokens` tokens through all MoE layers, invoking `visit`
+    /// with `(moe_layer, previous_first_choice, choices)` at every layer.
+    ///
+    /// This is the "pre-run" primitive the correlation-aware prefetcher
+    /// uses to build its expert correlation table (§6.2 / §8 of the paper).
+    pub fn for_each_token_walk<F>(&self, n_tokens: u32, seed: u64, mut visit: F)
+    where
+        F: FnMut(u32, Option<u16>, &[u16]),
+    {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..n_tokens {
+            let mut prev: Option<u16> = None;
+            for l in 0..self.n_layers {
+                let choices = self.sample_choices(l, prev, &mut rng);
+                visit(l, prev, &choices);
+                prev = Some(choices[0]);
+            }
+        }
+    }
+
+    /// Materializes a trace for `n_seqs` sequences: aggregated prefill
+    /// counts (`prompt_len` tokens per sequence) and per-sequence choices
+    /// for `gen_len` decode steps.
+    pub fn generate_trace(
+        &self,
+        n_seqs: u32,
+        prompt_len: u32,
+        gen_len: u32,
+        seed: u64,
+    ) -> GatingTrace {
+        let e = self.n_experts as usize;
+        let layers = self.n_layers as usize;
+        let k = self.top_k as usize;
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        // Prefill: expected counts with largest-remainder rounding. The
+        // engines only consume aggregate per-expert token counts here, and
+        // at prompt × batch scale the law of large numbers makes the
+        // expectation the right summary.
+        let total_routed = n_seqs as u64 * prompt_len as u64 * self.top_k as u64;
+        let mut prefill_counts = vec![0u32; layers * e];
+        for l in 0..layers {
+            let counts = apportion(self.popularity(l as u32), total_routed);
+            prefill_counts[l * e..(l + 1) * e]
+                .copy_from_slice(&counts.iter().map(|&c| c as u32).collect::<Vec<_>>());
+        }
+
+        // Decode: exact per-sequence sampling with inter-layer correlation
+        // and step-level popularity wobble.
+        let mut decode = vec![0u16; gen_len as usize * layers * n_seqs as usize * k];
+        for step in 0..gen_len {
+            let step_pops: Vec<Vec<f64>> = (0..layers as u32)
+                .map(|l| self.step_popularity(l, step))
+                .collect();
+            for seq in 0..n_seqs as usize {
+                let mut prev: Option<u16> = None;
+                for l in 0..layers {
+                    let dist = self.conditional_over(l as u32, prev, &step_pops[l]);
+                    let choices = self.sample_from(dist, &mut rng);
+                    let base = ((step as usize * layers + l) * n_seqs as usize + seq) * k;
+                    decode[base..base + k].copy_from_slice(&choices);
+                    prev = Some(choices[0]);
+                }
+            }
+        }
+
+        GatingTrace {
+            n_moe_layers: self.n_layers,
+            n_experts: self.n_experts,
+            top_k: self.top_k,
+            n_seqs,
+            prompt_len,
+            gen_len,
+            prefill_counts,
+            decode,
+        }
+    }
+}
+
+/// A materialized routing trace: the ground truth engines execute against.
+#[derive(Debug, Clone)]
+pub struct GatingTrace {
+    n_moe_layers: u32,
+    n_experts: u32,
+    top_k: u32,
+    n_seqs: u32,
+    prompt_len: u32,
+    gen_len: u32,
+    /// `[moe_layer][expert]` routed-token counts over the whole prefill.
+    prefill_counts: Vec<u32>,
+    /// `[step][moe_layer][seq][k]`, flattened.
+    decode: Vec<u16>,
+}
+
+impl GatingTrace {
+    /// Number of MoE layers.
+    pub fn n_moe_layers(&self) -> u32 {
+        self.n_moe_layers
+    }
+
+    /// Experts per layer.
+    pub fn n_experts(&self) -> u32 {
+        self.n_experts
+    }
+
+    /// Experts per token.
+    pub fn top_k(&self) -> u32 {
+        self.top_k
+    }
+
+    /// Number of sequences.
+    pub fn n_seqs(&self) -> u32 {
+        self.n_seqs
+    }
+
+    /// Prompt length used for the prefill aggregates.
+    pub fn prompt_len(&self) -> u32 {
+        self.prompt_len
+    }
+
+    /// Number of decode steps.
+    pub fn gen_len(&self) -> u32 {
+        self.gen_len
+    }
+
+    /// Routed-token counts per expert for the prefill at `moe_layer`.
+    pub fn prefill_tokens_per_expert(&self, moe_layer: u32) -> &[u32] {
+        let e = self.n_experts as usize;
+        let l = moe_layer as usize;
+        &self.prefill_counts[l * e..(l + 1) * e]
+    }
+
+    /// All sequences' top-k choices at (`step`, `moe_layer`), flattened with
+    /// stride [`top_k`](GatingTrace::top_k).
+    pub fn decode_choices(&self, step: u32, moe_layer: u32) -> &[u16] {
+        let k = self.top_k as usize;
+        let n = self.n_seqs as usize;
+        let layers = self.n_moe_layers as usize;
+        let base = ((step as usize * layers) + moe_layer as usize) * n * k;
+        &self.decode[base..base + n * k]
+    }
+
+    /// One sequence's top-k choices at (`step`, `moe_layer`).
+    pub fn seq_choices(&self, step: u32, moe_layer: u32, seq: u32) -> &[u16] {
+        let k = self.top_k as usize;
+        let all = self.decode_choices(step, moe_layer);
+        &all[seq as usize * k..(seq as usize + 1) * k]
+    }
+
+    /// Routed-token counts per expert at decode (`step`, `moe_layer`),
+    /// restricted to sequences `[seq_from, seq_to)`.
+    pub fn tokens_per_expert_in(
+        &self,
+        step: u32,
+        moe_layer: u32,
+        seq_from: u32,
+        seq_to: u32,
+    ) -> Vec<u32> {
+        let mut counts = vec![0u32; self.n_experts as usize];
+        let k = self.top_k as usize;
+        let all = self.decode_choices(step, moe_layer);
+        for seq in seq_from..seq_to {
+            for &e in &all[seq as usize * k..(seq as usize + 1) * k] {
+                counts[e as usize] += 1;
+            }
+        }
+        counts
+    }
+
+    /// Routed-token counts per expert at decode (`step`, `moe_layer`) over
+    /// all sequences.
+    pub fn tokens_per_expert(&self, step: u32, moe_layer: u32) -> Vec<u32> {
+        self.tokens_per_expert_in(step, moe_layer, 0, self.n_seqs)
+    }
+
+    /// The experts that receive at least one token at (`step`, `moe_layer`).
+    pub fn activated(&self, step: u32, moe_layer: u32) -> Vec<u16> {
+        self.tokens_per_expert(step, moe_layer)
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(e, _)| e as u16)
+            .collect()
+    }
+
+    /// The `k` most-requested experts at (`step`, `moe_layer`) — the
+    /// *actual* hot experts of that step, used to score prefetch accuracy.
+    pub fn step_hot_experts(&self, step: u32, moe_layer: u32, k: u32) -> Vec<u16> {
+        let counts = self.tokens_per_expert(step, moe_layer);
+        let mut idx: Vec<u16> = (0..self.n_experts as u16).collect();
+        idx.sort_by_key(|&e| std::cmp::Reverse(counts[e as usize]));
+        idx.truncate(k as usize);
+        idx
+    }
+
+    /// Total routed tokens per expert at `moe_layer` across prefill and all
+    /// decode steps (the Fig. 5 heatmap column).
+    pub fn popularity_counts(&self, moe_layer: u32) -> Vec<u64> {
+        let mut counts: Vec<u64> = self
+            .prefill_tokens_per_expert(moe_layer)
+            .iter()
+            .map(|&c| c as u64)
+            .collect();
+        for step in 0..self.gen_len {
+            for (e, c) in self.tokens_per_expert(step, moe_layer).iter().enumerate() {
+                counts[e] += *c as u64;
+            }
+        }
+        counts
+    }
+}
+
+// ---- helpers ----------------------------------------------------------
+
+fn normalize(weights: &mut [f64]) {
+    let total: f64 = weights.iter().sum();
+    if total > 0.0 {
+        for w in weights.iter_mut() {
+            *w /= total;
+        }
+    }
+}
+
+fn sample_index(weights: &[f64], rng: &mut StdRng) -> usize {
+    let total: f64 = weights.iter().sum();
+    debug_assert!(total > 0.0, "cannot sample from all-zero weights");
+    let mut x = rng.gen::<f64>() * total;
+    for (i, w) in weights.iter().enumerate() {
+        x -= w;
+        if x <= 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+/// Fisher–Yates shuffle (local, to avoid depending on rand's `slice` feature
+/// surface changing between versions).
+fn shuffle<T>(items: &mut [T], rng: &mut StdRng) {
+    for i in (1..items.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        items.swap(i, j);
+    }
+}
+
+/// Largest-remainder apportionment of `total` into integer counts ∝ `weights`.
+fn apportion(weights: &[f64], total: u64) -> Vec<u64> {
+    let sum: f64 = weights.iter().sum();
+    if sum <= 0.0 || total == 0 {
+        return vec![0; weights.len()];
+    }
+    let exact: Vec<f64> = weights.iter().map(|w| w / sum * total as f64).collect();
+    let mut counts: Vec<u64> = exact.iter().map(|&x| x.floor() as u64).collect();
+    let assigned: u64 = counts.iter().sum();
+    let mut remainders: Vec<(usize, f64)> = exact
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| (i, x - x.floor()))
+        .collect();
+    remainders.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    for &(i, _) in remainders.iter().take((total - assigned) as usize) {
+        counts[i] += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mixtral_model() -> GatingModel {
+        let cfg = TraceConfig::for_model(&ModelSpec::mixtral_8x7b(), 42);
+        GatingModel::new(&cfg)
+    }
+
+    #[test]
+    fn popularity_is_normalized_and_skewed() {
+        let m = mixtral_model();
+        for l in 0..m.n_moe_layers() {
+            let p = m.popularity(l);
+            let sum: f64 = p.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9);
+            // Top-2 of 8 covers a majority-ish share (paper: ≈54%).
+            let hot = m.hot_experts(l, 2);
+            let share: f64 = hot.iter().map(|&e| p[e as usize]).sum();
+            assert!(
+                (0.45..0.75).contains(&share),
+                "layer {l}: top-2 share = {share}"
+            );
+        }
+    }
+
+    #[test]
+    fn hot_sets_differ_across_layers() {
+        let m = mixtral_model();
+        let sets: Vec<Vec<u16>> = (0..m.n_moe_layers()).map(|l| m.hot_experts(l, 2)).collect();
+        let distinct: std::collections::HashSet<&Vec<u16>> = sets.iter().collect();
+        assert!(distinct.len() > 4, "hot sets should vary across layers");
+    }
+
+    #[test]
+    fn trace_dimensions_are_consistent() {
+        let m = mixtral_model();
+        let t = m.generate_trace(48, 512, 8, 7);
+        assert_eq!(t.n_seqs(), 48);
+        assert_eq!(t.gen_len(), 8);
+        assert_eq!(t.decode_choices(0, 0).len(), 48 * 2);
+        assert_eq!(t.seq_choices(3, 5, 10).len(), 2);
+        let counts = t.tokens_per_expert(0, 0);
+        let total: u32 = counts.iter().sum();
+        assert_eq!(total, 48 * 2);
+    }
+
+    #[test]
+    fn topk_choices_are_distinct() {
+        let m = mixtral_model();
+        let t = m.generate_trace(16, 512, 4, 3);
+        for step in 0..4 {
+            for l in 0..t.n_moe_layers() {
+                for seq in 0..16 {
+                    let c = t.seq_choices(step, l, seq);
+                    assert_ne!(c[0], c[1], "duplicate expert in top-2");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prefill_counts_sum_exactly() {
+        let m = mixtral_model();
+        let t = m.generate_trace(24, 512, 1, 3);
+        for l in 0..t.n_moe_layers() {
+            let total: u64 = t
+                .prefill_tokens_per_expert(l)
+                .iter()
+                .map(|&c| c as u64)
+                .sum();
+            assert_eq!(total, 24 * 512 * 2);
+        }
+    }
+
+    #[test]
+    fn traces_are_reproducible() {
+        let m = mixtral_model();
+        let a = m.generate_trace(8, 128, 4, 11);
+        let b = m.generate_trace(8, 128, 4, 11);
+        assert_eq!(a.decode_choices(2, 9), b.decode_choices(2, 9));
+        let c = m.generate_trace(8, 128, 4, 12);
+        assert_ne!(a.decode, c.decode);
+    }
+
+    #[test]
+    fn correlation_makes_walks_predictable() {
+        // With correlation, knowing the previous layer's choice must beat
+        // the marginal at predicting the current choice.
+        let cfg = TraceConfig {
+            n_moe_layers: 8,
+            n_experts: 8,
+            top_k: 1,
+            skew: 1.15,
+            correlation: 0.6,
+            drift: 0.0,
+            step_drift: 0.0,
+            seed: 5,
+        };
+        let m = GatingModel::new(&cfg);
+        let mut aligned_hits = 0u32;
+        let mut total = 0u32;
+        m.for_each_token_walk(2000, 99, |l, prev, choices| {
+            if let Some(p) = prev {
+                total += 1;
+                if m.affinity_map[l as usize][p as usize] == choices[0] {
+                    aligned_hits += 1;
+                }
+            }
+        });
+        let rate = aligned_hits as f64 / total as f64;
+        // Must be well above the ~1/8 + hot-expert base rate.
+        assert!(rate > 0.45, "aligned-transition rate = {rate}");
+    }
+
+    #[test]
+    fn drift_changes_hot_sets_sometimes() {
+        let m = mixtral_model();
+        let d = m.drifted(0.8, 123);
+        let changed = (0..m.n_moe_layers())
+            .filter(|&l| m.hot_experts(l, 2) != d.hot_experts(l, 2))
+            .count();
+        assert!(changed > 0, "strong drift should move some hot sets");
+        // And popularity still normalized.
+        for l in 0..d.n_moe_layers() {
+            let sum: f64 = d.popularity(l).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn activated_and_hot_are_consistent() {
+        let m = mixtral_model();
+        let t = m.generate_trace(64, 512, 2, 17);
+        for l in 0..t.n_moe_layers() {
+            let activated = t.activated(0, l);
+            assert!(!activated.is_empty());
+            let hot = t.step_hot_experts(0, l, 2);
+            assert_eq!(hot.len(), 2);
+            for h in &hot {
+                assert!(activated.contains(h), "hot expert not activated");
+            }
+        }
+    }
+
+    #[test]
+    fn popularity_counts_cover_prefill_and_decode() {
+        let m = mixtral_model();
+        let t = m.generate_trace(4, 100, 2, 17);
+        let total: u64 = t.popularity_counts(0).iter().sum();
+        // 4 seqs × (100 prefill + 2 decode) tokens × top-2.
+        assert_eq!(total, 4 * 102 * 2);
+    }
+
+    #[test]
+    fn apportion_is_exact_and_proportional() {
+        let counts = apportion(&[0.5, 0.3, 0.2], 10);
+        assert_eq!(counts.iter().sum::<u64>(), 10);
+        assert_eq!(counts, vec![5, 3, 2]);
+        let counts = apportion(&[1.0, 1.0, 1.0], 10);
+        assert_eq!(counts.iter().sum::<u64>(), 10);
+    }
+
+    #[test]
+    fn tokens_per_expert_in_respects_range() {
+        let m = mixtral_model();
+        let t = m.generate_trace(32, 64, 1, 3);
+        let all = t.tokens_per_expert(0, 0);
+        let first_half = t.tokens_per_expert_in(0, 0, 0, 16);
+        let second_half = t.tokens_per_expert_in(0, 0, 16, 32);
+        for e in 0..8 {
+            assert_eq!(all[e], first_half[e] + second_half[e]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Apportionment always sums exactly to the requested total.
+        #[test]
+        fn apportion_sums(
+            weights in proptest::collection::vec(0.01f64..10.0, 1..40),
+            total in 0u64..10_000,
+        ) {
+            let counts = apportion(&weights, total);
+            prop_assert_eq!(counts.iter().sum::<u64>(), total);
+        }
+
+        /// Sampled indices are always in range and respect zeroed weights.
+        #[test]
+        fn sample_index_in_range(seed in 0u64..1000, zero_at in 0usize..8) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut w = vec![1.0; 8];
+            w[zero_at] = 0.0;
+            for _ in 0..50 {
+                let i = sample_index(&w, &mut rng);
+                prop_assert!(i < 8);
+                prop_assert_ne!(i, zero_at);
+            }
+        }
+
+        /// Every decode choice is a valid expert id and top-k sets have no
+        /// duplicates.
+        #[test]
+        fn trace_choices_valid(seed in 0u64..100) {
+            let cfg = TraceConfig {
+                n_moe_layers: 4,
+                n_experts: 8,
+                top_k: 2,
+                skew: 1.15,
+                correlation: 0.5,
+                drift: 0.0,
+                step_drift: 0.5,
+                seed,
+            };
+            let m = GatingModel::new(&cfg);
+            let t = m.generate_trace(8, 32, 2, seed + 1);
+            for step in 0..2 {
+                for l in 0..4 {
+                    for seq in 0..8 {
+                        let c = t.seq_choices(step, l, seq);
+                        prop_assert!(c[0] < 8 && c[1] < 8);
+                        prop_assert_ne!(c[0], c[1]);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! Multi-head causal attention with optional StreamingLLM masking.
+//!
+//! One token is processed at a time against a per-sequence [`KvCache`] —
+//! the token's K/V are appended first, then the query attends over the
+//! cached (visible) positions. [`AttnMask`] selects which positions are
+//! visible: everything (dense causal) or the StreamingLLM pattern of
+//! attention sinks plus a recent window (§7 "Sparse Attention").
+
+use klotski_tensor::ops::softmax_inplace;
+
+use crate::kv::KvCache;
+use crate::weights::AttnWeights;
+
+/// Which cached positions a query may attend to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttnMask {
+    /// Full causal attention over every cached position.
+    Dense,
+    /// StreamingLLM: the first `sinks` positions plus the last `window`
+    /// positions are visible.
+    Streaming {
+        /// Always-visible initial positions ("attention sinks").
+        sinks: usize,
+        /// Most recent visible positions.
+        window: usize,
+    },
+}
+
+impl AttnMask {
+    /// Whether `pos` is visible out of `len` cached positions.
+    pub fn visible(&self, pos: usize, len: usize) -> bool {
+        match *self {
+            AttnMask::Dense => true,
+            AttnMask::Streaming { sinks, window } => pos < sinks || pos + window >= len,
+        }
+    }
+
+    /// Number of visible positions out of `len`.
+    pub fn visible_count(&self, len: usize) -> usize {
+        match *self {
+            AttnMask::Dense => len,
+            AttnMask::Streaming { sinks, window } => {
+                if len <= sinks + window {
+                    len
+                } else {
+                    sinks + window
+                }
+            }
+        }
+    }
+}
+
+/// Runs one token through `layer`'s attention: appends its K/V to `cache`
+/// and returns the attention output (pre-`wo` residual *not* applied; the
+/// caller owns norms and residuals).
+///
+/// `x` is the *normalized* hidden state of the token.
+///
+/// # Panics
+///
+/// Panics if `x` is not `d_model` long.
+pub fn attend_one(
+    w: &AttnWeights,
+    layer: usize,
+    x: &[f32],
+    cache: &mut KvCache,
+    n_heads: usize,
+    head_dim: usize,
+    mask: AttnMask,
+) -> Vec<f32> {
+    let d_model = n_heads * head_dim;
+    assert_eq!(x.len(), d_model, "attention input width mismatch");
+
+    let q = project(&w.wq, x);
+    let k = project(&w.wk, x);
+    let v = project(&w.wv, x);
+    cache.append(layer, &k, &v);
+
+    let len = cache.len(layer);
+    let scale = 1.0 / (head_dim as f32).sqrt();
+    let mut attended = vec![0.0f32; d_model];
+    let visible: Vec<usize> = (0..len).filter(|&p| mask.visible(p, len)).collect();
+
+    for h in 0..n_heads {
+        let q_h = &q[h * head_dim..(h + 1) * head_dim];
+        // Scores over visible positions.
+        let mut scores: Vec<f32> = visible
+            .iter()
+            .map(|&p| {
+                let k_p = &cache.key_at(layer, p)[h * head_dim..(h + 1) * head_dim];
+                dot(q_h, k_p) * scale
+            })
+            .collect();
+        softmax_inplace(&mut scores);
+        let out_h = &mut attended[h * head_dim..(h + 1) * head_dim];
+        for (&p, &s) in visible.iter().zip(&scores) {
+            let v_p = &cache.value_at(layer, p)[h * head_dim..(h + 1) * head_dim];
+            for (o, &vv) in out_h.iter_mut().zip(v_p) {
+                *o += s * vv;
+            }
+        }
+    }
+
+    project(&w.wo, &attended)
+}
+
+fn project(w: &klotski_tensor::matrix::Matrix, x: &[f32]) -> Vec<f32> {
+    let rows = w.rows();
+    let mut out = vec![0.0f32; rows];
+    for (i, o) in out.iter_mut().enumerate() {
+        *o = dot(w.row(i), x);
+    }
+    out
+}
+
+fn dot(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MoeConfig;
+    use crate::weights::AttnWeights;
+
+    fn setup() -> (MoeConfig, AttnWeights, KvCache) {
+        let cfg = MoeConfig::tiny(3);
+        let w = AttnWeights::seeded(&cfg, 0);
+        let cache = KvCache::new(cfg.n_layers, cfg.d_model);
+        (cfg, w, cache)
+    }
+
+    #[test]
+    fn first_token_attends_only_to_itself() {
+        let (cfg, w, mut cache) = setup();
+        let x = vec![0.3f32; cfg.d_model];
+        let out = attend_one(&w, 0, &x, &mut cache, cfg.n_heads, cfg.head_dim, AttnMask::Dense);
+        assert_eq!(out.len(), cfg.d_model);
+        assert_eq!(cache.len(0), 1);
+        // With a single position, attention weights are 1.0: output is
+        // wo · v deterministically.
+        let v = project(&w.wv, &x);
+        let expect = project(&w.wo, &v);
+        for (a, b) in out.iter().zip(&expect) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn attention_depends_on_history() {
+        let (cfg, w, mut cache) = setup();
+        let x1 = vec![0.3f32; cfg.d_model];
+        let x2 = vec![-0.2f32; cfg.d_model];
+        let _ = attend_one(&w, 0, &x1, &mut cache, cfg.n_heads, cfg.head_dim, AttnMask::Dense);
+        let with_history =
+            attend_one(&w, 0, &x2, &mut cache, cfg.n_heads, cfg.head_dim, AttnMask::Dense);
+        let mut fresh = KvCache::new(cfg.n_layers, cfg.d_model);
+        let without =
+            attend_one(&w, 0, &x2, &mut fresh, cfg.n_heads, cfg.head_dim, AttnMask::Dense);
+        let diff: f32 = with_history
+            .iter()
+            .zip(&without)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max);
+        assert!(diff > 1e-6, "history must influence the output");
+    }
+
+    #[test]
+    fn streaming_mask_visibility_pattern() {
+        let m = AttnMask::Streaming { sinks: 2, window: 3 };
+        let len = 10;
+        let visible: Vec<usize> = (0..len).filter(|&p| m.visible(p, len)).collect();
+        assert_eq!(visible, vec![0, 1, 7, 8, 9]);
+        assert_eq!(m.visible_count(10), 5);
+        assert_eq!(m.visible_count(4), 4);
+        assert_eq!(AttnMask::Dense.visible_count(10), 10);
+    }
+
+    #[test]
+    fn streaming_equals_dense_below_budget() {
+        let (cfg, w, _) = setup();
+        let mask = AttnMask::Streaming { sinks: 4, window: 8 };
+        let mut dense_cache = KvCache::new(cfg.n_layers, cfg.d_model);
+        let mut stream_cache = KvCache::new(cfg.n_layers, cfg.d_model);
+        // 10 tokens < 4 + 8 budget: the masks coincide.
+        for t in 0..10 {
+            let x: Vec<f32> = (0..cfg.d_model).map(|i| ((t * 7 + i) as f32).sin()).collect();
+            let a = attend_one(&w, 0, &x, &mut dense_cache, cfg.n_heads, cfg.head_dim, AttnMask::Dense);
+            let b = attend_one(&w, 0, &x, &mut stream_cache, cfg.n_heads, cfg.head_dim, mask);
+            assert_eq!(a, b, "token {t}");
+        }
+    }
+
+    #[test]
+    fn streaming_diverges_beyond_budget() {
+        let (cfg, w, _) = setup();
+        let mask = AttnMask::Streaming { sinks: 1, window: 2 };
+        let mut dense_cache = KvCache::new(cfg.n_layers, cfg.d_model);
+        let mut stream_cache = KvCache::new(cfg.n_layers, cfg.d_model);
+        let mut diverged = false;
+        for t in 0..8 {
+            let x: Vec<f32> = (0..cfg.d_model).map(|i| ((t * 3 + i) as f32).cos()).collect();
+            let a = attend_one(&w, 0, &x, &mut dense_cache, cfg.n_heads, cfg.head_dim, AttnMask::Dense);
+            let b = attend_one(&w, 0, &x, &mut stream_cache, cfg.n_heads, cfg.head_dim, mask);
+            if a != b {
+                diverged = true;
+            }
+        }
+        assert!(diverged, "sparse attention must differ once len > budget");
+    }
+}

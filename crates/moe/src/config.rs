@@ -1,0 +1,110 @@
+//! Configuration of the native (really-executed) MoE model.
+
+/// Shape of a small Mixtral-style MoE decoder.
+///
+/// The native path exists to validate the *algorithm* — reordered
+/// multi-batch execution must be bit-identical to the reference — so the
+/// model is architecturally faithful (RMSNorm, GQA-free multi-head
+/// attention, SwiGLU experts, softmax-top-k gate) but small enough to run
+/// in tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MoeConfig {
+    /// Number of decoder blocks (each: attention + MoE).
+    pub n_layers: usize,
+    /// Hidden width.
+    pub d_model: usize,
+    /// Expert FFN inner width.
+    pub d_ff: usize,
+    /// Attention heads (`d_model = n_heads × head_dim`).
+    pub n_heads: usize,
+    /// Per-head width.
+    pub head_dim: usize,
+    /// Experts per layer.
+    pub n_experts: usize,
+    /// Experts activated per token.
+    pub top_k: usize,
+    /// Vocabulary size (embeddings are tied with the LM head).
+    pub vocab: usize,
+    /// Master weight seed.
+    pub seed: u64,
+}
+
+impl MoeConfig {
+    /// A tiny but non-trivial model: 4 layers, width 32, 6 experts top-2.
+    pub fn tiny(seed: u64) -> Self {
+        MoeConfig {
+            n_layers: 4,
+            d_model: 32,
+            d_ff: 64,
+            n_heads: 4,
+            head_dim: 8,
+            n_experts: 6,
+            top_k: 2,
+            vocab: 96,
+            seed,
+        }
+    }
+
+    /// A slightly larger model for integration tests and examples.
+    pub fn small(seed: u64) -> Self {
+        MoeConfig {
+            n_layers: 6,
+            d_model: 64,
+            d_ff: 128,
+            n_heads: 8,
+            head_dim: 8,
+            n_experts: 8,
+            top_k: 2,
+            vocab: 128,
+            seed,
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d_model ≠ n_heads × head_dim`, `top_k` is zero or exceeds
+    /// `n_experts`, or any dimension is zero.
+    pub fn validate(&self) {
+        assert!(self.n_layers > 0, "n_layers must be positive");
+        assert_eq!(
+            self.d_model,
+            self.n_heads * self.head_dim,
+            "d_model must equal n_heads × head_dim"
+        );
+        assert!(self.d_ff > 0, "d_ff must be positive");
+        assert!(
+            self.top_k > 0 && self.top_k <= self.n_experts,
+            "top_k must be in 1..=n_experts"
+        );
+        assert!(self.vocab > 1, "vocab must exceed 1");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        MoeConfig::tiny(0).validate();
+        MoeConfig::small(0).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "d_model must equal")]
+    fn inconsistent_heads_rejected() {
+        let mut c = MoeConfig::tiny(0);
+        c.head_dim = 7;
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "top_k")]
+    fn excessive_top_k_rejected() {
+        let mut c = MoeConfig::tiny(0);
+        c.top_k = 99;
+        c.validate();
+    }
+}

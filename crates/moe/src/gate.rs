@@ -1,0 +1,116 @@
+//! The top-k router (gate).
+//!
+//! Mixtral-style routing: logits from a linear gate, top-k selection,
+//! softmax *over the selected logits* for the combination weights.
+
+use klotski_tensor::matrix::Matrix;
+use klotski_tensor::ops::{softmax_inplace, top_k};
+
+/// One token's routing decision.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Routing {
+    /// Selected experts with their combination weights, in gate-rank order
+    /// (highest logit first). Weights sum to 1.
+    pub picks: Vec<(usize, f32)>,
+}
+
+impl Routing {
+    /// The selected expert indices, rank order.
+    pub fn experts(&self) -> Vec<usize> {
+        self.picks.iter().map(|&(e, _)| e).collect()
+    }
+
+    /// The weight assigned to `expert`, or 0.
+    pub fn weight_of(&self, expert: usize) -> f32 {
+        self.picks
+            .iter()
+            .find(|&&(e, _)| e == expert)
+            .map_or(0.0, |&(_, w)| w)
+    }
+}
+
+/// Routes one (normalized) token hidden state through the gate.
+///
+/// # Panics
+///
+/// Panics if `x` does not match the gate's input width or `k` is zero or
+/// exceeds the expert count.
+pub fn route(gate: &Matrix, x: &[f32], k: usize) -> Routing {
+    assert_eq!(x.len(), gate.cols(), "gate input width mismatch");
+    assert!(k > 0 && k <= gate.rows(), "invalid top-k");
+    let mut logits = vec![0.0f32; gate.rows()];
+    for (e, logit) in logits.iter_mut().enumerate() {
+        let row = gate.row(e);
+        *logit = row.iter().zip(x).map(|(w, v)| w * v).sum();
+    }
+    let picks = top_k(&logits, k);
+    let mut weights: Vec<f32> = picks.iter().map(|&(_, l)| l).collect();
+    softmax_inplace(&mut weights);
+    Routing {
+        picks: picks
+            .iter()
+            .zip(&weights)
+            .map(|(&(e, _), &w)| (e, w))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use klotski_tensor::init::xavier_matrix;
+
+    #[test]
+    fn routing_weights_sum_to_one() {
+        let gate = xavier_matrix(8, 16, 3);
+        let x: Vec<f32> = (0..16).map(|i| (i as f32).sin()).collect();
+        let r = route(&gate, &x, 2);
+        assert_eq!(r.picks.len(), 2);
+        let sum: f32 = r.picks.iter().map(|&(_, w)| w).sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        assert!(r.picks[0].1 >= r.picks[1].1, "rank order by weight");
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_data_dependent() {
+        let gate = xavier_matrix(8, 16, 3);
+        let x1: Vec<f32> = (0..16).map(|i| (i as f32).sin()).collect();
+        let x2: Vec<f32> = (0..16).map(|i| (i as f32 + 0.5).cos()).collect();
+        assert_eq!(route(&gate, &x1, 2), route(&gate, &x1, 2));
+        // Over a spread of inputs the selected set must vary.
+        let mut sets = std::collections::HashSet::new();
+        for t in 0..32 {
+            let x: Vec<f32> = (0..16).map(|i| ((i + t * 3) as f32).sin()).collect();
+            sets.insert(route(&gate, &x, 2).experts());
+        }
+        assert!(sets.len() > 1, "gate must be input-sensitive");
+        let _ = x2;
+    }
+
+    #[test]
+    fn weight_of_matches_picks() {
+        let gate = xavier_matrix(4, 8, 5);
+        let x = vec![0.25f32; 8];
+        let r = route(&gate, &x, 2);
+        let (top_e, top_w) = r.picks[0];
+        assert_eq!(r.weight_of(top_e), top_w);
+        let unused = (0..4).find(|e| !r.experts().contains(e)).unwrap();
+        assert_eq!(r.weight_of(unused), 0.0);
+    }
+
+    #[test]
+    fn top1_takes_all_weight() {
+        let gate = xavier_matrix(4, 8, 7);
+        let x = vec![0.1f32; 8];
+        let r = route(&gate, &x, 1);
+        assert_eq!(r.picks.len(), 1);
+        assert!((r.picks[0].1 - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid top-k")]
+    fn oversized_k_rejected() {
+        let gate = xavier_matrix(4, 8, 7);
+        let _ = route(&gate, &[0.0; 8], 5);
+    }
+}

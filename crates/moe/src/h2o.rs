@@ -1,0 +1,281 @@
+//! Heavy-hitter ("H2O"-style) sparse KV cache — the paper's future work.
+//!
+//! §9.8 closes with: "We aim to address this in future work by developing a
+//! generalized and efficient sparse KV cache strategy for Klotski". This
+//! module implements the natural candidate the paper cites alongside
+//! StreamingLLM: heavy-hitter selection [H2O, NeurIPS'23]. Instead of a
+//! fixed sinks+window pattern, each layer keeps the positions whose
+//! *accumulated attention mass* is largest, evicting the coldest position
+//! whenever the per-layer budget is exceeded (attention sinks are always
+//! kept).
+//!
+//! Unlike [`AttnMask`](crate::attention::AttnMask), the policy is
+//! *stateful* — scores accumulate across decoding steps — so it lives in an
+//! [`H2oState`] owned by the caller per sequence.
+
+use klotski_tensor::ops::softmax_inplace;
+
+use crate::kv::KvCache;
+use crate::weights::AttnWeights;
+
+/// Configuration of the heavy-hitter policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct H2oConfig {
+    /// Maximum kept positions per layer (≥ `sinks + 1`).
+    pub budget: usize,
+    /// Always-kept initial positions.
+    pub sinks: usize,
+}
+
+impl H2oConfig {
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the budget cannot hold the sinks plus the current token.
+    pub fn validate(&self) {
+        assert!(
+            self.budget > self.sinks,
+            "budget must exceed the sink count"
+        );
+    }
+}
+
+/// Per-sequence heavy-hitter state: the kept set and accumulated scores.
+#[derive(Debug, Clone)]
+pub struct H2oState {
+    cfg: H2oConfig,
+    /// Kept position indices per layer, ascending.
+    kept: Vec<Vec<usize>>,
+    /// Accumulated attention mass per kept position (parallel to `kept`).
+    scores: Vec<Vec<f32>>,
+}
+
+impl H2oState {
+    /// Fresh state for `n_layers` layers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` is invalid.
+    pub fn new(n_layers: usize, cfg: H2oConfig) -> Self {
+        cfg.validate();
+        H2oState {
+            cfg,
+            kept: vec![Vec::new(); n_layers],
+            scores: vec![Vec::new(); n_layers],
+        }
+    }
+
+    /// The kept positions at `layer` (ascending).
+    pub fn kept(&self, layer: usize) -> &[usize] {
+        &self.kept[layer]
+    }
+
+    /// The policy configuration.
+    pub fn config(&self) -> H2oConfig {
+        self.cfg
+    }
+
+    fn admit(&mut self, layer: usize, pos: usize) {
+        self.kept[layer].push(pos);
+        self.scores[layer].push(0.0);
+    }
+
+    fn accumulate_and_evict(&mut self, layer: usize, step_scores: &[f32]) {
+        for (acc, &s) in self.scores[layer].iter_mut().zip(step_scores) {
+            *acc += s;
+        }
+        if self.kept[layer].len() <= self.cfg.budget {
+            return;
+        }
+        // Evict the coldest non-sink, non-current position.
+        let last = self.kept[layer].len() - 1;
+        let victim = self.kept[layer]
+            .iter()
+            .enumerate()
+            .filter(|&(i, &pos)| pos >= self.cfg.sinks && i != last)
+            .min_by(|a, b| {
+                self.scores[layer][a.0]
+                    .total_cmp(&self.scores[layer][b.0])
+                    .then(a.1.cmp(b.1))
+            })
+            .map(|(i, _)| i)
+            .expect("budget > sinks guarantees an evictable position");
+        self.kept[layer].remove(victim);
+        self.scores[layer].remove(victim);
+    }
+}
+
+/// One token of attention under the heavy-hitter policy: appends the
+/// token's K/V, attends over the kept set, accumulates attention mass and
+/// evicts down to budget. Returns the `wo`-projected attention output
+/// (residual handling belongs to the caller, as in
+/// [`attend_one`](crate::attention::attend_one)).
+///
+/// While the sequence is shorter than the budget this is *exactly* dense
+/// attention.
+///
+/// # Panics
+///
+/// Panics if `x` is not `n_heads × head_dim` long.
+pub fn attend_one_h2o(
+    w: &AttnWeights,
+    layer: usize,
+    x: &[f32],
+    cache: &mut KvCache,
+    state: &mut H2oState,
+    n_heads: usize,
+    head_dim: usize,
+) -> Vec<f32> {
+    let d_model = n_heads * head_dim;
+    assert_eq!(x.len(), d_model, "attention input width mismatch");
+
+    let q = project(&w.wq, x);
+    let k = project(&w.wk, x);
+    let v = project(&w.wv, x);
+    let pos = cache.len(layer);
+    cache.append(layer, &k, &v);
+    state.admit(layer, pos);
+
+    let kept = state.kept(layer).to_vec();
+    let scale = 1.0 / (head_dim as f32).sqrt();
+    let mut attended = vec![0.0f32; d_model];
+    // Per-position attention mass summed over heads (the H2O statistic).
+    let mut mass = vec![0.0f32; kept.len()];
+
+    for h in 0..n_heads {
+        let q_h = &q[h * head_dim..(h + 1) * head_dim];
+        let mut scores: Vec<f32> = kept
+            .iter()
+            .map(|&p| {
+                let k_p = &cache.key_at(layer, p)[h * head_dim..(h + 1) * head_dim];
+                dot(q_h, k_p) * scale
+            })
+            .collect();
+        softmax_inplace(&mut scores);
+        let out_h = &mut attended[h * head_dim..(h + 1) * head_dim];
+        for ((&p, &s), m) in kept.iter().zip(&scores).zip(mass.iter_mut()) {
+            *m += s;
+            let v_p = &cache.value_at(layer, p)[h * head_dim..(h + 1) * head_dim];
+            for (o, &vv) in out_h.iter_mut().zip(v_p) {
+                *o += s * vv;
+            }
+        }
+    }
+
+    state.accumulate_and_evict(layer, &mass);
+    project(&w.wo, &attended)
+}
+
+fn project(w: &klotski_tensor::matrix::Matrix, x: &[f32]) -> Vec<f32> {
+    let rows = w.rows();
+    let mut out = vec![0.0f32; rows];
+    for (i, o) in out.iter_mut().enumerate() {
+        *o = dot(w.row(i), x);
+    }
+    out
+}
+
+fn dot(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attention::{attend_one, AttnMask};
+    use crate::config::MoeConfig;
+
+    fn setup() -> (MoeConfig, AttnWeights) {
+        let cfg = MoeConfig::tiny(8);
+        (cfg, AttnWeights::seeded(&cfg, 0))
+    }
+
+    fn token(t: usize, d: usize) -> Vec<f32> {
+        (0..d).map(|i| ((t * 13 + i * 7) as f32 * 0.1).sin()).collect()
+    }
+
+    #[test]
+    fn matches_dense_within_budget() {
+        let (cfg, w) = setup();
+        let h2o_cfg = H2oConfig { budget: 16, sinks: 2 };
+        let mut dense_cache = KvCache::new(cfg.n_layers, cfg.d_model);
+        let mut h2o_cache = KvCache::new(cfg.n_layers, cfg.d_model);
+        let mut state = H2oState::new(cfg.n_layers, h2o_cfg);
+        for t in 0..10 {
+            let x = token(t, cfg.d_model);
+            let a = attend_one(&w, 0, &x, &mut dense_cache, cfg.n_heads, cfg.head_dim, AttnMask::Dense);
+            let b = attend_one_h2o(&w, 0, &x, &mut h2o_cache, &mut state, cfg.n_heads, cfg.head_dim);
+            assert_eq!(a, b, "token {t}: under budget, H2O must equal dense");
+        }
+    }
+
+    #[test]
+    fn budget_is_enforced_and_sinks_survive() {
+        let (cfg, w) = setup();
+        let h2o_cfg = H2oConfig { budget: 6, sinks: 2 };
+        let mut cache = KvCache::new(cfg.n_layers, cfg.d_model);
+        let mut state = H2oState::new(cfg.n_layers, h2o_cfg);
+        for t in 0..24 {
+            let x = token(t, cfg.d_model);
+            let _ = attend_one_h2o(&w, 0, &x, &mut cache, &mut state, cfg.n_heads, cfg.head_dim);
+            assert!(state.kept(0).len() <= h2o_cfg.budget, "token {t}");
+        }
+        let kept = state.kept(0);
+        assert!(kept.contains(&0) && kept.contains(&1), "sinks evicted: {kept:?}");
+        // The latest position always survives its own step.
+        assert!(kept.contains(&23), "current token evicted: {kept:?}");
+    }
+
+    #[test]
+    fn diverges_from_dense_beyond_budget() {
+        let (cfg, w) = setup();
+        let h2o_cfg = H2oConfig { budget: 5, sinks: 1 };
+        let mut dense_cache = KvCache::new(cfg.n_layers, cfg.d_model);
+        let mut h2o_cache = KvCache::new(cfg.n_layers, cfg.d_model);
+        let mut state = H2oState::new(cfg.n_layers, h2o_cfg);
+        let mut diverged = false;
+        for t in 0..16 {
+            let x = token(t, cfg.d_model);
+            let a = attend_one(&w, 0, &x, &mut dense_cache, cfg.n_heads, cfg.head_dim, AttnMask::Dense);
+            let b = attend_one_h2o(&w, 0, &x, &mut h2o_cache, &mut state, cfg.n_heads, cfg.head_dim);
+            if a != b {
+                diverged = true;
+            }
+        }
+        assert!(diverged, "eviction must eventually change the output");
+    }
+
+    #[test]
+    fn keeps_heavy_hitters_not_just_recency() {
+        // Construct a stream where one early position keeps receiving
+        // attention: H2O must retain it while StreamingLLM's window would
+        // have dropped it. We approximate by checking that the kept set is
+        // not simply the last (budget − sinks) positions.
+        let (cfg, w) = setup();
+        let h2o_cfg = H2oConfig { budget: 8, sinks: 1 };
+        let mut cache = KvCache::new(cfg.n_layers, cfg.d_model);
+        let mut state = H2oState::new(cfg.n_layers, h2o_cfg);
+        // Repeat the same token often so its (identical) early keys gather
+        // mass.
+        for t in 0..32 {
+            let x = if t % 2 == 0 { token(0, cfg.d_model) } else { token(t, cfg.d_model) };
+            let _ = attend_one_h2o(&w, 0, &x, &mut cache, &mut state, cfg.n_heads, cfg.head_dim);
+        }
+        let kept = state.kept(0);
+        let window_start = 32 - (h2o_cfg.budget - h2o_cfg.sinks);
+        let pure_recency = kept
+            .iter()
+            .all(|&p| p < h2o_cfg.sinks || p >= window_start);
+        assert!(
+            !pure_recency,
+            "H2O degenerated to a recency window: {kept:?}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "budget must exceed")]
+    fn degenerate_budget_rejected() {
+        let _ = H2oState::new(1, H2oConfig { budget: 2, sinks: 2 });
+    }
+}

@@ -1,0 +1,495 @@
+//! The model: block primitives + the reference sequential runner.
+//!
+//! Both the reference runner (here) and Klotski's native pipelined executor
+//! (`klotski-core`) are built from the *same* primitives — `attn_block`,
+//! `moe_norm`, `route_token`, `expert_out`, `combine` — and `combine` sums
+//! expert contributions in fixed expert-index order. Any execution order of
+//! the expert computations therefore produces **bit-identical** hidden
+//! states, which is exactly the property that lets the expert-aware
+//! reordering of the paper be validated end-to-end on real numerics.
+
+use klotski_tensor::ops::{argmax, rmsnorm_inplace};
+
+use crate::attention::{attend_one, AttnMask};
+use crate::config::MoeConfig;
+use crate::gate::{route, Routing};
+use crate::kv::KvCache;
+use crate::weights::MoeWeights;
+
+/// RMSNorm epsilon (Mixtral's value).
+const NORM_EPS: f32 = 1e-5;
+
+/// A complete native MoE model.
+#[derive(Debug, Clone)]
+pub struct MoeModel {
+    cfg: MoeConfig,
+    weights: MoeWeights,
+}
+
+/// Which phase a routing event was recorded in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Prompt ingestion; `step` is the prompt position.
+    Prefill,
+    /// Autoregressive generation; `step` is the decode step.
+    Decode,
+}
+
+/// One recorded routing decision.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoutingEvent {
+    /// Prefill or decode.
+    pub phase: Phase,
+    /// Prompt position or decode step.
+    pub step: usize,
+    /// Sequence index within the batch.
+    pub seq: usize,
+    /// Layer index.
+    pub layer: usize,
+    /// Selected experts, gate-rank order.
+    pub experts: Vec<usize>,
+}
+
+/// Output of a reference generation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenerationResult {
+    /// Generated tokens per sequence.
+    pub tokens: Vec<Vec<u32>>,
+    /// The final hidden state of every sequence (pre-logits), for
+    /// bit-exact comparison against pipelined executors.
+    pub final_hidden: Vec<Vec<f32>>,
+    /// Every routing decision made during the run.
+    pub routing: Vec<RoutingEvent>,
+}
+
+impl MoeModel {
+    /// Builds a model with seeded weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` is inconsistent (see [`MoeConfig::validate`]).
+    pub fn new(cfg: MoeConfig) -> Self {
+        cfg.validate();
+        MoeModel {
+            weights: MoeWeights::seeded(&cfg),
+            cfg,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &MoeConfig {
+        &self.cfg
+    }
+
+    /// The weights (read access for offloading executors).
+    pub fn weights(&self) -> &MoeWeights {
+        &self.weights
+    }
+
+    /// Embeds `token` at position `pos` (token embedding + sinusoidal
+    /// positional signal).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `token` is out of vocabulary.
+    pub fn embed(&self, token: u32, pos: usize) -> Vec<f32> {
+        assert!((token as usize) < self.cfg.vocab, "token out of vocabulary");
+        let mut h = self.weights.embed.row(token as usize).to_vec();
+        for (i, v) in h.iter_mut().enumerate() {
+            let rate = 1.0 / 10_000f32.powf(i as f32 / self.cfg.d_model as f32);
+            *v += 0.1 * (pos as f32 * rate).sin();
+        }
+        h
+    }
+
+    /// `h + attention(rmsnorm1(h))` for one token of one sequence.
+    pub fn attn_block(
+        &self,
+        layer: usize,
+        h: &[f32],
+        cache: &mut KvCache,
+        mask: AttnMask,
+    ) -> Vec<f32> {
+        let lw = &self.weights.layers[layer];
+        let mut normed = h.to_vec();
+        rmsnorm_inplace(&mut normed, &lw.attn.norm1, NORM_EPS);
+        let attn_out = attend_one(
+            &lw.attn,
+            layer,
+            &normed,
+            cache,
+            self.cfg.n_heads,
+            self.cfg.head_dim,
+            mask,
+        );
+        h.iter().zip(&attn_out).map(|(a, b)| a + b).collect()
+    }
+
+    /// `h + attention(rmsnorm1(h))` under the heavy-hitter KV policy
+    /// (see [`crate::h2o`]), updating the per-sequence `state`.
+    pub fn attn_block_h2o(
+        &self,
+        layer: usize,
+        h: &[f32],
+        cache: &mut KvCache,
+        state: &mut crate::h2o::H2oState,
+    ) -> Vec<f32> {
+        let lw = &self.weights.layers[layer];
+        let mut normed = h.to_vec();
+        rmsnorm_inplace(&mut normed, &lw.attn.norm1, NORM_EPS);
+        let attn_out = crate::h2o::attend_one_h2o(
+            &lw.attn,
+            layer,
+            &normed,
+            cache,
+            state,
+            self.cfg.n_heads,
+            self.cfg.head_dim,
+        );
+        h.iter().zip(&attn_out).map(|(a, b)| a + b).collect()
+    }
+
+    /// The pre-MoE normalized hidden state.
+    pub fn moe_norm(&self, layer: usize, h: &[f32]) -> Vec<f32> {
+        let lw = &self.weights.layers[layer];
+        let mut normed = h.to_vec();
+        rmsnorm_inplace(&mut normed, &lw.attn.norm2, NORM_EPS);
+        normed
+    }
+
+    /// Routes one normalized token through `layer`'s gate.
+    pub fn route_token(&self, layer: usize, normed: &[f32]) -> Routing {
+        route(&self.weights.layers[layer].gate, normed, self.cfg.top_k)
+    }
+
+    /// One expert's output for one normalized token.
+    pub fn expert_out(&self, layer: usize, expert: usize, normed: &[f32]) -> Vec<f32> {
+        self.weights.layers[layer].experts[expert].forward(normed)
+    }
+
+    /// `h + Σ wᵢ · outᵢ`, summed in **expert-index order** regardless of the
+    /// order contributions were produced in — the bit-exactness anchor.
+    pub fn combine(&self, h: &[f32], contributions: &mut Vec<(usize, f32, Vec<f32>)>) -> Vec<f32> {
+        contributions.sort_by_key(|&(e, _, _)| e);
+        let mut out = h.to_vec();
+        for (_, w, expert_out) in contributions.iter() {
+            for (o, &x) in out.iter_mut().zip(expert_out) {
+                *o += w * x;
+            }
+        }
+        out
+    }
+
+    /// Full MoE block for one token (gate → experts → combine), recording
+    /// the routing into `events` if provided.
+    #[allow(clippy::too_many_arguments)]
+    fn moe_block(
+        &self,
+        layer: usize,
+        h: &[f32],
+        phase: Phase,
+        step: usize,
+        seq: usize,
+        events: &mut Vec<RoutingEvent>,
+    ) -> Vec<f32> {
+        let normed = self.moe_norm(layer, h);
+        let routing = self.route_token(layer, &normed);
+        events.push(RoutingEvent {
+            phase,
+            step,
+            seq,
+            layer,
+            experts: routing.experts(),
+        });
+        let mut contributions: Vec<(usize, f32, Vec<f32>)> = routing
+            .picks
+            .iter()
+            .map(|&(e, w)| (e, w, self.expert_out(layer, e, &normed)))
+            .collect();
+        self.combine(h, &mut contributions)
+    }
+
+    /// One token through every layer (the canonical forward pass).
+    pub fn forward_token(
+        &self,
+        token: u32,
+        pos: usize,
+        cache: &mut KvCache,
+        mask: AttnMask,
+        phase: Phase,
+        step: usize,
+        seq: usize,
+        events: &mut Vec<RoutingEvent>,
+    ) -> Vec<f32> {
+        let mut h = self.embed(token, pos);
+        for layer in 0..self.cfg.n_layers {
+            h = self.attn_block(layer, &h, cache, mask);
+            h = self.moe_block(layer, &h, phase, step, seq, events);
+        }
+        h
+    }
+
+    /// Logits of hidden state `h` (final norm + tied LM head).
+    pub fn logits(&self, h: &[f32]) -> Vec<f32> {
+        let mut normed = h.to_vec();
+        rmsnorm_inplace(&mut normed, &self.weights.final_norm, NORM_EPS);
+        (0..self.cfg.vocab)
+            .map(|t| {
+                self.weights
+                    .embed
+                    .row(t)
+                    .iter()
+                    .zip(&normed)
+                    .map(|(w, x)| w * x)
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// Greedy next token from hidden state `h`.
+    pub fn next_token(&self, h: &[f32]) -> u32 {
+        argmax(&self.logits(h)).expect("non-empty vocabulary") as u32
+    }
+
+    /// A fresh KV cache sized for this model.
+    pub fn new_cache(&self) -> KvCache {
+        KvCache::new(self.cfg.n_layers, self.cfg.d_model)
+    }
+
+    /// Reference generation: prompts processed sequentially, one token at a
+    /// time, in canonical (batch-major) order — the numerical ground truth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any prompt is empty or contains out-of-vocabulary tokens.
+    pub fn generate(
+        &self,
+        prompts: &[Vec<u32>],
+        gen_len: usize,
+        mask: AttnMask,
+    ) -> GenerationResult {
+        let mut tokens = Vec::with_capacity(prompts.len());
+        let mut final_hidden = Vec::with_capacity(prompts.len());
+        let mut routing = Vec::new();
+        for (seq, prompt) in prompts.iter().enumerate() {
+            assert!(!prompt.is_empty(), "empty prompt for sequence {seq}");
+            let mut cache = self.new_cache();
+            let mut h = Vec::new();
+            for (pos, &tok) in prompt.iter().enumerate() {
+                h = self.forward_token(
+                    tok,
+                    pos,
+                    &mut cache,
+                    mask,
+                    Phase::Prefill,
+                    pos,
+                    seq,
+                    &mut routing,
+                );
+            }
+            let mut generated = Vec::with_capacity(gen_len);
+            for step in 0..gen_len {
+                let next = self.next_token(&h);
+                generated.push(next);
+                h = self.forward_token(
+                    next,
+                    prompt.len() + step,
+                    &mut cache,
+                    mask,
+                    Phase::Decode,
+                    step,
+                    seq,
+                    &mut routing,
+                );
+            }
+            tokens.push(generated);
+            final_hidden.push(h);
+        }
+        GenerationResult {
+            tokens,
+            final_hidden,
+            routing,
+        }
+    }
+
+    /// Reference generation under the heavy-hitter KV policy — the ground
+    /// truth for pipelined execution with [`crate::h2o`] enabled. Each
+    /// sequence carries its own fresh [`H2oState`](crate::h2o::H2oState).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any prompt is empty or `cfg` is invalid.
+    pub fn generate_h2o(
+        &self,
+        prompts: &[Vec<u32>],
+        gen_len: usize,
+        cfg: crate::h2o::H2oConfig,
+    ) -> GenerationResult {
+        cfg.validate();
+        let mut tokens = Vec::with_capacity(prompts.len());
+        let mut final_hidden = Vec::with_capacity(prompts.len());
+        let mut routing = Vec::new();
+        for (seq, prompt) in prompts.iter().enumerate() {
+            assert!(!prompt.is_empty(), "empty prompt for sequence {seq}");
+            let mut cache = self.new_cache();
+            let mut state = crate::h2o::H2oState::new(self.cfg.n_layers, cfg);
+            let forward = |tok: u32,
+                               pos: usize,
+                               phase: Phase,
+                               step: usize,
+                               cache: &mut KvCache,
+                               state: &mut crate::h2o::H2oState,
+                               routing: &mut Vec<RoutingEvent>| {
+                let mut h = self.embed(tok, pos);
+                for layer in 0..self.cfg.n_layers {
+                    h = self.attn_block_h2o(layer, &h, cache, state);
+                    h = self.moe_block(layer, &h, phase, step, seq, routing);
+                }
+                h
+            };
+            let mut h = Vec::new();
+            for (pos, &tok) in prompt.iter().enumerate() {
+                h = forward(tok, pos, Phase::Prefill, pos, &mut cache, &mut state, &mut routing);
+            }
+            let mut generated = Vec::with_capacity(gen_len);
+            for step in 0..gen_len {
+                let next = self.next_token(&h);
+                generated.push(next);
+                h = forward(
+                    next,
+                    prompt.len() + step,
+                    Phase::Decode,
+                    step,
+                    &mut cache,
+                    &mut state,
+                    &mut routing,
+                );
+            }
+            tokens.push(generated);
+            final_hidden.push(h);
+        }
+        GenerationResult {
+            tokens,
+            final_hidden,
+            routing,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> MoeModel {
+        MoeModel::new(MoeConfig::tiny(11))
+    }
+
+    fn prompts(n: usize, len: usize) -> Vec<Vec<u32>> {
+        (0..n)
+            .map(|s| (0..len).map(|p| ((s * 31 + p * 7) % 96) as u32).collect())
+            .collect()
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let m = model();
+        let p = prompts(3, 8);
+        let a = m.generate(&p, 4, AttnMask::Dense);
+        let b = m.generate(&p, 4, AttnMask::Dense);
+        assert_eq!(a, b);
+        assert_eq!(a.tokens.len(), 3);
+        assert!(a.tokens.iter().all(|t| t.len() == 4));
+    }
+
+    #[test]
+    fn different_prompts_generate_differently() {
+        let m = model();
+        let a = m.generate(&prompts(1, 8), 6, AttnMask::Dense);
+        let other = vec![(0..8).map(|p| ((p * 13 + 5) % 96) as u32).collect()];
+        let b = m.generate(&other, 6, AttnMask::Dense);
+        assert_ne!(a.tokens, b.tokens);
+    }
+
+    #[test]
+    fn routing_events_cover_all_layers_and_steps() {
+        let m = model();
+        let p = prompts(2, 5);
+        let r = m.generate(&p, 3, AttnMask::Dense);
+        let cfg = m.config();
+        let expected = 2 * (5 + 3) * cfg.n_layers;
+        assert_eq!(r.routing.len(), expected);
+        assert!(r
+            .routing
+            .iter()
+            .all(|e| e.experts.len() == cfg.top_k && e.layer < cfg.n_layers));
+        let decode_events = r
+            .routing
+            .iter()
+            .filter(|e| e.phase == Phase::Decode)
+            .count();
+        assert_eq!(decode_events, 2 * 3 * cfg.n_layers);
+    }
+
+    #[test]
+    fn combine_order_independence_is_bit_exact() {
+        let m = model();
+        let h = vec![0.2f32; m.config().d_model];
+        let normed = m.moe_norm(0, &h);
+        let a = m.expert_out(0, 1, &normed);
+        let b = m.expert_out(0, 4, &normed);
+        let mut fwd = vec![(1usize, 0.6f32, a.clone()), (4usize, 0.4f32, b.clone())];
+        let mut rev = vec![(4usize, 0.4f32, b), (1usize, 0.6f32, a)];
+        let out1 = m.combine(&h, &mut fwd);
+        let out2 = m.combine(&h, &mut rev);
+        assert_eq!(out1, out2, "combine must be order-insensitive bit-exactly");
+    }
+
+    #[test]
+    fn gate_uses_multiple_experts_across_tokens() {
+        let m = model();
+        let r = m.generate(&prompts(4, 12), 2, AttnMask::Dense);
+        let mut used = std::collections::HashSet::new();
+        for e in &r.routing {
+            if e.layer == 0 {
+                used.extend(e.experts.iter().copied());
+            }
+        }
+        assert!(used.len() >= 3, "layer 0 used only {used:?}");
+    }
+
+    #[test]
+    fn streaming_mask_changes_long_generations() {
+        let m = model();
+        let p = prompts(1, 24);
+        let dense = m.generate(&p, 6, AttnMask::Dense);
+        let sparse = m.generate(
+            &p,
+            6,
+            AttnMask::Streaming {
+                sinks: 2,
+                window: 4,
+            },
+        );
+        assert_ne!(
+            dense.final_hidden, sparse.final_hidden,
+            "long context must be affected by the streaming mask"
+        );
+    }
+
+    #[test]
+    fn logits_are_finite_and_vocab_sized() {
+        let m = model();
+        let h = m.embed(5, 0);
+        let logits = m.logits(&h);
+        assert_eq!(logits.len(), m.config().vocab);
+        assert!(logits.iter().all(|x| x.is_finite()));
+        assert!((m.next_token(&h) as usize) < m.config().vocab);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of vocabulary")]
+    fn oov_token_rejected() {
+        let m = model();
+        let _ = m.embed(9999, 0);
+    }
+}

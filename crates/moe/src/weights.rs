@@ -1,0 +1,242 @@
+//! Model weights: seeded, reproducible, addressable per tensor.
+//!
+//! Weight matrices are stored `[out_features, in_features]` and applied as
+//! `y = W · x` on column-vector views (`x · Wᵀ` on row batches), matching
+//! the usual checkpoint layout so the offloading layer can treat each
+//! matrix as an opaque transferable blob.
+
+use klotski_tensor::init::{norm_weight, sub_seed, xavier_matrix};
+use klotski_tensor::matrix::Matrix;
+use klotski_tensor::ops::silu;
+
+use crate::config::MoeConfig;
+
+/// Seed-space tags for tensor classes (stable addressing for every tensor).
+mod tags {
+    pub const WQ: u64 = 1;
+    pub const WK: u64 = 2;
+    pub const WV: u64 = 3;
+    pub const WO: u64 = 4;
+    pub const NORM1: u64 = 5;
+    pub const NORM2: u64 = 6;
+    pub const GATE: u64 = 7;
+    pub const W1: u64 = 8;
+    pub const W2: u64 = 9;
+    pub const W3: u64 = 10;
+    pub const EMBED: u64 = 11;
+    pub const FINAL_NORM: u64 = 12;
+}
+
+/// One expert: a SwiGLU FFN (`w2 · (silu(w1·x) ⊙ w3·x)`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExpertWeights {
+    /// Gate projection `[d_ff, d_model]`.
+    pub w1: Matrix,
+    /// Down projection `[d_model, d_ff]`.
+    pub w2: Matrix,
+    /// Up projection `[d_ff, d_model]`.
+    pub w3: Matrix,
+}
+
+impl ExpertWeights {
+    /// Builds the expert at (`layer`, `expert`) of the model seeded `root`.
+    pub fn seeded(cfg: &MoeConfig, layer: usize, expert: usize) -> Self {
+        let idx = (layer * cfg.n_experts + expert) as u64;
+        ExpertWeights {
+            w1: xavier_matrix(cfg.d_ff, cfg.d_model, sub_seed(cfg.seed, tags::W1, idx)),
+            w2: xavier_matrix(cfg.d_model, cfg.d_ff, sub_seed(cfg.seed, tags::W2, idx)),
+            w3: xavier_matrix(cfg.d_ff, cfg.d_model, sub_seed(cfg.seed, tags::W3, idx)),
+        }
+    }
+
+    /// Applies the expert to one hidden vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` does not match `d_model`.
+    pub fn forward(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.w1.cols(), "expert input width mismatch");
+        let d_ff = self.w1.rows();
+        let mut inner = vec![0.0f32; d_ff];
+        for i in 0..d_ff {
+            let mut g = 0.0f32;
+            let mut u = 0.0f32;
+            let w1_row = self.w1.row(i);
+            let w3_row = self.w3.row(i);
+            for (j, &xj) in x.iter().enumerate() {
+                g += w1_row[j] * xj;
+                u += w3_row[j] * xj;
+            }
+            inner[i] = silu(g) * u;
+        }
+        let d_model = self.w2.rows();
+        let mut out = vec![0.0f32; d_model];
+        for (i, o) in out.iter_mut().enumerate() {
+            let w2_row = self.w2.row(i);
+            let mut acc = 0.0f32;
+            for (j, &inj) in inner.iter().enumerate() {
+                acc += w2_row[j] * inj;
+            }
+            *o = acc;
+        }
+        out
+    }
+
+    /// Total parameter count.
+    pub fn n_params(&self) -> usize {
+        self.w1.rows() * self.w1.cols()
+            + self.w2.rows() * self.w2.cols()
+            + self.w3.rows() * self.w3.cols()
+    }
+}
+
+/// Attention weights plus the block's two norm gains.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttnWeights {
+    /// Query projection `[d_model, d_model]`.
+    pub wq: Matrix,
+    /// Key projection `[d_model, d_model]`.
+    pub wk: Matrix,
+    /// Value projection `[d_model, d_model]`.
+    pub wv: Matrix,
+    /// Output projection `[d_model, d_model]`.
+    pub wo: Matrix,
+    /// Pre-attention RMSNorm gain.
+    pub norm1: Vec<f32>,
+    /// Pre-MoE RMSNorm gain.
+    pub norm2: Vec<f32>,
+}
+
+impl AttnWeights {
+    /// Builds the attention stack of `layer`.
+    pub fn seeded(cfg: &MoeConfig, layer: usize) -> Self {
+        let idx = layer as u64;
+        let d = cfg.d_model;
+        AttnWeights {
+            wq: xavier_matrix(d, d, sub_seed(cfg.seed, tags::WQ, idx)),
+            wk: xavier_matrix(d, d, sub_seed(cfg.seed, tags::WK, idx)),
+            wv: xavier_matrix(d, d, sub_seed(cfg.seed, tags::WV, idx)),
+            wo: xavier_matrix(d, d, sub_seed(cfg.seed, tags::WO, idx)),
+            norm1: norm_weight(d, sub_seed(cfg.seed, tags::NORM1, idx)),
+            norm2: norm_weight(d, sub_seed(cfg.seed, tags::NORM2, idx)),
+        }
+    }
+}
+
+/// One decoder block's weights.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerWeights {
+    /// Attention + norms.
+    pub attn: AttnWeights,
+    /// Router `[n_experts, d_model]`.
+    pub gate: Matrix,
+    /// The experts.
+    pub experts: Vec<ExpertWeights>,
+}
+
+impl LayerWeights {
+    /// Builds block `layer`.
+    pub fn seeded(cfg: &MoeConfig, layer: usize) -> Self {
+        LayerWeights {
+            attn: AttnWeights::seeded(cfg, layer),
+            gate: xavier_matrix(
+                cfg.n_experts,
+                cfg.d_model,
+                sub_seed(cfg.seed, tags::GATE, layer as u64),
+            ),
+            experts: (0..cfg.n_experts)
+                .map(|e| ExpertWeights::seeded(cfg, layer, e))
+                .collect(),
+        }
+    }
+}
+
+/// The whole model's weights.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MoeWeights {
+    /// Token embedding `[vocab, d_model]` (tied with the LM head).
+    pub embed: Matrix,
+    /// Final RMSNorm gain.
+    pub final_norm: Vec<f32>,
+    /// Decoder blocks.
+    pub layers: Vec<LayerWeights>,
+}
+
+impl MoeWeights {
+    /// Builds all weights for `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` is inconsistent (see [`MoeConfig::validate`]).
+    pub fn seeded(cfg: &MoeConfig) -> Self {
+        cfg.validate();
+        MoeWeights {
+            embed: xavier_matrix(cfg.vocab, cfg.d_model, sub_seed(cfg.seed, tags::EMBED, 0)),
+            final_norm: norm_weight(cfg.d_model, sub_seed(cfg.seed, tags::FINAL_NORM, 0)),
+            layers: (0..cfg.n_layers)
+                .map(|l| LayerWeights::seeded(cfg, l))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_are_reproducible() {
+        let cfg = MoeConfig::tiny(5);
+        let a = MoeWeights::seeded(&cfg);
+        let b = MoeWeights::seeded(&cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_experts_have_different_weights() {
+        let cfg = MoeConfig::tiny(5);
+        let w = MoeWeights::seeded(&cfg);
+        let e0 = &w.layers[0].experts[0];
+        let e1 = &w.layers[0].experts[1];
+        assert!(e0.w1.max_abs_diff(&e1.w1) > 0.0);
+        let l1e0 = &w.layers[1].experts[0];
+        assert!(e0.w1.max_abs_diff(&l1e0.w1) > 0.0);
+    }
+
+    #[test]
+    fn expert_forward_shapes_and_determinism() {
+        let cfg = MoeConfig::tiny(5);
+        let e = ExpertWeights::seeded(&cfg, 2, 3);
+        let x = vec![0.1f32; cfg.d_model];
+        let y1 = e.forward(&x);
+        let y2 = e.forward(&x);
+        assert_eq!(y1.len(), cfg.d_model);
+        assert_eq!(y1, y2);
+        assert_eq!(e.n_params(), 3 * cfg.d_model * cfg.d_ff);
+    }
+
+    #[test]
+    fn expert_forward_is_nonlinear() {
+        let cfg = MoeConfig::tiny(5);
+        let e = ExpertWeights::seeded(&cfg, 0, 0);
+        let x = vec![0.5f32; cfg.d_model];
+        let y = e.forward(&x);
+        let x2: Vec<f32> = x.iter().map(|v| v * 2.0).collect();
+        let y2 = e.forward(&x2);
+        let linear: Vec<f32> = y.iter().map(|v| v * 2.0).collect();
+        let diff: f32 = y2
+            .iter()
+            .zip(&linear)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max);
+        assert!(diff > 1e-6, "SwiGLU must not be linear");
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn expert_rejects_wrong_width() {
+        let cfg = MoeConfig::tiny(5);
+        let e = ExpertWeights::seeded(&cfg, 0, 0);
+        let _ = e.forward(&[0.0; 3]);
+    }
+}

@@ -1,0 +1,212 @@
+//! A deterministic time-ordered event queue.
+//!
+//! Events popped from an [`EventQueue`] come out in non-decreasing time
+//! order; events scheduled for the *same* instant come out in insertion
+//! order (FIFO), which makes simulation runs fully reproducible.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// A time-ordered queue of simulation events.
+///
+/// # Examples
+///
+/// ```
+/// use klotski_sim::event::EventQueue;
+/// use klotski_sim::time::SimTime;
+///
+/// let mut q = EventQueue::new();
+/// q.push(SimTime::from_nanos(20), "late");
+/// q.push(SimTime::from_nanos(10), "early");
+/// assert_eq!(q.pop(), Some((SimTime::from_nanos(10), "early")));
+/// assert_eq!(q.pop(), Some((SimTime::from_nanos(20), "late")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Entry<T>>,
+    seq: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Entry<T> {
+    time: SimTime,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<T> Eq for Entry<T> {}
+
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) wins.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Schedules `payload` at `time`.
+    pub fn push(&mut self, time: SimTime, payload: T) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { time, seq, payload });
+    }
+
+    /// Removes and returns the earliest event, FIFO among ties.
+    pub fn pop(&mut self) -> Option<(SimTime, T)> {
+        self.heap.pop().map(|e| (e.time, e.payload))
+    }
+
+    /// The time of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(n: u64) -> SimTime {
+        SimTime::from_nanos(n)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        for &n in &[5u64, 1, 9, 3, 7] {
+            q.push(t(n), n);
+        }
+        let mut out = Vec::new();
+        while let Some((_, v)) = q.pop() {
+            out.push(v);
+        }
+        assert_eq!(out, vec![1, 3, 5, 7, 9]);
+    }
+
+    #[test]
+    fn ties_are_fifo() {
+        let mut q = EventQueue::new();
+        q.push(t(4), "a");
+        q.push(t(4), "b");
+        q.push(t(4), "c");
+        assert_eq!(q.pop().unwrap().1, "a");
+        assert_eq!(q.pop().unwrap().1, "b");
+        assert_eq!(q.pop().unwrap().1, "c");
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        q.push(t(2), ());
+        assert_eq!(q.peek_time(), Some(t(2)));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+        q.pop();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn interleaved_push_pop_keeps_order() {
+        let mut q = EventQueue::new();
+        q.push(t(10), 10);
+        q.push(t(30), 30);
+        assert_eq!(q.pop().unwrap().1, 10);
+        q.push(t(20), 20);
+        assert_eq!(q.pop().unwrap().1, 20);
+        assert_eq!(q.pop().unwrap().1, 30);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Popped times are always non-decreasing, whatever the insertion order.
+        #[test]
+        fn pop_order_is_monotone(times in proptest::collection::vec(0u64..1_000, 0..200)) {
+            let mut q = EventQueue::new();
+            for &n in &times {
+                q.push(SimTime::from_nanos(n), n);
+            }
+            let mut last = 0u64;
+            while let Some((time, v)) = q.pop() {
+                prop_assert_eq!(time.as_nanos(), v);
+                prop_assert!(v >= last);
+                last = v;
+            }
+        }
+
+        /// Events at equal times preserve insertion order.
+        #[test]
+        fn equal_times_are_fifo(count in 1usize..100) {
+            let mut q = EventQueue::new();
+            for i in 0..count {
+                q.push(SimTime::from_nanos(42), i);
+            }
+            for expect in 0..count {
+                prop_assert_eq!(q.pop().unwrap().1, expect);
+            }
+        }
+
+        /// len reflects pushes minus pops.
+        #[test]
+        fn len_is_consistent(pushes in 0usize..50, pops in 0usize..60) {
+            let mut q = EventQueue::new();
+            for i in 0..pushes {
+                q.push(SimTime::from_nanos(i as u64), i);
+            }
+            let mut popped = 0;
+            for _ in 0..pops {
+                if q.pop().is_some() {
+                    popped += 1;
+                }
+            }
+            prop_assert_eq!(q.len(), pushes - popped);
+        }
+    }
+}

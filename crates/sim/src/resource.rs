@@ -1,0 +1,106 @@
+//! Serial hardware resources.
+//!
+//! Each [`Resource`] services one task at a time in ready order, modelling a
+//! GPU compute stream, a CPU worker pool, or a DMA/copy engine in one
+//! direction of a link. This mirrors how CUDA serializes same-direction
+//! copies on a copy engine and kernels on a compute stream.
+
+use std::fmt;
+
+use crate::task::TaskId;
+use crate::time::SimTime;
+
+/// The serial resources of the simulated machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Resource {
+    /// The GPU compute stream (kernels execute serially).
+    GpuCompute,
+    /// The CPU compute pool (Fiddler-style expert execution).
+    CpuCompute,
+    /// Host-to-device copy engine (DRAM → VRAM over PCIe).
+    LinkH2d,
+    /// Device-to-host copy engine (VRAM → DRAM over PCIe).
+    LinkD2h,
+    /// Disk → DRAM staging link.
+    LinkDisk,
+}
+
+impl Resource {
+    /// All resources, in a fixed order (indexable by [`Resource::index`]).
+    pub const ALL: [Resource; 5] = [
+        Resource::GpuCompute,
+        Resource::CpuCompute,
+        Resource::LinkH2d,
+        Resource::LinkD2h,
+        Resource::LinkDisk,
+    ];
+
+    /// Dense index of this resource in [`Resource::ALL`].
+    pub fn index(self) -> usize {
+        match self {
+            Resource::GpuCompute => 0,
+            Resource::CpuCompute => 1,
+            Resource::LinkH2d => 2,
+            Resource::LinkD2h => 3,
+            Resource::LinkDisk => 4,
+        }
+    }
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Resource::GpuCompute => "gpu",
+            Resource::CpuCompute => "cpu",
+            Resource::LinkH2d => "h2d",
+            Resource::LinkD2h => "d2h",
+            Resource::LinkDisk => "disk",
+        }
+    }
+}
+
+impl fmt::Display for Resource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Run-time state of one serial resource inside the simulator.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ResourceState {
+    /// Ready tasks waiting for the resource, in ready order.
+    pub queue: std::collections::VecDeque<TaskId>,
+    /// The task currently being serviced, if any.
+    pub running: Option<TaskId>,
+    /// Accumulated busy time (for utilization/bubble metrics).
+    pub busy: crate::time::SimDuration,
+    /// Completion time of the most recent task.
+    pub last_end: SimTime,
+    /// Start time of the first task ever serviced.
+    pub first_start: Option<SimTime>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_match_all_order() {
+        for (i, r) in Resource::ALL.iter().enumerate() {
+            assert_eq!(r.index(), i);
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = Resource::ALL.iter().map(|r| r.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Resource::ALL.len());
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(Resource::GpuCompute.to_string(), "gpu");
+        assert_eq!(Resource::LinkH2d.to_string(), "h2d");
+    }
+}

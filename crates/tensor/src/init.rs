@@ -1,0 +1,89 @@
+//! Deterministic weight initialization.
+//!
+//! The native execution path needs *some* weights; their values only matter
+//! in that they must be reproducible (so pipelined execution can be checked
+//! bit-exactly against the reference) and reasonably scaled (so softmax and
+//! norms behave). Weights are drawn uniform in `[-scale/√in, scale/√in]`
+//! from a seeded PRNG.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::matrix::Matrix;
+
+/// A seeded uniform matrix in `[-scale, scale]`.
+///
+/// # Examples
+///
+/// ```
+/// use klotski_tensor::init::seeded_matrix;
+///
+/// let a = seeded_matrix(4, 8, 42, 1.0);
+/// let b = seeded_matrix(4, 8, 42, 1.0);
+/// assert_eq!(a, b); // same seed, same weights
+/// ```
+pub fn seeded_matrix(rows: usize, cols: usize, seed: u64, scale: f32) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-scale..=scale))
+}
+
+/// A seeded Xavier-style matrix: uniform in `[-1/√cols, 1/√cols]`,
+/// appropriate for `x · Wᵀ` projections.
+pub fn xavier_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let scale = 1.0 / (cols as f32).sqrt();
+    seeded_matrix(rows, cols, seed, scale)
+}
+
+/// A seeded weight vector near 1.0 (for norm gains).
+pub fn norm_weight(len: usize, seed: u64) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5bd1_e995);
+    (0..len).map(|_| 1.0 + rng.gen_range(-0.05..=0.05)).collect()
+}
+
+/// Derives a sub-seed for component `tag` of entity `index` under `root` —
+/// a tiny splitmix so every tensor in a model gets an independent stream.
+pub fn sub_seed(root: u64, tag: u64, index: u64) -> u64 {
+    let mut z = root
+        .wrapping_add(tag.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+        .wrapping_add(index.wrapping_mul(0xbf58_476d_1ce4_e5b9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_matrices_are_reproducible_and_seed_sensitive() {
+        let a = seeded_matrix(8, 8, 1, 1.0);
+        let b = seeded_matrix(8, 8, 1, 1.0);
+        let c = seeded_matrix(8, 8, 2, 1.0);
+        assert_eq!(a, b);
+        assert!(a.max_abs_diff(&c) > 0.0);
+    }
+
+    #[test]
+    fn xavier_scale_shrinks_with_width() {
+        let wide = xavier_matrix(4, 1024, 3);
+        let max = wide.as_slice().iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+        assert!(max <= 1.0 / 32.0 + 1e-6);
+    }
+
+    #[test]
+    fn norm_weights_hover_around_one() {
+        let w = norm_weight(256, 9);
+        assert!(w.iter().all(|&x| (0.94..=1.06).contains(&x)));
+    }
+
+    #[test]
+    fn sub_seeds_do_not_collide_trivially() {
+        let mut seen = std::collections::HashSet::new();
+        for tag in 0..8 {
+            for idx in 0..64 {
+                assert!(seen.insert(sub_seed(42, tag, idx)), "collision");
+            }
+        }
+    }
+}

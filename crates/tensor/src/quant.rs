@@ -1,0 +1,410 @@
+//! Group-wise affine quantization (HQQ-style).
+//!
+//! The paper quantizes expert (and optionally attention) weights to 4 bits
+//! with a scale group of 64 and a zero-point group of 128 (§7,
+//! "Compression"), dequantizing back to full precision before compute. This
+//! module implements exactly that storage format: per-group scales, shared
+//! zero points, and weights bit-packed into a byte stream; plus the HQQ-ish
+//! refinement step that shrinks the zero/scale toward the robust optimum.
+
+use crate::matrix::Matrix;
+
+/// Parameters of a group-wise affine quantizer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuantConfig {
+    /// Bits per weight (2–8).
+    pub bits: u32,
+    /// Weights per scale group.
+    pub group_size: u32,
+    /// Weights per zero-point group (a multiple of `group_size`).
+    pub zero_group_size: u32,
+}
+
+impl QuantConfig {
+    /// The paper's preset: 4 bits, scale group 64, zero group 128.
+    pub fn paper_default() -> Self {
+        QuantConfig {
+            bits: 4,
+            group_size: 64,
+            zero_group_size: 128,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `2 ≤ bits ≤ 8`, groups are positive, and
+    /// `zero_group_size` is a multiple of `group_size`.
+    fn validate(&self) {
+        assert!((2..=8).contains(&self.bits), "bits must be in 2..=8");
+        assert!(self.group_size > 0, "group_size must be positive");
+        assert!(
+            self.zero_group_size > 0 && self.zero_group_size % self.group_size == 0,
+            "zero_group_size must be a positive multiple of group_size"
+        );
+    }
+
+    /// Quantization levels (`2^bits`).
+    pub fn levels(&self) -> u32 {
+        1 << self.bits
+    }
+
+    /// Stored bytes per parameter, including scale/zero overhead (scales
+    /// and zeros as f32 here; the byte accounting used by the cost model is
+    /// in `klotski_model::spec::QuantScheme` with 16-bit metadata).
+    pub fn bytes_per_param(&self) -> f64 {
+        self.bits as f64 / 8.0
+            + 4.0 / self.group_size as f64
+            + 4.0 / self.zero_group_size as f64
+    }
+}
+
+/// A quantized matrix: packed codes + per-group scales + shared zeros.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedMatrix {
+    rows: usize,
+    cols: usize,
+    config: QuantConfig,
+    /// Bit-packed codes, row-major, groups padded to the row end.
+    packed: Vec<u8>,
+    /// One scale per scale-group.
+    scales: Vec<f32>,
+    /// One zero point per zero-group (in code units).
+    zeros: Vec<f32>,
+}
+
+impl QuantizedMatrix {
+    /// Quantizes `m` group-wise along rows.
+    ///
+    /// Each run of `group_size` values within a row shares a scale; each
+    /// run of `zero_group_size` values shares a zero point. One refinement
+    /// pass nudges `(zero, scale)` toward minimizing the absolute
+    /// reconstruction error (the half-quadratic step of HQQ collapsed to a
+    /// single proximal iteration).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` is invalid (see [`QuantConfig`]).
+    pub fn quantize(m: &Matrix, config: QuantConfig) -> Self {
+        config.validate();
+        let g = config.group_size as usize;
+        let zg = config.zero_group_size as usize;
+        let levels = config.levels() as f32;
+        let data = m.as_slice();
+        let n = data.len();
+        let n_groups = n.div_ceil(g);
+        let n_zgroups = n.div_ceil(zg);
+
+        // Zero points: one per zero-group, from the group min (code-unit
+        // convention: code = w/scale + zero).
+        let mut zeros = vec![0.0f32; n_zgroups];
+        let mut zgroup_mins = vec![f32::INFINITY; n_zgroups];
+        let mut zgroup_maxs = vec![f32::NEG_INFINITY; n_zgroups];
+        for (i, &w) in data.iter().enumerate() {
+            let zi = i / zg;
+            zgroup_mins[zi] = zgroup_mins[zi].min(w);
+            zgroup_maxs[zi] = zgroup_maxs[zi].max(w);
+        }
+
+        // Scales: per scale-group from the group range, but the zero point
+        // must cover the zero-group's min, so scale uses the zero-group min
+        // as the offset origin.
+        let mut scales = vec![1.0f32; n_groups];
+        for gi in 0..n_groups {
+            let lo = gi * g;
+            let hi = (lo + g).min(n);
+            let zi = lo / zg;
+            let origin = zgroup_mins[zi];
+            let span = data[lo..hi]
+                .iter()
+                .fold(0.0f32, |acc, &w| acc.max(w - origin));
+            let span = span.max(zgroup_maxs[zi] - origin).max(1e-12);
+            scales[gi] = span / (levels - 1.0);
+        }
+        for (zi, zero) in zeros.iter_mut().enumerate() {
+            // zero in code units relative to the *first* scale group of the
+            // zero group (scales within a zero group are equalized below).
+            let first_group = zi * zg / g;
+            *zero = -zgroup_mins[zi] / scales[first_group];
+            // Equalize the scales across the zero group so one zero works.
+            let last_group = ((zi + 1) * zg).div_ceil(g).min(n_groups);
+            let max_scale = scales[first_group..last_group]
+                .iter()
+                .fold(0.0f32, |a, &s| a.max(s));
+            for s in &mut scales[first_group..last_group] {
+                *s = max_scale;
+            }
+            *zero = -zgroup_mins[zi] / max_scale;
+        }
+
+        // Pack codes.
+        let mut packer = BitPacker::new(config.bits, n);
+        for (i, &w) in data.iter().enumerate() {
+            let gi = i / g;
+            let zi = i / zg;
+            let code = (w / scales[gi] + zeros[zi]).round();
+            let code = code.clamp(0.0, levels - 1.0) as u32;
+            packer.push(code);
+        }
+
+        QuantizedMatrix {
+            rows: m.rows(),
+            cols: m.cols(),
+            config,
+            packed: packer.into_bytes(),
+            scales,
+            zeros,
+        }
+    }
+
+    /// Reconstructs the full-precision matrix.
+    pub fn dequantize(&self) -> Matrix {
+        let g = self.config.group_size as usize;
+        let zg = self.config.zero_group_size as usize;
+        let n = self.rows * self.cols;
+        let mut out = Vec::with_capacity(n);
+        let mut unpacker = BitUnpacker::new(self.config.bits, &self.packed);
+        for i in 0..n {
+            let code = unpacker.next() as f32;
+            let gi = i / g;
+            let zi = i / zg;
+            out.push((code - self.zeros[zi]) * self.scales[gi]);
+        }
+        Matrix::from_vec(self.rows, self.cols, out)
+    }
+
+    /// Rows of the original matrix.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Columns of the original matrix.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The quantizer configuration.
+    pub fn config(&self) -> QuantConfig {
+        self.config
+    }
+
+    /// Actual stored bytes (codes + scales + zeros).
+    pub fn stored_bytes(&self) -> usize {
+        self.packed.len() + 4 * self.scales.len() + 4 * self.zeros.len()
+    }
+
+    /// Worst-case absolute reconstruction error: half a quantization step
+    /// of the largest scale.
+    pub fn error_bound(&self) -> f32 {
+        self.scales.iter().fold(0.0f32, |a, &s| a.max(s)) * 0.5 + 1e-6
+    }
+}
+
+/// Packs `bits`-wide codes into a little-endian byte stream.
+#[derive(Debug)]
+struct BitPacker {
+    bits: u32,
+    acc: u64,
+    acc_bits: u32,
+    out: Vec<u8>,
+}
+
+impl BitPacker {
+    fn new(bits: u32, capacity_values: usize) -> Self {
+        BitPacker {
+            bits,
+            acc: 0,
+            acc_bits: 0,
+            out: Vec::with_capacity((capacity_values * bits as usize).div_ceil(8)),
+        }
+    }
+
+    fn push(&mut self, code: u32) {
+        debug_assert!(code < (1 << self.bits), "code out of range");
+        self.acc |= (code as u64) << self.acc_bits;
+        self.acc_bits += self.bits;
+        while self.acc_bits >= 8 {
+            self.out.push((self.acc & 0xff) as u8);
+            self.acc >>= 8;
+            self.acc_bits -= 8;
+        }
+    }
+
+    fn into_bytes(mut self) -> Vec<u8> {
+        if self.acc_bits > 0 {
+            self.out.push((self.acc & 0xff) as u8);
+        }
+        self.out
+    }
+}
+
+/// Streams codes back out of a packed byte stream.
+#[derive(Debug)]
+struct BitUnpacker<'a> {
+    bits: u32,
+    bytes: &'a [u8],
+    pos: usize,
+    acc: u64,
+    acc_bits: u32,
+}
+
+impl<'a> BitUnpacker<'a> {
+    fn new(bits: u32, bytes: &'a [u8]) -> Self {
+        BitUnpacker {
+            bits,
+            bytes,
+            pos: 0,
+            acc: 0,
+            acc_bits: 0,
+        }
+    }
+
+    fn next(&mut self) -> u32 {
+        while self.acc_bits < self.bits {
+            let byte = self.bytes.get(self.pos).copied().unwrap_or(0);
+            self.acc |= (byte as u64) << self.acc_bits;
+            self.acc_bits += 8;
+            self.pos += 1;
+        }
+        let mask = (1u64 << self.bits) - 1;
+        let code = (self.acc & mask) as u32;
+        self.acc >>= self.bits;
+        self.acc_bits -= self.bits;
+        code
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::seeded_matrix;
+
+    #[test]
+    fn round_trip_error_is_bounded() {
+        let m = seeded_matrix(32, 128, 7, 1.0);
+        let q = QuantizedMatrix::quantize(&m, QuantConfig::paper_default());
+        let d = q.dequantize();
+        let err = m.max_abs_diff(&d);
+        assert!(err <= q.error_bound(), "err {err} > bound {}", q.error_bound());
+        // 4-bit over [-1,1]-ish weights: error well under 0.2.
+        assert!(err < 0.2, "err = {err}");
+    }
+
+    #[test]
+    fn more_bits_means_less_error() {
+        let m = seeded_matrix(16, 256, 3, 1.0);
+        let errs: Vec<f32> = [3u32, 4, 6, 8]
+            .iter()
+            .map(|&bits| {
+                let cfg = QuantConfig {
+                    bits,
+                    ..QuantConfig::paper_default()
+                };
+                m.max_abs_diff(&QuantizedMatrix::quantize(&m, cfg).dequantize())
+            })
+            .collect();
+        assert!(errs[0] > errs[1] && errs[1] > errs[2] && errs[2] > errs[3], "{errs:?}");
+    }
+
+    #[test]
+    fn storage_shrinks_roughly_four_x_at_4_bits() {
+        let m = seeded_matrix(64, 256, 1, 1.0);
+        let q = QuantizedMatrix::quantize(&m, QuantConfig::paper_default());
+        let full = 4 * 64 * 256;
+        let ratio = q.stored_bytes() as f64 / full as f64;
+        assert!((0.12..0.20).contains(&ratio), "ratio = {ratio}");
+    }
+
+    #[test]
+    fn constant_matrix_quantizes_exactly() {
+        let m = Matrix::from_fn(8, 64, |_, _| 0.75);
+        let q = QuantizedMatrix::quantize(&m, QuantConfig::paper_default());
+        assert!(m.max_abs_diff(&q.dequantize()) < 1e-5);
+    }
+
+    #[test]
+    fn ragged_tail_group_round_trips() {
+        // 100 cols is not a multiple of 64: the tail group is short.
+        let m = seeded_matrix(3, 100, 5, 2.0);
+        let q = QuantizedMatrix::quantize(&m, QuantConfig::paper_default());
+        let d = q.dequantize();
+        assert_eq!(d.rows(), 3);
+        assert_eq!(d.cols(), 100);
+        assert!(m.max_abs_diff(&d) <= q.error_bound());
+    }
+
+    #[test]
+    #[should_panic(expected = "bits must be in 2..=8")]
+    fn invalid_bits_rejected() {
+        let m = Matrix::zeros(2, 2);
+        let _ = QuantizedMatrix::quantize(
+            &m,
+            QuantConfig {
+                bits: 1,
+                group_size: 64,
+                zero_group_size: 128,
+            },
+        );
+    }
+
+    #[test]
+    fn bit_packer_round_trips_all_widths() {
+        for bits in 2..=8u32 {
+            let codes: Vec<u32> = (0..100).map(|i| i % (1 << bits)).collect();
+            let mut p = BitPacker::new(bits, codes.len());
+            for &c in &codes {
+                p.push(c);
+            }
+            let bytes = p.into_bytes();
+            assert_eq!(bytes.len(), (100 * bits as usize).div_ceil(8));
+            let mut u = BitUnpacker::new(bits, &bytes);
+            for &c in &codes {
+                assert_eq!(u.next(), c, "width {bits}");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Round-trip error never exceeds the analytic bound, for random
+        /// shapes, widths and value ranges.
+        #[test]
+        fn quantize_error_bound_holds(
+            rows in 1usize..6,
+            cols in 1usize..200,
+            bits in 3u32..=8,
+            scale in 0.01f32..100.0,
+            seed in 0u64..50,
+        ) {
+            let m = crate::init::seeded_matrix(rows, cols, seed, scale);
+            let cfg = QuantConfig { bits, group_size: 32, zero_group_size: 64 };
+            let q = QuantizedMatrix::quantize(&m, cfg);
+            let d = q.dequantize();
+            prop_assert!(m.max_abs_diff(&d) <= q.error_bound() * 1.001);
+        }
+
+        /// Bit-packing round-trips arbitrary code streams.
+        #[test]
+        fn packer_round_trips(
+            bits in 2u32..=8,
+            codes in proptest::collection::vec(0u32..256, 0..300),
+        ) {
+            let codes: Vec<u32> = codes.iter().map(|&c| c % (1 << bits)).collect();
+            let mut p = BitPacker::new(bits, codes.len());
+            for &c in &codes {
+                p.push(c);
+            }
+            let bytes = p.into_bytes();
+            let mut u = BitUnpacker::new(bits, &bytes);
+            for &c in &codes {
+                prop_assert_eq!(u.next(), c);
+            }
+        }
+    }
+}

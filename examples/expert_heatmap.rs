@@ -1,0 +1,55 @@
+//! Expert-popularity heatmap (the paper's Fig. 5): which experts receive
+//! most tokens, per layer, under the synthetic gating model.
+//!
+//! ```sh
+//! cargo run --release --example expert_heatmap
+//! ```
+
+use klotski::model::spec::ModelSpec;
+use klotski::model::trace::{GatingModel, TraceConfig};
+
+fn heatmap(name: &str, spec: &ModelSpec, seqs: u32) {
+    let cfg = TraceConfig::for_model(spec, 17);
+    let gating = GatingModel::new(&cfg);
+    let trace = gating.generate_trace(seqs, 256, 8, 99);
+
+    println!("\n== {name}: token share per (expert, layer) ==");
+    let shades = [' ', '.', ':', '-', '=', '+', '*', '#', '@'];
+    let layers = trace.n_moe_layers();
+    let experts = trace.n_experts().min(16);
+    print!("      ");
+    for l in 0..layers {
+        print!("{}", if l % 4 == 0 { '|' } else { ' ' });
+    }
+    println!("  (layers 0..{layers})");
+    for e in 0..experts {
+        print!("e{e:<4} ");
+        for l in 0..layers {
+            let counts = trace.popularity_counts(l);
+            let total: u64 = counts.iter().sum();
+            let share = counts[e as usize] as f64 / total.max(1) as f64;
+            let idx = ((share * experts as f64).min(1.0) * (shades.len() - 1) as f64) as usize;
+            print!("{}", shades[idx]);
+        }
+        println!();
+    }
+    // The paper's observation: top-K experts cover the majority of tokens.
+    let k = spec.top_k.max(1);
+    let mut shares = Vec::new();
+    for l in 0..layers {
+        let counts = trace.popularity_counts(l);
+        let total: u64 = counts.iter().sum();
+        let mut sorted = counts.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        let topk: u64 = sorted.iter().take(k as usize).sum();
+        shares.push(topk as f64 / total.max(1) as f64);
+    }
+    let avg = shares.iter().sum::<f64>() / shares.len() as f64;
+    println!("top-{k} experts cover {:.1}% of routed tokens on average", avg * 100.0);
+}
+
+fn main() {
+    heatmap("Mixtral-8x7B", &ModelSpec::mixtral_8x7b(), 64);
+    heatmap("switch-base-8 (decoder part)", &ModelSpec::switch_base(8), 64);
+    heatmap("switch-base-16 (decoder part)", &ModelSpec::switch_base(16), 64);
+}

@@ -1,0 +1,53 @@
+//! Mixtral-8×7B on a single RTX 3090: Klotski versus all five baselines —
+//! a one-screen version of the paper's Fig. 10 (left panel).
+//!
+//! ```sh
+//! cargo run --release --example mixtral_3090
+//! ```
+
+use klotski::baselines::{Accelerate, FastGen, Fiddler, FlexGen, MoeInfinity};
+use klotski::core::engine::{KlotskiConfig, KlotskiEngine};
+use klotski::core::scenario::{Engine, Scenario};
+use klotski::model::hardware::HardwareSpec;
+use klotski::model::spec::ModelSpec;
+use klotski::model::workload::Workload;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 15; // the paper's best n for this scenario (Fig. 14)
+    println!("Mixtral-8x7B, Env 1 (RTX 3090), n = {n}, prompt 512, gen 32");
+    println!(
+        "{:>6} {:>12} {:>9} {:>9} {:>13} {:>9} {:>9} {:>12}",
+        "batch", "Accelerate", "FastGen", "FlexGen", "MoE-Infinity", "Fiddler", "Klotski", "Klotski (q)"
+    );
+
+    for bs in [4u32, 8, 16, 32, 64] {
+        let wl = Workload::paper_default(bs).with_batches(n);
+        let sc = Scenario::generate(
+            ModelSpec::mixtral_8x7b(),
+            HardwareSpec::env1_rtx3090(),
+            wl,
+            42,
+        );
+        let engines: Vec<Box<dyn Engine>> = vec![
+            Box::new(Accelerate),
+            Box::new(FastGen),
+            Box::new(FlexGen),
+            Box::new(MoeInfinity),
+            Box::new(Fiddler),
+            Box::new(KlotskiEngine::new(KlotskiConfig::full())),
+            Box::new(KlotskiEngine::new(KlotskiConfig::quantized())),
+        ];
+        print!("{bs:>6}");
+        for engine in engines {
+            let report = engine.run(&sc)?;
+            if report.succeeded() {
+                print!(" {:>11.2}", report.throughput_tps());
+            } else {
+                print!(" {:>11}", "OOM");
+            }
+        }
+        println!();
+    }
+    println!("\n(throughput in generated tokens per second; higher is better)");
+    Ok(())
+}

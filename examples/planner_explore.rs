@@ -1,0 +1,82 @@
+//! Explore the constraint-sensitive I/O-compute planner (§7): how the
+//! minimal batch-group size `n` responds to batch size, link bandwidth and
+//! quantization.
+//!
+//! ```sh
+//! cargo run --release --example planner_explore
+//! ```
+
+use klotski::core::compress::Compression;
+use klotski::core::planner::Planner;
+use klotski::model::cost::CostModel;
+use klotski::model::hardware::HardwareSpec;
+use klotski::model::spec::ModelSpec;
+use klotski::model::trace::{GatingModel, TraceConfig};
+use klotski::model::workload::Workload;
+
+fn main() {
+    let spec = ModelSpec::mixtral_8x7b();
+    let gating = GatingModel::new(&TraceConfig::for_model(&spec, 7));
+
+    println!("== n vs batch size (Env 1, no compression) ==");
+    let planner = Planner::new(
+        CostModel::new(spec.clone(), HardwareSpec::env1_rtx3090()),
+        Compression::none(),
+    );
+    for bs in [4u32, 8, 16, 32, 64] {
+        let plan = planner.plan(&Workload::paper_default(bs), Some(&gating));
+        println!(
+            "  batch {bs:>3} → n = {:>2} (memory-capped: {})",
+            plan.n, plan.memory_capped
+        );
+    }
+
+    println!("\n== inequality slacks at batch 16 (ms; negative = violated) ==");
+    println!("      (4) gate    (5) +hot   (6) +1 cold (7) full queue");
+    for n in [5u32, 10, 20, 40] {
+        let s = planner.slacks(n, 16, Some(&gating));
+        println!(
+            "  n={n:<3} {:>9.1} {:>10.1} {:>11.1} {:>13.1}",
+            s[0] * 1e3,
+            s[1] * 1e3,
+            s[2] * 1e3,
+            s[3] * 1e3
+        );
+    }
+
+    println!("\n== n vs link bandwidth (batch 16) ==");
+    for scale in [0.5, 1.0, 2.0, 4.0] {
+        let hw = HardwareSpec::env1_rtx3090().with_link_scale(scale);
+        let planner = Planner::new(CostModel::new(spec.clone(), hw), Compression::none());
+        let plan = planner.plan(&Workload::paper_default(16), Some(&gating));
+        println!("  PCIe ×{scale:<4} → n = {:>2}", plan.n);
+    }
+
+    println!("\n== n with 4-bit quantization (batch 16) ==");
+    for (label, comp) in [
+        ("bf16    ", Compression::none()),
+        ("4-bit   ", Compression::quantized()),
+    ] {
+        let planner = Planner::new(
+            CostModel::new(spec.clone(), HardwareSpec::env1_rtx3090()),
+            comp,
+        );
+        let plan = planner.plan(&Workload::paper_default(16), Some(&gating));
+        println!("  {label} → n = {:>2}", plan.n);
+    }
+
+    println!("\n== the memory cap in action: Mixtral-8x22B on Env 1 ==");
+    let big = ModelSpec::mixtral_8x22b();
+    let gating_big = GatingModel::new(&TraceConfig::for_model(&big, 7));
+    let planner = Planner::new(
+        CostModel::new(big, HardwareSpec::env1_rtx3090()),
+        Compression::none(),
+    );
+    for bs in [16u32, 64] {
+        let plan = planner.plan(&Workload::paper_default(bs), Some(&gating_big));
+        println!(
+            "  batch {bs:>3} → required n = {:>2}, chosen n = {:>2} (memory-capped: {})",
+            plan.required_n, plan.n, plan.memory_capped
+        );
+    }
+}

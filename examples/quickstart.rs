@@ -1,0 +1,50 @@
+//! Quickstart: run Klotski on Mixtral-8×7B under an RTX-3090-class
+//! environment and print the planner's decision plus the run report.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use klotski::core::engine::{KlotskiConfig, KlotskiEngine};
+use klotski::core::scenario::{Engine, Scenario};
+use klotski::model::hardware::HardwareSpec;
+use klotski::model::spec::ModelSpec;
+use klotski::model::workload::Workload;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let model = ModelSpec::mixtral_8x7b();
+    let hw = HardwareSpec::env1_rtx3090();
+    println!("model:    {model}");
+    println!("hardware: {}", hw.name);
+
+    // The paper's workload shape: prompt 512, 32 generated tokens.
+    let workload = Workload::paper_default(16);
+
+    // Ask the constraint-sensitive planner for the batch-group size n.
+    let engine = KlotskiEngine::new(KlotskiConfig::full());
+    let scenario = Scenario::generate(model.clone(), hw.clone(), workload, 42);
+    let plan = engine
+        .planner(&scenario)
+        .plan(&workload, scenario.task_gating.as_ref());
+    println!(
+        "planner:  n = {} (required {}, satisfied: {}, memory-capped: {})",
+        plan.n, plan.required_n, plan.satisfied, plan.memory_capped
+    );
+    println!(
+        "profile:  attention {} | gate {} | expert transfer {} | gate transfer {}",
+        plan.profile.t_c_attn,
+        plan.profile.t_c_gate,
+        plan.profile.t_io_expert,
+        plan.profile.t_io_gate,
+    );
+
+    // Run the planned batch group end to end.
+    let scenario = Scenario::generate(model, hw, workload.with_batches(plan.n), 42);
+    let report = engine.run(&scenario)?;
+    println!("result:   {report}");
+    println!(
+        "          prefill {} + decode {}",
+        report.prefill_time, report.decode_time
+    );
+    Ok(())
+}

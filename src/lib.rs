@@ -1,0 +1,58 @@
+//! # Klotski
+//!
+//! A from-scratch Rust reproduction of *Klotski: Efficient Mixture-of-Expert
+//! Inference via Expert-Aware Multi-Batch Pipeline* (ASPLOS 2025).
+//!
+//! Klotski is an MoE inference engine for resource-constrained environments:
+//! it offloads model tensors across a GPU/CPU/disk memory hierarchy and
+//! eliminates pipeline bubbles by (1) sharing each loaded layer across a
+//! *group* of batches, (2) prefetching only the gate plus the *hot* experts,
+//! and (3) re-ordering expert computations expert-major — hot experts first,
+//! the rest in transfer-completion order — so cold-expert I/O hides under
+//! hot-expert compute.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`sim`] — deterministic discrete-event substrate (streams, links,
+//!   memory pools) the engines run on.
+//! * [`model`] — model/hardware specifications, the calibrated cost model,
+//!   workloads, and the gating-trace generator.
+//! * [`tensor`] — dense `f32` kernels and group-wise quantization for the
+//!   native execution path.
+//! * [`moe`] — a real (tiny) MoE transformer used as numerical ground truth.
+//! * [`core`] — the paper's contribution: the expert-aware multi-batch
+//!   pipeline, the constraint-sensitive I/O-compute planner, the
+//!   correlation-aware expert prefetcher, adaptive tensor placement, and the
+//!   simulated + native engines.
+//! * [`baselines`] — faithful re-implementations of the five comparators
+//!   (Accelerate, DeepSpeed-FastGen, FlexGen, MoE-Infinity, Fiddler).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use klotski::core::engine::{KlotskiConfig, KlotskiEngine};
+//! use klotski::core::scenario::{Engine, Scenario};
+//! use klotski::model::hardware::HardwareSpec;
+//! use klotski::model::spec::ModelSpec;
+//! use klotski::model::workload::Workload;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let scenario = Scenario::generate(
+//!     ModelSpec::mixtral_8x7b(),
+//!     HardwareSpec::env1_rtx3090(),
+//!     Workload::new(16, 4, 128, 4), // batch 16 × 4 batches, prompt 128, gen 4
+//!     42,
+//! );
+//! let engine = KlotskiEngine::new(KlotskiConfig::full());
+//! let report = engine.run(&scenario)?;
+//! println!("throughput: {:.2} tok/s", report.throughput_tps());
+//! # Ok(())
+//! # }
+//! ```
+
+pub use klotski_baselines as baselines;
+pub use klotski_core as core;
+pub use klotski_model as model;
+pub use klotski_moe as moe;
+pub use klotski_sim as sim;
+pub use klotski_tensor as tensor;

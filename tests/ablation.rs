@@ -1,0 +1,96 @@
+//! The paper's Table 3 ablation, as an executable invariant: each added
+//! technique must not hurt, and the big jumps must come from where the
+//! paper says they come from.
+
+use klotski::core::engine::{KlotskiConfig, KlotskiEngine};
+use klotski::core::scenario::{Engine, Scenario};
+use klotski::model::hardware::HardwareSpec;
+use klotski::model::spec::ModelSpec;
+use klotski::model::workload::Workload;
+
+fn scenario() -> Scenario {
+    Scenario::generate(
+        ModelSpec::mixtral_8x7b(),
+        HardwareSpec::env1_rtx3090(),
+        Workload::new(16, 10, 256, 8),
+        77,
+    )
+}
+
+fn tps(cfg: KlotskiConfig, sc: &Scenario) -> f64 {
+    let r = KlotskiEngine::new(cfg).run(sc).expect("run");
+    assert!(r.succeeded(), "{:?}", r.oom);
+    r.throughput_tps()
+}
+
+#[test]
+fn each_technique_adds_throughput() {
+    let sc = scenario();
+    let simple = tps(KlotskiConfig::ablation_simple_pipeline(), &sc);
+    let multi = tps(KlotskiConfig::ablation_multi_batch(), &sc);
+    let hot = tps(KlotskiConfig::ablation_hot_prefetch(), &sc);
+    let full = tps(KlotskiConfig::full(), &sc);
+    let quant = tps(KlotskiConfig::quantized(), &sc);
+
+    assert!(multi > simple, "multi-batch {multi:.2} ≤ simple {simple:.2}");
+    assert!(hot > multi, "hot-prefetch {hot:.2} ≤ multi {multi:.2}");
+    assert!(full >= hot, "reorder {full:.2} < hot {hot:.2}");
+    assert!(quant >= full * 0.95, "quant {quant:.2} far below full {full:.2}");
+}
+
+#[test]
+fn multi_batch_is_the_biggest_single_win() {
+    // Table 3: "considering multi-batch computations provides the most
+    // significant enhancement" (5.7 → 18.2 tok/s in Env 1).
+    let sc = scenario();
+    let simple = tps(KlotskiConfig::ablation_simple_pipeline(), &sc);
+    let multi = tps(KlotskiConfig::ablation_multi_batch(), &sc);
+    let hot = tps(KlotskiConfig::ablation_hot_prefetch(), &sc);
+    let full = tps(KlotskiConfig::full(), &sc);
+    let multi_gain = multi / simple;
+    let hot_gain = hot / multi;
+    let reorder_gain = full / hot;
+    assert!(
+        multi_gain > hot_gain && multi_gain > reorder_gain,
+        "multi-batch gain {multi_gain:.2}× should dominate (hot {hot_gain:.2}×, reorder {reorder_gain:.2}×)"
+    );
+    assert!(
+        multi_gain > 2.0,
+        "multi-batch should be a multi-× improvement, got {multi_gain:.2}×"
+    );
+}
+
+#[test]
+fn ablation_holds_on_env2_as_well() {
+    let sc = Scenario::generate(
+        ModelSpec::mixtral_8x22b(),
+        HardwareSpec::env2_h800(),
+        Workload::new(16, 8, 256, 6),
+        78,
+    );
+    let simple = tps(KlotskiConfig::ablation_simple_pipeline(), &sc);
+    let multi = tps(KlotskiConfig::ablation_multi_batch(), &sc);
+    let full = tps(KlotskiConfig::full(), &sc);
+    assert!(multi > simple);
+    assert!(full > multi);
+}
+
+#[test]
+fn quantization_trades_little_peak_for_smaller_n() {
+    // §9.3: quantization "has minimal impact on maximum throughput" but
+    // lets a smaller n reach full overlap. Compare full-n runs against
+    // half-n runs: quantized should lose much less from the smaller group.
+    let spec = ModelSpec::mixtral_8x7b();
+    let hw = HardwareSpec::env1_rtx3090();
+    let big = Scenario::generate(spec.clone(), hw.clone(), Workload::new(16, 12, 256, 6), 79);
+    let small = Scenario::generate(spec, hw, Workload::new(16, 4, 256, 6), 79);
+    let full_big = tps(KlotskiConfig::full(), &big);
+    let full_small = tps(KlotskiConfig::full(), &small);
+    let quant_small = tps(KlotskiConfig::quantized(), &small);
+    let full_drop = full_small / full_big;
+    assert!(
+        quant_small > full_small,
+        "at small n, quantization must help: {quant_small:.2} vs {full_small:.2}"
+    );
+    assert!(full_drop < 1.0, "shrinking n must cost the bf16 engine");
+}
