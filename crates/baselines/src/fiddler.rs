@@ -46,7 +46,14 @@ impl Engine for Fiddler {
         let footprint = ResidentFootprint::for_single_batch(spec, &wl);
         if let Some(msg) = footprint.oom_message(sc.hw.vram_bytes) {
             let stats = klotski_core::driver::RunStats::default();
-            return Ok(build_report(self.name(), spec, &wl, &sim, &stats, Some(msg)));
+            return Ok(build_report(
+                self.name(),
+                spec,
+                &wl,
+                &sim,
+                &stats,
+                Some(msg),
+            ));
         }
 
         // Initial placement: fill spare VRAM with the globally most popular
@@ -71,8 +78,7 @@ impl Engine for Fiddler {
             }
             None => HashSet::new(),
         };
-        let static_vram =
-            footprint.total() + resident.len() as u64 * spec.expert_bytes();
+        let static_vram = footprint.total() + resident.len() as u64 * spec.expert_bytes();
         sim.pool_mut(Tier::Vram)
             .alloc(static_vram.min(sc.hw.vram_bytes))
             .expect("footprint checked against VRAM");
@@ -147,8 +153,7 @@ impl Engine for Fiddler {
                             } else {
                                 SimDuration::ZERO
                             };
-                            let cpu_time =
-                                cost.cpu_expert_time(tokens as u64) + disk_penalty;
+                            let cpu_time = cost.cpu_expert_time(tokens as u64) + disk_penalty;
                             let gpu_time = cost.expert_time(tokens as u64);
                             let move_time = cost.expert_h2d_time(1.0) + disk_penalty;
 
@@ -177,18 +182,20 @@ impl Engine for Fiddler {
                                 let transfer = if is_resident {
                                     None
                                 } else {
-                                    Some(sim.submit_with_priority(
-                                        TaskSpec::new(
-                                            Resource::LinkH2d,
-                                            move_time,
-                                            TaskMeta::of(OpClass::ExpertTransfer)
-                                                .layer(l)
-                                                .expert(e as u32)
-                                                .step(step_idx),
-                                        )
-                                        .after(gate),
-                                        -1,
-                                    ))
+                                    Some(
+                                        sim.submit_with_priority(
+                                            TaskSpec::new(
+                                                Resource::LinkH2d,
+                                                move_time,
+                                                TaskMeta::of(OpClass::ExpertTransfer)
+                                                    .layer(l)
+                                                    .expert(e as u32)
+                                                    .step(step_idx),
+                                            )
+                                            .after(gate),
+                                            -1,
+                                        ),
+                                    )
                                 };
                                 let mut c = TaskSpec::new(
                                     Resource::GpuCompute,
@@ -220,9 +227,7 @@ impl Engine for Fiddler {
                                 TaskSpec::new(
                                     Resource::GpuCompute,
                                     cost.dense_ffn_time(tokens),
-                                    TaskMeta::of(OpClass::DenseCompute)
-                                        .layer(l)
-                                        .step(step_idx),
+                                    TaskMeta::of(OpClass::DenseCompute).layer(l).step(step_idx),
                                 )
                                 .after(attn),
                             ),
@@ -317,6 +322,9 @@ mod tests {
             Workload::new(4, 1, 128, 2),
             5,
         );
-        assert!(matches!(Fiddler.run(&sc), Err(EngineError::InvalidConfig(_))));
+        assert!(matches!(
+            Fiddler.run(&sc),
+            Err(EngineError::InvalidConfig(_))
+        ));
     }
 }

@@ -87,11 +87,16 @@ impl Engine for MoeInfinity {
         let footprint = ResidentFootprint::for_single_batch(spec, &wl);
         if let Some(msg) = footprint.oom_message(sc.hw.vram_bytes) {
             let stats = klotski_core::driver::RunStats::default();
-            return Ok(build_report(self.name(), spec, &wl, &sim, &stats, Some(msg)));
+            return Ok(build_report(
+                self.name(),
+                spec,
+                &wl,
+                &sim,
+                &stats,
+                Some(msg),
+            ));
         }
-        let spare = footprint
-            .spare(sc.hw.vram_bytes)
-            .expect("checked above");
+        let spare = footprint.spare(sc.hw.vram_bytes).expect("checked above");
         let cache_bytes = footprint.expert_reserve + spare / 10 * 9;
         let cache_capacity = (cache_bytes / spec.expert_bytes().max(1)) as usize;
         let static_vram = footprint.total() - footprint.expert_reserve + cache_bytes;
@@ -282,9 +287,7 @@ impl Engine for MoeInfinity {
                                 TaskSpec::new(
                                     Resource::GpuCompute,
                                     cost.dense_ffn_time(tokens),
-                                    TaskMeta::of(OpClass::DenseCompute)
-                                        .layer(l)
-                                        .step(step_idx),
+                                    TaskMeta::of(OpClass::DenseCompute).layer(l).step(step_idx),
                                 )
                                 .after(attn),
                             ),
@@ -372,7 +375,10 @@ mod tests {
         let sc = scenario(ModelSpec::mixtral_8x7b(), 8, 1);
         let r = MoeInfinity.run(&sc).unwrap();
         assert!(r.succeeded());
-        assert!(r.gpu_bubble > SimDuration::ZERO, "single batch always stalls some");
+        assert!(
+            r.gpu_bubble > SimDuration::ZERO,
+            "single batch always stalls some"
+        );
     }
 
     #[test]

@@ -181,7 +181,9 @@ impl<'a> SeqBuilder<'a> {
         let mut load = TaskSpec::new(
             Resource::LinkH2d,
             self.h2d(attn_bytes),
-            TaskMeta::of(OpClass::WeightTransfer).layer(l).step(step_idx),
+            TaskMeta::of(OpClass::WeightTransfer)
+                .layer(l)
+                .step(step_idx),
         )
         .alloc_on_start(Tier::Vram, attn_bytes);
         // The first task of a batch also claims its resident KV region.
@@ -243,17 +245,15 @@ impl<'a> SeqBuilder<'a> {
                 gate_load = gate_load.after(attn);
             }
             let gate_load = self.sim.submit(gate_load);
-            let gate = self
-                .sim
-                .submit(
-                    TaskSpec::new(
-                        Resource::GpuCompute,
-                        cost.gate_time(tokens_per_batch(&wl, step)),
-                        TaskMeta::of(OpClass::GateCompute).layer(l).step(step_idx),
-                    )
-                    .after(attn)
-                    .after(gate_load),
-                );
+            let gate = self.sim.submit(
+                TaskSpec::new(
+                    Resource::GpuCompute,
+                    cost.gate_time(tokens_per_batch(&wl, step)),
+                    TaskMeta::of(OpClass::GateCompute).layer(l).step(step_idx),
+                )
+                .after(attn)
+                .after(gate_load),
+            );
             self.chain = Some(gate);
             computes.push(gate);
             freed += spec.gate_bytes();
@@ -335,24 +335,21 @@ impl<'a> SeqBuilder<'a> {
             computes.push(gate_load);
         } else {
             // Dense FFN (weights came with the layer transfer).
-            let ffn = self
-                .sim
-                .submit(
-                    TaskSpec::new(
-                        Resource::GpuCompute,
-                        cost.dense_ffn_time(tokens_per_batch(&wl, step)),
-                        TaskMeta::of(OpClass::DenseCompute).layer(l).step(step_idx),
-                    )
-                    .after(attn),
-                );
+            let ffn = self.sim.submit(
+                TaskSpec::new(
+                    Resource::GpuCompute,
+                    cost.dense_ffn_time(tokens_per_batch(&wl, step)),
+                    TaskMeta::of(OpClass::DenseCompute).layer(l).step(step_idx),
+                )
+                .after(attn),
+            );
             self.chain = Some(ffn);
             computes.push(ffn);
         }
 
         // --- Layer end: free the layer's weights (and, on the very last
         // layer of a batch, its KV region).
-        let is_last = step_idx == wl.gen_len.saturating_sub(1)
-            && l == spec.n_layers - 1;
+        let is_last = step_idx == wl.gen_len.saturating_sub(1) && l == spec.n_layers - 1;
         let mut end = TaskSpec::new(
             Resource::GpuCompute,
             SimDuration::ZERO,

@@ -49,7 +49,8 @@ fn main() {
         let (further, peak_f, tps_f) = run_curve(&sc, true);
 
         // Downsampled usage curve.
-        let mut table = TextTable::new(["prefill op #", "complete offload (GB)", "further-use (GB)"]);
+        let mut table =
+            TextTable::new(["prefill op #", "complete offload (GB)", "further-use (GB)"]);
         let samples = 12;
         let len = complete.len().max(further.len()).max(1);
         for i in 0..samples {
@@ -76,6 +77,8 @@ fn main() {
              requirement ({tps_f:.1} tok/s)",
             peak_f as f64 / 1e9
         );
-        println!("paper: >94.1% reduction fully offloaded; 74.5% while sustaining ~40 tok/s (Env 2)");
+        println!(
+            "paper: >94.1% reduction fully offloaded; 74.5% while sustaining ~40 tok/s (Env 2)"
+        );
     }
 }

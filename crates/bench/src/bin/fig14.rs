@@ -10,7 +10,10 @@ use klotski_model::workload::Workload;
 fn main() {
     let engine = KlotskiEngine::new(KlotskiConfig::full());
     for setting in [Setting::Small8x7bEnv1, Setting::Big8x22bEnv2] {
-        println!("\n== Fig. 14: {} — throughput vs n and batch size ==", setting.title());
+        println!(
+            "\n== Fig. 14: {} — throughput vs n and batch size ==",
+            setting.title()
+        );
         let mut headers = vec!["n".to_owned()];
         for bs in [4u32, 8, 16, 32, 64] {
             headers.push(format!("bs={bs}"));

@@ -78,9 +78,27 @@ fn main() {
     let mut t = TextTable::new(["KV kept", "throughput (tok/s)", "peak DRAM (GB)"]);
     for (label, sparse) in [
         ("full", None),
-        ("sinks 4 + window 252", Some(SparseAttention { sinks: 4, window: 252 })),
-        ("sinks 4 + window 124", Some(SparseAttention { sinks: 4, window: 124 })),
-        ("sinks 4 + window 60", Some(SparseAttention { sinks: 4, window: 60 })),
+        (
+            "sinks 4 + window 252",
+            Some(SparseAttention {
+                sinks: 4,
+                window: 252,
+            }),
+        ),
+        (
+            "sinks 4 + window 124",
+            Some(SparseAttention {
+                sinks: 4,
+                window: 124,
+            }),
+        ),
+        (
+            "sinks 4 + window 60",
+            Some(SparseAttention {
+                sinks: 4,
+                window: 60,
+            }),
+        ),
     ] {
         let mut cfg = KlotskiConfig::full();
         cfg.compression = Compression {
@@ -105,7 +123,9 @@ fn main() {
         hw.disk_bw = disk_gbps * 1e9;
         let wl = Workload::paper_default(16).with_batches(10);
         let sc = Scenario::generate(Setting::Big8x22bEnv1.model(), hw, wl, SEED);
-        let r = KlotskiEngine::new(KlotskiConfig::full()).run(&sc).expect("run");
+        let r = KlotskiEngine::new(KlotskiConfig::full())
+            .run(&sc)
+            .expect("run");
         t.row([
             format!("{disk_gbps:.1}"),
             format!("{:.2}", r.throughput_tps()),

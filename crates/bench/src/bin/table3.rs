@@ -14,17 +14,15 @@ fn main() {
     let rows: [(&str, KlotskiConfig); 5] = [
         ("Simple Pipeline", KlotskiConfig::ablation_simple_pipeline()),
         ("+ Multi batches", KlotskiConfig::ablation_multi_batch()),
-        ("+ Only prefetch hot experts", KlotskiConfig::ablation_hot_prefetch()),
+        (
+            "+ Only prefetch hot experts",
+            KlotskiConfig::ablation_hot_prefetch(),
+        ),
         ("Klotski (+ adjust order)", KlotskiConfig::full()),
         ("Klotski (q)", KlotskiConfig::quantized()),
     ];
 
-    let mut table = TextTable::new([
-        "Configuration",
-        "8x7B Env1",
-        "8x22B Env1",
-        "8x22B Env2",
-    ]);
+    let mut table = TextTable::new(["Configuration", "8x7B Env1", "8x22B Env1", "8x22B Env2"]);
     let mut columns: Vec<Vec<String>> = vec![Vec::new(); 3];
     for (i, setting) in Setting::ALL.iter().enumerate() {
         let bs = match setting {

@@ -154,7 +154,10 @@ impl TextTable {
             out
         };
         println!("{}", line(&self.headers));
-        println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        println!(
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1))
+        );
         for row in &self.rows {
             println!("{}", line(row));
         }

@@ -107,7 +107,10 @@ mod tests {
 
     #[test]
     fn kv_factor_handles_zero_context() {
-        let s = SparseAttention { sinks: 4, window: 4 };
+        let s = SparseAttention {
+            sinks: 4,
+            window: 4,
+        };
         assert_eq!(s.kv_factor(0), 1.0);
     }
 }

@@ -109,7 +109,9 @@ impl<'a> TraceView<'a> {
                 let n_batches = (s1 - s0) / batch_size;
                 (0..n_batches).find(|&b| {
                     let from = s0 + b * batch_size;
-                    let counts = self.trace.tokens_per_expert_in(i, m, from, from + batch_size);
+                    let counts = self
+                        .trace
+                        .tokens_per_expert_in(i, m, from, from + batch_size);
                     counts[expert as usize] > 0
                 })
             }
@@ -198,8 +200,7 @@ pub fn build_report(
         peak_vram: sim.pool(Tier::Vram).peak(),
         peak_dram: sim.pool(Tier::Dram).peak(),
         oom,
-        metrics: if sim.metrics().timeline().is_empty()
-            && sim.metrics().memory_samples().is_empty()
+        metrics: if sim.metrics().timeline().is_empty() && sim.metrics().memory_samples().is_empty()
         {
             None
         } else {

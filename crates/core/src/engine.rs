@@ -232,12 +232,15 @@ impl Engine for KlotskiEngine {
         });
 
         let mut sim = Simulator::new(sc.hw.tier_capacities());
-        sim.metrics_mut().set_record_timeline(self.cfg.record_timeline);
+        sim.metrics_mut()
+            .set_record_timeline(self.cfg.record_timeline);
         sim.metrics_mut().set_record_memory(self.cfg.record_memory);
 
         // Static allocations: embeddings + activation workspace + resident
         // experts in VRAM; DRAM-resident weights; disk-resident layers.
-        let act_ws = 8 * sc.spec.hidden_bytes(group_size as u64 * wl.batch_size as u64);
+        let act_ws = 8 * sc
+            .spec
+            .hidden_bytes(group_size as u64 * wl.batch_size as u64);
         let static_vram = sc.spec.embed_bytes() + act_ws + placement.vram_resident;
         if sim.pool_mut(Tier::Vram).alloc(static_vram).is_err() {
             let stats = crate::driver::RunStats::default();
@@ -373,7 +376,9 @@ impl<'a> Builder<'a> {
         let mut spec = TaskSpec::new(
             Resource::LinkDisk,
             self.cost.disk_time(bytes),
-            TaskMeta::of(OpClass::DiskStage).layer(layer).step(step.index()),
+            TaskMeta::of(OpClass::DiskStage)
+                .layer(layer)
+                .step(step.index()),
         )
         .alloc_on_start(Tier::Dram, bytes);
         if let Some(d) = dep {
@@ -465,7 +470,9 @@ impl<'a> Builder<'a> {
             let mut t = TaskSpec::new(
                 Resource::LinkH2d,
                 cost.h2d_time(bytes),
-                TaskMeta::of(OpClass::ExpertTransfer).layer(l).step(step_idx),
+                TaskMeta::of(OpClass::ExpertTransfer)
+                    .layer(l)
+                    .step(step_idx),
             )
             .alloc_on_start(Tier::Vram, vram);
             if let Some(d) = stage_dep {
@@ -583,9 +590,13 @@ impl<'a> Builder<'a> {
             .after(attn)
             .alloc_on_start(Tier::Vram, store_bytes)
             .free_on_end(Tier::Vram, store_bytes);
-            store.mem_on_end.push(MemDelta::alloc(Tier::Dram, dram_growth));
+            store
+                .mem_on_end
+                .push(MemDelta::alloc(Tier::Dram, dram_growth));
             if let Some((_, chunk_bytes)) = kv_load {
-                store.mem_on_end.push(MemDelta::free(Tier::Vram, chunk_bytes));
+                store
+                    .mem_on_end
+                    .push(MemDelta::free(Tier::Vram, chunk_bytes));
             }
             self.sim.submit(store);
 
@@ -831,6 +842,9 @@ impl<'a> Builder<'a> {
     /// Expert execution order for the fixed-order (non-reordered) modes;
     /// in reorder mode the submission order is hot-first but actual start
     /// times follow readiness.
+    // Takes the full scheduling context (step kind, group bounds, activated
+    // set, …); a params struct would just rename the same nine values.
+    #[allow(clippy::too_many_arguments)]
     fn execution_order(
         &self,
         step: StepKind,

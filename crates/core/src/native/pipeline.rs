@@ -206,9 +206,9 @@ pub fn run_pipeline(
                 continue;
             }
 
-            for layer in 0..mcfg.n_layers {
+            for (layer, layer_popularity) in popularity.iter_mut().enumerate() {
                 // (1) Prefetch predicted hot experts before attention.
-                let hot = top_k_by(&popularity[layer], cfg.prefetch_k);
+                let hot = top_k_by(layer_popularity, cfg.prefetch_k);
                 let mut requested: HashSet<usize> = HashSet::new();
                 for &e in &hot {
                     req_tx
@@ -220,23 +220,20 @@ pub fn run_pipeline(
                 // (2) Attention for every active sequence (weights shared).
                 for &s in &active {
                     h[s] = match h2o_states[s].as_mut() {
-                        Some(state) => {
-                            model.attn_block_h2o(layer, &h[s], &mut caches[s], state)
-                        }
+                        Some(state) => model.attn_block_h2o(layer, &h[s], &mut caches[s], state),
                         None => model.attn_block(layer, &h[s], &mut caches[s], cfg.mask),
                     };
                 }
 
                 // (3) Gate every token; group tokens by expert.
                 let mut normed: Vec<Vec<f32>> = vec![Vec::new(); n_seqs];
-                let mut tokens_of: Vec<Vec<(usize, f32)>> =
-                    vec![Vec::new(); mcfg.n_experts];
+                let mut tokens_of: Vec<Vec<(usize, f32)>> = vec![Vec::new(); mcfg.n_experts];
                 for &s in &active {
                     normed[s] = model.moe_norm(layer, &h[s]);
                     let routing = model.route_token(layer, &normed[s]);
                     for &(e, w) in &routing.picks {
                         tokens_of[e].push((s, w));
-                        popularity[layer][e] += 1;
+                        layer_popularity[e] += 1;
                     }
                 }
 
@@ -255,8 +252,7 @@ pub fn run_pipeline(
 
                 // (5) Compute experts in ARRIVAL order; release each slot
                 // immediately after its tokens finish.
-                let mut contributions: Vec<Vec<(usize, f32, Vec<f32>)>> =
-                    vec![Vec::new(); n_seqs];
+                let mut contributions: Vec<Vec<(usize, f32, Vec<f32>)>> = vec![Vec::new(); n_seqs];
                 let mut remaining = requested.len();
                 let mut done: HashSet<usize> = HashSet::new();
                 while remaining > 0 {
@@ -389,7 +385,10 @@ mod tests {
     fn pipeline_matches_reference_with_streaming_mask() {
         let model = MoeModel::new(MoeConfig::tiny(9));
         let p = prompts(2, 12, model.config().vocab);
-        let mask = AttnMask::Streaming { sinks: 2, window: 4 };
+        let mask = AttnMask::Streaming {
+            sinks: 2,
+            window: 4,
+        };
         let reference = model.generate(&p, 3, mask);
         let cfg = NativePipelineConfig {
             mask,
@@ -441,7 +440,10 @@ mod tests {
         // pipeline: bit-exact against the sequential H2O reference.
         let model = MoeModel::new(MoeConfig::tiny(19));
         let p = prompts(3, 14, model.config().vocab);
-        let h2o_cfg = H2oConfig { budget: 6, sinks: 2 };
+        let h2o_cfg = H2oConfig {
+            budget: 6,
+            sinks: 2,
+        };
         let reference = model.generate_h2o(&p, 4, h2o_cfg);
         let cfg = NativePipelineConfig {
             h2o: Some(h2o_cfg),
@@ -467,8 +469,7 @@ mod tests {
         );
         // With 6 sequences routed top-2 over 6 experts, predicted hot
         // experts should mostly participate.
-        let hit_rate =
-            r.prefetch_hits as f64 / (r.prefetch_hits + r.prefetch_misses).max(1) as f64;
+        let hit_rate = r.prefetch_hits as f64 / (r.prefetch_hits + r.prefetch_misses).max(1) as f64;
         assert!(hit_rate > 0.5, "hit rate = {hit_rate}");
     }
 }

@@ -88,7 +88,10 @@ pub fn vram_workspace_bytes(
         * compression.kv_factor(ctx);
     let experts_in_flight = spec.n_experts.max(1) as u64 * spec.expert_bytes();
     let activations = 8 * spec.hidden_bytes(n as u64 * wl.batch_size as u64);
-    2 * spec.attn_bytes() + spec.gate_bytes() + experts_in_flight + (4.0 * kv_chunk) as u64
+    2 * spec.attn_bytes()
+        + spec.gate_bytes()
+        + experts_in_flight
+        + (4.0 * kv_chunk) as u64
         + activations
         + spec.embed_bytes()
 }
@@ -271,9 +274,16 @@ mod tests {
         // in this reproduction stay full-precision (the paper dequantizes
         // before compute), so placement is unchanged. This test documents
         // that deliberate choice.
-        let quant = plan_placement(&spec, &hw, &wl(16, 10), 10, &Compression::quantized(), false)
-            .unwrap()
-            .disk_expert_layers;
+        let quant = plan_placement(
+            &spec,
+            &hw,
+            &wl(16, 10),
+            10,
+            &Compression::quantized(),
+            false,
+        )
+        .unwrap()
+        .disk_expert_layers;
         assert_eq!(full, quant);
     }
 

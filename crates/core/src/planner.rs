@@ -49,11 +49,7 @@ impl Profile {
         let ctx = 512 + 16; // representative decode context for the paper shape
         let wf = compression.weight_factor(spec.dtype);
         Profile {
-            t_c_attn: cost.attention_time(
-                batch_size as u64,
-                1,
-                compression.effective_context(ctx),
-            ),
+            t_c_attn: cost.attention_time(batch_size as u64, 1, compression.effective_context(ctx)),
             t_c_gate: cost.gate_time(batch_size as u64),
             t_io_gate: cost.gate_h2d_time(),
             t_io_expert: cost.expert_h2d_time(wf),
@@ -167,11 +163,7 @@ impl Planner {
         } else {
             0
         };
-        let t_c_hot = self
-            .cost
-            .expert_time(hot_tokens_each)
-            .as_secs_f64()
-            * k;
+        let t_c_hot = self.cost.expert_time(hot_tokens_each).as_secs_f64() * k;
         let t_c_cold_total = self.cost.expert_time(cold_tokens_each).as_secs_f64() * len_q;
 
         let nf = n as f64;
@@ -184,8 +176,8 @@ impl Planner {
         let slack4 = nf * t_ca - t_iog;
         let slack5 = nf * (t_ca + t_cg) - (t_iog + k * t_ioe);
         let slack6 = nf * (t_ca + t_cg) + t_c_hot - (t_iog + (k + 1.0) * t_ioe);
-        let slack7 = nf * (t_ca + t_cg) + t_c_hot + t_c_cold_total
-            - (t_iog + (k + len_q) * t_ioe + t_ioa);
+        let slack7 =
+            nf * (t_ca + t_cg) + t_c_hot + t_c_cold_total - (t_iog + (k + len_q) * t_ioe + t_ioa);
         [slack4, slack5, slack6, slack7]
     }
 
@@ -200,8 +192,7 @@ impl Planner {
         if !spec.is_moe() {
             // Dense models: only the attention/FFN overlap matters; use
             // inequality (7) degenerated to whole-layer prefetch.
-            let t_layer_io =
-                profile.t_io_attn.as_secs_f64() + profile.t_io_expert.as_secs_f64();
+            let t_layer_io = profile.t_io_attn.as_secs_f64() + profile.t_io_expert.as_secs_f64();
             let t_compute = profile.t_c_attn.as_secs_f64();
             let required = (t_layer_io / t_compute.max(1e-9)).ceil().max(1.0) as u32;
             let n = required.min(self.max_n);
@@ -210,10 +201,8 @@ impl Planner {
                 required_n: required,
                 satisfied: n >= required,
                 memory_capped: false,
-                est_kv_bytes: spec.kv_bytes_total(
-                    n as u64 * wl.batch_size as u64,
-                    wl.max_context(),
-                ),
+                est_kv_bytes: spec
+                    .kv_bytes_total(n as u64 * wl.batch_size as u64, wl.max_context()),
                 profile,
             };
         }
@@ -240,9 +229,8 @@ impl Planner {
             .sum::<u64>()
             + spec.embed_bytes()
             + 8 * spec.n_experts.max(1) as u64 * spec.expert_bytes();
-        let kv_per_group_seq = (spec.kv_bytes_total(wl.batch_size as u64, wl.max_context())
-            as f64
-            * kv_factor) as u64;
+        let kv_per_group_seq =
+            (spec.kv_bytes_total(wl.batch_size as u64, wl.max_context()) as f64 * kv_factor) as u64;
         let mut n_mem = required_n;
         while n_mem > 1 {
             let kv = kv_per_group_seq * n_mem as u64;
@@ -258,10 +246,8 @@ impl Planner {
             required_n,
             satisfied: self.worst_slack(n, wl.batch_size, gating) >= 0.0,
             memory_capped: n < required_n,
-            est_kv_bytes: (spec.kv_bytes_total(
-                n as u64 * wl.batch_size as u64,
-                wl.max_context(),
-            ) as f64
+            est_kv_bytes: (spec.kv_bytes_total(n as u64 * wl.batch_size as u64, wl.max_context())
+                as f64
                 * kv_factor) as u64,
             profile,
         }
@@ -345,7 +331,9 @@ mod tests {
         let g = gating();
         let wl = Workload::paper_default(8);
         let full = planner(Compression::none()).plan(&wl, Some(&g)).required_n;
-        let quant = planner(Compression::quantized()).plan(&wl, Some(&g)).required_n;
+        let quant = planner(Compression::quantized())
+            .plan(&wl, Some(&g))
+            .required_n;
         assert!(quant < full, "full → n={full}, quantized → n={quant}");
     }
 

@@ -309,10 +309,7 @@ impl DeepCorrelationTable {
             let total: u64 = row.iter().sum();
             if total == 0 {
                 // Unseen pair: fall back to the l = 1 tendencies.
-                for (s, v) in scores
-                    .iter_mut()
-                    .zip(self.shallow.tendencies(layer, &[p1]))
-                {
+                for (s, v) in scores.iter_mut().zip(self.shallow.tendencies(layer, &[p1])) {
                     *s += v;
                 }
                 continue;
@@ -365,11 +362,8 @@ pub fn measure_accuracy_l2(
                 .filter(|&&e| counts[e as usize] > 0)
                 .count() as f64
                 / k as f64;
-            really_hot[m as usize] += predicted
-                .iter()
-                .filter(|e| actual_hot.contains(e))
-                .count() as f64
-                / k as f64;
+            really_hot[m as usize] +=
+                predicted.iter().filter(|e| actual_hot.contains(e)).count() as f64 / k as f64;
         }
         for m in 0..layers {
             for s in 0..seqs {
@@ -460,11 +454,8 @@ pub fn measure_accuracy(
                 .filter(|&&e| counts[e as usize] > 0)
                 .count() as f64
                 / k as f64;
-            really_hot[m as usize] += predicted
-                .iter()
-                .filter(|e| actual_hot.contains(e))
-                .count() as f64
-                / k as f64;
+            really_hot[m as usize] +=
+                predicted.iter().filter(|e| actual_hot.contains(e)).count() as f64 / k as f64;
 
             // Single-sequence prediction: what prefetching for one request
             // at a time (no batching) would achieve.

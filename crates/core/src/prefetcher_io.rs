@@ -107,10 +107,7 @@ pub fn serialize_table(table: &CorrelationTable) -> String {
 /// indices. Blank lines and `#` comments are ignored.
 pub fn parse_table(text: &str) -> Result<CorrelationTable, CodecError> {
     let mut lines = text.lines().enumerate();
-    let header = lines
-        .next()
-        .map(|(_, l)| l.trim())
-        .unwrap_or_default();
+    let header = lines.next().map(|(_, l)| l.trim()).unwrap_or_default();
     if header != MAGIC {
         return Err(CodecError::BadHeader(header.to_owned()));
     }

@@ -93,12 +93,15 @@ impl CostModel {
     pub fn attention_time(&self, seqs: u64, new_tokens: u64, context: u64) -> SimDuration {
         let tokens = seqs * new_tokens;
         let flops = tokens as f64
-            * (self.spec.attn_proj_flops_per_token() + self.spec.attn_score_flops(context))
-                as f64;
+            * (self.spec.attn_proj_flops_per_token() + self.spec.attn_score_flops(context)) as f64;
         let weight_bytes = self.spec.attn_bytes() as f64;
         let kv_bytes = (seqs * context) as f64 * self.spec.kv_bytes_per_token_layer() as f64;
         let act_bytes = 4.0 * self.spec.hidden_bytes(tokens) as f64;
-        self.gpu_op(flops, weight_bytes + kv_bytes + act_bytes, kernels::ATTENTION)
+        self.gpu_op(
+            flops,
+            weight_bytes + kv_bytes + act_bytes,
+            kernels::ATTENTION,
+        )
     }
 
     /// Attention over a full prompt of `prompt_len` tokens (prefill phase).
@@ -122,8 +125,7 @@ impl CostModel {
             return SimDuration::ZERO;
         }
         let flops = tokens as f64 * self.spec.expert_flops_per_token() as f64;
-        let bytes =
-            self.spec.expert_bytes() as f64 + 3.0 * self.spec.hidden_bytes(tokens) as f64;
+        let bytes = self.spec.expert_bytes() as f64 + 3.0 * self.spec.hidden_bytes(tokens) as f64;
         self.gpu_op(flops, bytes, kernels::EXPERT)
     }
 

@@ -85,9 +85,7 @@ impl QuantScheme {
     /// Bytes per parameter including per-group scale/zero overhead
     /// (scales and zeros stored as 16-bit).
     pub fn bytes_per_param(&self) -> f64 {
-        self.bits as f64 / 8.0
-            + 2.0 / self.group_size as f64
-            + 2.0 / self.zero_group_size as f64
+        self.bits as f64 / 8.0 + 2.0 / self.group_size as f64 + 2.0 / self.zero_group_size as f64
     }
 
     /// Size ratio versus an unquantized dtype.

@@ -94,10 +94,7 @@ impl GatingModel {
     /// Panics if `top_k` is zero or exceeds `n_experts`.
     pub fn new(cfg: &TraceConfig) -> Self {
         assert!(cfg.top_k > 0, "top_k must be positive");
-        assert!(
-            cfg.top_k <= cfg.n_experts,
-            "top_k cannot exceed n_experts"
-        );
+        assert!(cfg.top_k <= cfg.n_experts, "top_k cannot exceed n_experts");
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let e = cfg.n_experts as usize;
         let mut popularity = Vec::with_capacity(cfg.n_moe_layers as usize);
@@ -185,8 +182,7 @@ impl GatingModel {
             None => pop.to_vec(),
             Some(p) => {
                 let aligned = self.affinity_map[l as usize][p as usize] as usize;
-                let mut dist: Vec<f64> =
-                    pop.iter().map(|w| w * (1.0 - self.correlation)).collect();
+                let mut dist: Vec<f64> = pop.iter().map(|w| w * (1.0 - self.correlation)).collect();
                 dist[aligned] += self.correlation;
                 dist
             }
@@ -217,7 +213,10 @@ impl GatingModel {
     /// Samples the top-k choices of one token at layer `l` from the
     /// long-run distribution.
     fn sample_choices(&self, l: u32, prev: Option<u16>, rng: &mut StdRng) -> Vec<u16> {
-        self.sample_from(self.conditional_over(l, prev, &self.popularity[l as usize]), rng)
+        self.sample_from(
+            self.conditional_over(l, prev, &self.popularity[l as usize]),
+            rng,
+        )
     }
 
     fn sample_from(&self, mut dist: Vec<f64>, rng: &mut StdRng) -> Vec<u16> {
@@ -286,8 +285,8 @@ impl GatingModel {
                 .collect();
             for seq in 0..n_seqs as usize {
                 let mut prev: Option<u16> = None;
-                for l in 0..layers {
-                    let dist = self.conditional_over(l as u32, prev, &step_pops[l]);
+                for (l, pops) in step_pops.iter().enumerate() {
+                    let dist = self.conditional_over(l as u32, prev, pops);
                     let choices = self.sample_from(dist, &mut rng);
                     let base = ((step as usize * layers + l) * n_seqs as usize + seq) * k;
                     decode[base..base + k].copy_from_slice(&choices);

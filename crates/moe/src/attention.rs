@@ -134,7 +134,15 @@ mod tests {
     fn first_token_attends_only_to_itself() {
         let (cfg, w, mut cache) = setup();
         let x = vec![0.3f32; cfg.d_model];
-        let out = attend_one(&w, 0, &x, &mut cache, cfg.n_heads, cfg.head_dim, AttnMask::Dense);
+        let out = attend_one(
+            &w,
+            0,
+            &x,
+            &mut cache,
+            cfg.n_heads,
+            cfg.head_dim,
+            AttnMask::Dense,
+        );
         assert_eq!(out.len(), cfg.d_model);
         assert_eq!(cache.len(0), 1);
         // With a single position, attention weights are 1.0: output is
@@ -151,12 +159,34 @@ mod tests {
         let (cfg, w, mut cache) = setup();
         let x1 = vec![0.3f32; cfg.d_model];
         let x2 = vec![-0.2f32; cfg.d_model];
-        let _ = attend_one(&w, 0, &x1, &mut cache, cfg.n_heads, cfg.head_dim, AttnMask::Dense);
-        let with_history =
-            attend_one(&w, 0, &x2, &mut cache, cfg.n_heads, cfg.head_dim, AttnMask::Dense);
+        let _ = attend_one(
+            &w,
+            0,
+            &x1,
+            &mut cache,
+            cfg.n_heads,
+            cfg.head_dim,
+            AttnMask::Dense,
+        );
+        let with_history = attend_one(
+            &w,
+            0,
+            &x2,
+            &mut cache,
+            cfg.n_heads,
+            cfg.head_dim,
+            AttnMask::Dense,
+        );
         let mut fresh = KvCache::new(cfg.n_layers, cfg.d_model);
-        let without =
-            attend_one(&w, 0, &x2, &mut fresh, cfg.n_heads, cfg.head_dim, AttnMask::Dense);
+        let without = attend_one(
+            &w,
+            0,
+            &x2,
+            &mut fresh,
+            cfg.n_heads,
+            cfg.head_dim,
+            AttnMask::Dense,
+        );
         let diff: f32 = with_history
             .iter()
             .zip(&without)
@@ -167,7 +197,10 @@ mod tests {
 
     #[test]
     fn streaming_mask_visibility_pattern() {
-        let m = AttnMask::Streaming { sinks: 2, window: 3 };
+        let m = AttnMask::Streaming {
+            sinks: 2,
+            window: 3,
+        };
         let len = 10;
         let visible: Vec<usize> = (0..len).filter(|&p| m.visible(p, len)).collect();
         assert_eq!(visible, vec![0, 1, 7, 8, 9]);
@@ -179,14 +212,35 @@ mod tests {
     #[test]
     fn streaming_equals_dense_below_budget() {
         let (cfg, w, _) = setup();
-        let mask = AttnMask::Streaming { sinks: 4, window: 8 };
+        let mask = AttnMask::Streaming {
+            sinks: 4,
+            window: 8,
+        };
         let mut dense_cache = KvCache::new(cfg.n_layers, cfg.d_model);
         let mut stream_cache = KvCache::new(cfg.n_layers, cfg.d_model);
         // 10 tokens < 4 + 8 budget: the masks coincide.
         for t in 0..10 {
-            let x: Vec<f32> = (0..cfg.d_model).map(|i| ((t * 7 + i) as f32).sin()).collect();
-            let a = attend_one(&w, 0, &x, &mut dense_cache, cfg.n_heads, cfg.head_dim, AttnMask::Dense);
-            let b = attend_one(&w, 0, &x, &mut stream_cache, cfg.n_heads, cfg.head_dim, mask);
+            let x: Vec<f32> = (0..cfg.d_model)
+                .map(|i| ((t * 7 + i) as f32).sin())
+                .collect();
+            let a = attend_one(
+                &w,
+                0,
+                &x,
+                &mut dense_cache,
+                cfg.n_heads,
+                cfg.head_dim,
+                AttnMask::Dense,
+            );
+            let b = attend_one(
+                &w,
+                0,
+                &x,
+                &mut stream_cache,
+                cfg.n_heads,
+                cfg.head_dim,
+                mask,
+            );
             assert_eq!(a, b, "token {t}");
         }
     }
@@ -194,14 +248,35 @@ mod tests {
     #[test]
     fn streaming_diverges_beyond_budget() {
         let (cfg, w, _) = setup();
-        let mask = AttnMask::Streaming { sinks: 1, window: 2 };
+        let mask = AttnMask::Streaming {
+            sinks: 1,
+            window: 2,
+        };
         let mut dense_cache = KvCache::new(cfg.n_layers, cfg.d_model);
         let mut stream_cache = KvCache::new(cfg.n_layers, cfg.d_model);
         let mut diverged = false;
         for t in 0..8 {
-            let x: Vec<f32> = (0..cfg.d_model).map(|i| ((t * 3 + i) as f32).cos()).collect();
-            let a = attend_one(&w, 0, &x, &mut dense_cache, cfg.n_heads, cfg.head_dim, AttnMask::Dense);
-            let b = attend_one(&w, 0, &x, &mut stream_cache, cfg.n_heads, cfg.head_dim, mask);
+            let x: Vec<f32> = (0..cfg.d_model)
+                .map(|i| ((t * 3 + i) as f32).cos())
+                .collect();
+            let a = attend_one(
+                &w,
+                0,
+                &x,
+                &mut dense_cache,
+                cfg.n_heads,
+                cfg.head_dim,
+                AttnMask::Dense,
+            );
+            let b = attend_one(
+                &w,
+                0,
+                &x,
+                &mut stream_cache,
+                cfg.n_heads,
+                cfg.head_dim,
+                mask,
+            );
             if a != b {
                 diverged = true;
             }

@@ -192,20 +192,41 @@ mod tests {
     }
 
     fn token(t: usize, d: usize) -> Vec<f32> {
-        (0..d).map(|i| ((t * 13 + i * 7) as f32 * 0.1).sin()).collect()
+        (0..d)
+            .map(|i| ((t * 13 + i * 7) as f32 * 0.1).sin())
+            .collect()
     }
 
     #[test]
     fn matches_dense_within_budget() {
         let (cfg, w) = setup();
-        let h2o_cfg = H2oConfig { budget: 16, sinks: 2 };
+        let h2o_cfg = H2oConfig {
+            budget: 16,
+            sinks: 2,
+        };
         let mut dense_cache = KvCache::new(cfg.n_layers, cfg.d_model);
         let mut h2o_cache = KvCache::new(cfg.n_layers, cfg.d_model);
         let mut state = H2oState::new(cfg.n_layers, h2o_cfg);
         for t in 0..10 {
             let x = token(t, cfg.d_model);
-            let a = attend_one(&w, 0, &x, &mut dense_cache, cfg.n_heads, cfg.head_dim, AttnMask::Dense);
-            let b = attend_one_h2o(&w, 0, &x, &mut h2o_cache, &mut state, cfg.n_heads, cfg.head_dim);
+            let a = attend_one(
+                &w,
+                0,
+                &x,
+                &mut dense_cache,
+                cfg.n_heads,
+                cfg.head_dim,
+                AttnMask::Dense,
+            );
+            let b = attend_one_h2o(
+                &w,
+                0,
+                &x,
+                &mut h2o_cache,
+                &mut state,
+                cfg.n_heads,
+                cfg.head_dim,
+            );
             assert_eq!(a, b, "token {t}: under budget, H2O must equal dense");
         }
     }
@@ -213,7 +234,10 @@ mod tests {
     #[test]
     fn budget_is_enforced_and_sinks_survive() {
         let (cfg, w) = setup();
-        let h2o_cfg = H2oConfig { budget: 6, sinks: 2 };
+        let h2o_cfg = H2oConfig {
+            budget: 6,
+            sinks: 2,
+        };
         let mut cache = KvCache::new(cfg.n_layers, cfg.d_model);
         let mut state = H2oState::new(cfg.n_layers, h2o_cfg);
         for t in 0..24 {
@@ -222,7 +246,10 @@ mod tests {
             assert!(state.kept(0).len() <= h2o_cfg.budget, "token {t}");
         }
         let kept = state.kept(0);
-        assert!(kept.contains(&0) && kept.contains(&1), "sinks evicted: {kept:?}");
+        assert!(
+            kept.contains(&0) && kept.contains(&1),
+            "sinks evicted: {kept:?}"
+        );
         // The latest position always survives its own step.
         assert!(kept.contains(&23), "current token evicted: {kept:?}");
     }
@@ -230,15 +257,34 @@ mod tests {
     #[test]
     fn diverges_from_dense_beyond_budget() {
         let (cfg, w) = setup();
-        let h2o_cfg = H2oConfig { budget: 5, sinks: 1 };
+        let h2o_cfg = H2oConfig {
+            budget: 5,
+            sinks: 1,
+        };
         let mut dense_cache = KvCache::new(cfg.n_layers, cfg.d_model);
         let mut h2o_cache = KvCache::new(cfg.n_layers, cfg.d_model);
         let mut state = H2oState::new(cfg.n_layers, h2o_cfg);
         let mut diverged = false;
         for t in 0..16 {
             let x = token(t, cfg.d_model);
-            let a = attend_one(&w, 0, &x, &mut dense_cache, cfg.n_heads, cfg.head_dim, AttnMask::Dense);
-            let b = attend_one_h2o(&w, 0, &x, &mut h2o_cache, &mut state, cfg.n_heads, cfg.head_dim);
+            let a = attend_one(
+                &w,
+                0,
+                &x,
+                &mut dense_cache,
+                cfg.n_heads,
+                cfg.head_dim,
+                AttnMask::Dense,
+            );
+            let b = attend_one_h2o(
+                &w,
+                0,
+                &x,
+                &mut h2o_cache,
+                &mut state,
+                cfg.n_heads,
+                cfg.head_dim,
+            );
             if a != b {
                 diverged = true;
             }
@@ -253,20 +299,25 @@ mod tests {
         // have dropped it. We approximate by checking that the kept set is
         // not simply the last (budget − sinks) positions.
         let (cfg, w) = setup();
-        let h2o_cfg = H2oConfig { budget: 8, sinks: 1 };
+        let h2o_cfg = H2oConfig {
+            budget: 8,
+            sinks: 1,
+        };
         let mut cache = KvCache::new(cfg.n_layers, cfg.d_model);
         let mut state = H2oState::new(cfg.n_layers, h2o_cfg);
         // Repeat the same token often so its (identical) early keys gather
         // mass.
         for t in 0..32 {
-            let x = if t % 2 == 0 { token(0, cfg.d_model) } else { token(t, cfg.d_model) };
+            let x = if t % 2 == 0 {
+                token(0, cfg.d_model)
+            } else {
+                token(t, cfg.d_model)
+            };
             let _ = attend_one_h2o(&w, 0, &x, &mut cache, &mut state, cfg.n_heads, cfg.head_dim);
         }
         let kept = state.kept(0);
         let window_start = 32 - (h2o_cfg.budget - h2o_cfg.sinks);
-        let pure_recency = kept
-            .iter()
-            .all(|&p| p < h2o_cfg.sinks || p >= window_start);
+        let pure_recency = kept.iter().all(|&p| p < h2o_cfg.sinks || p >= window_start);
         assert!(
             !pure_recency,
             "H2O degenerated to a recency window: {kept:?}"
@@ -276,6 +327,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "budget must exceed")]
     fn degenerate_budget_rejected() {
-        let _ = H2oState::new(1, H2oConfig { budget: 2, sinks: 2 });
+        let _ = H2oState::new(
+            1,
+            H2oConfig {
+                budget: 2,
+                sinks: 2,
+            },
+        );
     }
 }

@@ -169,7 +169,7 @@ impl MoeModel {
 
     /// `h + Σ wᵢ · outᵢ`, summed in **expert-index order** regardless of the
     /// order contributions were produced in — the bit-exactness anchor.
-    pub fn combine(&self, h: &[f32], contributions: &mut Vec<(usize, f32, Vec<f32>)>) -> Vec<f32> {
+    pub fn combine(&self, h: &[f32], contributions: &mut [(usize, f32, Vec<f32>)]) -> Vec<f32> {
         contributions.sort_by_key(|&(e, _, _)| e);
         let mut out = h.to_vec();
         for (_, w, expert_out) in contributions.iter() {
@@ -210,6 +210,9 @@ impl MoeModel {
     }
 
     /// One token through every layer (the canonical forward pass).
+    // The arguments mirror the paper's per-token state (cache, mask, phase,
+    // step); bundling them into a struct would obscure the correspondence.
+    #[allow(clippy::too_many_arguments)]
     pub fn forward_token(
         &self,
         token: u32,
@@ -334,12 +337,12 @@ impl MoeModel {
             let mut cache = self.new_cache();
             let mut state = crate::h2o::H2oState::new(self.cfg.n_layers, cfg);
             let forward = |tok: u32,
-                               pos: usize,
-                               phase: Phase,
-                               step: usize,
-                               cache: &mut KvCache,
-                               state: &mut crate::h2o::H2oState,
-                               routing: &mut Vec<RoutingEvent>| {
+                           pos: usize,
+                           phase: Phase,
+                           step: usize,
+                           cache: &mut KvCache,
+                           state: &mut crate::h2o::H2oState,
+                           routing: &mut Vec<RoutingEvent>| {
                 let mut h = self.embed(tok, pos);
                 for layer in 0..self.cfg.n_layers {
                     h = self.attn_block_h2o(layer, &h, cache, state);
@@ -349,7 +352,15 @@ impl MoeModel {
             };
             let mut h = Vec::new();
             for (pos, &tok) in prompt.iter().enumerate() {
-                h = forward(tok, pos, Phase::Prefill, pos, &mut cache, &mut state, &mut routing);
+                h = forward(
+                    tok,
+                    pos,
+                    Phase::Prefill,
+                    pos,
+                    &mut cache,
+                    &mut state,
+                    &mut routing,
+                );
             }
             let mut generated = Vec::with_capacity(gen_len);
             for step in 0..gen_len {

@@ -58,7 +58,7 @@ impl ExpertWeights {
         assert_eq!(x.len(), self.w1.cols(), "expert input width mismatch");
         let d_ff = self.w1.rows();
         let mut inner = vec![0.0f32; d_ff];
-        for i in 0..d_ff {
+        for (i, slot) in inner.iter_mut().enumerate() {
             let mut g = 0.0f32;
             let mut u = 0.0f32;
             let w1_row = self.w1.row(i);
@@ -67,7 +67,7 @@ impl ExpertWeights {
                 g += w1_row[j] * xj;
                 u += w3_row[j] * xj;
             }
-            inner[i] = silu(g) * u;
+            *slot = silu(g) * u;
         }
         let d_model = self.w2.rows();
         let mut out = vec![0.0f32; d_model];

@@ -120,9 +120,7 @@ impl Metrics {
             let entries: Vec<&TimelineEntry> = self
                 .timeline
                 .iter()
-                .filter(|e| {
-                    e.resource == res && e.end > from && e.start < to && e.end > e.start
-                })
+                .filter(|e| e.resource == res && e.end > from && e.start < to && e.end > e.start)
                 .collect();
             if entries.is_empty() {
                 continue;
@@ -145,7 +143,12 @@ impl Metrics {
                     *cell = ch;
                 }
             }
-            let _ = writeln!(out, "{:>5} |{}|", res.name(), row.iter().collect::<String>());
+            let _ = writeln!(
+                out,
+                "{:>5} |{}|",
+                res.name(),
+                row.iter().collect::<String>()
+            );
         }
         out
     }
@@ -193,7 +196,12 @@ mod tests {
     fn ascii_render_marks_busy_cells() {
         let mut m = Metrics::new();
         m.set_record_timeline(true);
-        m.record_task(entry(Resource::GpuCompute, OpClass::AttentionCompute, 0, 500));
+        m.record_task(entry(
+            Resource::GpuCompute,
+            OpClass::AttentionCompute,
+            0,
+            500,
+        ));
         m.record_task(entry(Resource::LinkH2d, OpClass::ExpertTransfer, 0, 1000));
         let s = m.render_ascii(SimTime::ZERO, SimTime::from_nanos(1000), 10);
         let lines: Vec<&str> = s.lines().collect();

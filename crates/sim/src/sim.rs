@@ -271,17 +271,13 @@ impl Simulator {
     /// Starts every startable task at the current clock.
     fn dispatch_all(&mut self) -> Result<(), SimError> {
         for res in Resource::ALL {
-            loop {
-                let state = &mut self.resources[res.index()];
-                if state.running.is_some() {
-                    break;
-                }
-                let Some(id) = state.queue.pop_front() else {
-                    break;
-                };
+            let state = &mut self.resources[res.index()];
+            // A resource services one task at a time.
+            if state.running.is_some() {
+                continue;
+            }
+            if let Some(id) = state.queue.pop_front() {
                 self.start_task(id)?;
-                // A resource services one task at a time.
-                break;
             }
         }
         Ok(())

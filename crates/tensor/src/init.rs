@@ -37,7 +37,9 @@ pub fn xavier_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
 /// A seeded weight vector near 1.0 (for norm gains).
 pub fn norm_weight(len: usize, seed: u64) -> Vec<f32> {
     let mut rng = StdRng::seed_from_u64(seed ^ 0x5bd1_e995);
-    (0..len).map(|_| 1.0 + rng.gen_range(-0.05..=0.05)).collect()
+    (0..len)
+        .map(|_| 1.0 + rng.gen_range(-0.05..=0.05))
+        .collect()
 }
 
 /// Derives a sub-seed for component `tag` of entity `index` under `root` —

@@ -40,7 +40,7 @@ impl QuantConfig {
         assert!((2..=8).contains(&self.bits), "bits must be in 2..=8");
         assert!(self.group_size > 0, "group_size must be positive");
         assert!(
-            self.zero_group_size > 0 && self.zero_group_size % self.group_size == 0,
+            self.zero_group_size > 0 && self.zero_group_size.is_multiple_of(self.group_size),
             "zero_group_size must be a positive multiple of group_size"
         );
     }
@@ -54,9 +54,7 @@ impl QuantConfig {
     /// and zeros as f32 here; the byte accounting used by the cost model is
     /// in `klotski_model::spec::QuantScheme` with 16-bit metadata).
     pub fn bytes_per_param(&self) -> f64 {
-        self.bits as f64 / 8.0
-            + 4.0 / self.group_size as f64
-            + 4.0 / self.zero_group_size as f64
+        self.bits as f64 / 8.0 + 4.0 / self.group_size as f64 + 4.0 / self.zero_group_size as f64
     }
 }
 
@@ -111,7 +109,7 @@ impl QuantizedMatrix {
         // must cover the zero-group's min, so scale uses the zero-group min
         // as the offset origin.
         let mut scales = vec![1.0f32; n_groups];
-        for gi in 0..n_groups {
+        for (gi, scale) in scales.iter_mut().enumerate() {
             let lo = gi * g;
             let hi = (lo + g).min(n);
             let zi = lo / zg;
@@ -120,7 +118,7 @@ impl QuantizedMatrix {
                 .iter()
                 .fold(0.0f32, |acc, &w| acc.max(w - origin));
             let span = span.max(zgroup_maxs[zi] - origin).max(1e-12);
-            scales[gi] = span / (levels - 1.0);
+            *scale = span / (levels - 1.0);
         }
         for (zi, zero) in zeros.iter_mut().enumerate() {
             // zero in code units relative to the *first* scale group of the
@@ -286,7 +284,11 @@ mod tests {
         let q = QuantizedMatrix::quantize(&m, QuantConfig::paper_default());
         let d = q.dequantize();
         let err = m.max_abs_diff(&d);
-        assert!(err <= q.error_bound(), "err {err} > bound {}", q.error_bound());
+        assert!(
+            err <= q.error_bound(),
+            "err {err} > bound {}",
+            q.error_bound()
+        );
         // 4-bit over [-1,1]-ish weights: error well under 0.2.
         assert!(err < 0.2, "err = {err}");
     }
@@ -304,7 +306,10 @@ mod tests {
                 m.max_abs_diff(&QuantizedMatrix::quantize(&m, cfg).dequantize())
             })
             .collect();
-        assert!(errs[0] > errs[1] && errs[1] > errs[2] && errs[2] > errs[3], "{errs:?}");
+        assert!(
+            errs[0] > errs[1] && errs[1] > errs[2] && errs[2] > errs[3],
+            "{errs:?}"
+        );
     }
 
     #[test]

@@ -45,11 +45,22 @@ fn heatmap(name: &str, spec: &ModelSpec, seqs: u32) {
         shares.push(topk as f64 / total.max(1) as f64);
     }
     let avg = shares.iter().sum::<f64>() / shares.len() as f64;
-    println!("top-{k} experts cover {:.1}% of routed tokens on average", avg * 100.0);
+    println!(
+        "top-{k} experts cover {:.1}% of routed tokens on average",
+        avg * 100.0
+    );
 }
 
 fn main() {
     heatmap("Mixtral-8x7B", &ModelSpec::mixtral_8x7b(), 64);
-    heatmap("switch-base-8 (decoder part)", &ModelSpec::switch_base(8), 64);
-    heatmap("switch-base-16 (decoder part)", &ModelSpec::switch_base(16), 64);
+    heatmap(
+        "switch-base-8 (decoder part)",
+        &ModelSpec::switch_base(8),
+        64,
+    );
+    heatmap(
+        "switch-base-16 (decoder part)",
+        &ModelSpec::switch_base(16),
+        64,
+    );
 }

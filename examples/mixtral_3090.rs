@@ -17,7 +17,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("Mixtral-8x7B, Env 1 (RTX 3090), n = {n}, prompt 512, gen 32");
     println!(
         "{:>6} {:>12} {:>9} {:>9} {:>13} {:>9} {:>9} {:>12}",
-        "batch", "Accelerate", "FastGen", "FlexGen", "MoE-Infinity", "Fiddler", "Klotski", "Klotski (q)"
+        "batch",
+        "Accelerate",
+        "FastGen",
+        "FlexGen",
+        "MoE-Infinity",
+        "Fiddler",
+        "Klotski",
+        "Klotski (q)"
     );
 
     for bs in [4u32, 8, 16, 32, 64] {

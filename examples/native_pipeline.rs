@@ -21,7 +21,11 @@ fn main() {
     );
 
     let prompts: Vec<Vec<u32>> = (0..8)
-        .map(|s| (0..16).map(|p| ((s * 37 + p * 11 + 5) % cfg.vocab) as u32).collect())
+        .map(|s| {
+            (0..16)
+                .map(|p| ((s * 37 + p * 11 + 5) % cfg.vocab) as u32)
+                .collect()
+        })
         .collect();
     let gen_len = 8;
 

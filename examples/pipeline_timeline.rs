@@ -51,5 +51,9 @@ fn main() {
         KlotskiConfig::ablation_simple_pipeline(),
         &sc,
     );
-    render("Klotski (expert-aware multi-batch)", KlotskiConfig::full(), &sc);
+    render(
+        "Klotski (expert-aware multi-batch)",
+        KlotskiConfig::full(),
+        &sc,
+    );
 }

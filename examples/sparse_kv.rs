@@ -17,7 +17,9 @@ fn main() {
     let cfg = *model.config();
     let seq_len = 48;
     let budget = 12;
-    let tokens: Vec<u32> = (0..seq_len).map(|t| ((t * 17 + 3) % cfg.vocab) as u32).collect();
+    let tokens: Vec<u32> = (0..seq_len)
+        .map(|t| ((t * 17 + 3) % cfg.vocab) as u32)
+        .collect();
 
     // Drive layer 0's attention with each policy over the same stream.
     let w = &model.weights().layers[0].attn;
@@ -25,31 +27,66 @@ fn main() {
     let mut stream_cache = KvCache::new(cfg.n_layers, cfg.d_model);
     let mut h2o_cache = KvCache::new(cfg.n_layers, cfg.d_model);
     let mut h2o = H2oState::new(cfg.n_layers, H2oConfig { budget, sinks: 2 });
-    let stream_mask = AttnMask::Streaming { sinks: 2, window: budget - 2 };
+    let stream_mask = AttnMask::Streaming {
+        sinks: 2,
+        window: budget - 2,
+    };
 
     let mut stream_err_max = 0.0f32;
     let mut h2o_err_max = 0.0f32;
     for (pos, &tok) in tokens.iter().enumerate() {
         let x = model.embed(tok, pos);
         let normed = model.moe_norm(0, &x); // any fixed preprocessing works here
-        let dense = attend_one(w, 0, &normed, &mut dense_cache, cfg.n_heads, cfg.head_dim, AttnMask::Dense);
-        let stream = attend_one(w, 0, &normed, &mut stream_cache, cfg.n_heads, cfg.head_dim, stream_mask);
-        let heavy = attend_one_h2o(w, 0, &normed, &mut h2o_cache, &mut h2o, cfg.n_heads, cfg.head_dim);
+        let dense = attend_one(
+            w,
+            0,
+            &normed,
+            &mut dense_cache,
+            cfg.n_heads,
+            cfg.head_dim,
+            AttnMask::Dense,
+        );
+        let stream = attend_one(
+            w,
+            0,
+            &normed,
+            &mut stream_cache,
+            cfg.n_heads,
+            cfg.head_dim,
+            stream_mask,
+        );
+        let heavy = attend_one_h2o(
+            w,
+            0,
+            &normed,
+            &mut h2o_cache,
+            &mut h2o,
+            cfg.n_heads,
+            cfg.head_dim,
+        );
         let err = |a: &[f32], b: &[f32]| {
-            a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0f32, f32::max)
+            a.iter()
+                .zip(b)
+                .map(|(x, y)| (x - y).abs())
+                .fold(0.0f32, f32::max)
         };
         stream_err_max = stream_err_max.max(err(&dense, &stream));
         h2o_err_max = h2o_err_max.max(err(&dense, &heavy));
     }
 
     println!("sequence length {seq_len}, KV budget {budget} (sinks 2)");
-    println!("kept positions under heavy-hitter policy: {:?}", h2o.kept(0));
+    println!(
+        "kept positions under heavy-hitter policy: {:?}",
+        h2o.kept(0)
+    );
     println!("max |Δ| vs dense attention:");
     println!("  StreamingLLM (recency window): {stream_err_max:.4}");
     println!("  heavy-hitter (H2O-style):      {h2o_err_max:.4}");
     println!();
-    println!("both policies keep exactly {budget} of {seq_len} KV entries (a {:.0}% cut),",
-        (1.0 - budget as f64 / seq_len as f64) * 100.0);
+    println!(
+        "both policies keep exactly {budget} of {seq_len} KV entries (a {:.0}% cut),",
+        (1.0 - budget as f64 / seq_len as f64) * 100.0
+    );
     println!("but the heavy-hitter set is chosen by accumulated attention mass rather");
     println!("than recency — the direction the paper names for eliminating the KV-load");
     println!("bubbles that appear at large n (§9.8).");

@@ -32,10 +32,16 @@ fn each_technique_adds_throughput() {
     let full = tps(KlotskiConfig::full(), &sc);
     let quant = tps(KlotskiConfig::quantized(), &sc);
 
-    assert!(multi > simple, "multi-batch {multi:.2} ≤ simple {simple:.2}");
+    assert!(
+        multi > simple,
+        "multi-batch {multi:.2} ≤ simple {simple:.2}"
+    );
     assert!(hot > multi, "hot-prefetch {hot:.2} ≤ multi {multi:.2}");
     assert!(full >= hot, "reorder {full:.2} < hot {hot:.2}");
-    assert!(quant >= full * 0.95, "quant {quant:.2} far below full {full:.2}");
+    assert!(
+        quant >= full * 0.95,
+        "quant {quant:.2} far below full {full:.2}"
+    );
 }
 
 #[test]

@@ -1,0 +1,59 @@
+//! Smoke tests for the `examples/` directory: every example must compile,
+//! and the flagship `mixtral_3090` walkthrough must run to completion.
+//!
+//! Both tests shell out to the same `cargo` that is running this test
+//! suite (`CARGO` env var), against this workspace. By the time integration
+//! tests execute, `cargo test` has already compiled every example target,
+//! so the build assertions are near-instant cache hits.
+
+use std::process::Command;
+
+fn cargo() -> Command {
+    let mut cmd = Command::new(env!("CARGO"));
+    cmd.current_dir(env!("CARGO_MANIFEST_DIR"));
+    cmd
+}
+
+/// `cargo build --examples` must succeed for the whole directory — a new
+/// example that does not compile fails this test, not just CI.
+#[test]
+fn all_examples_build() {
+    let out = cargo()
+        .args(["build", "--examples", "--quiet"])
+        .output()
+        .expect("spawning cargo");
+    assert!(
+        out.status.success(),
+        "cargo build --examples failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+/// The paper-walkthrough example must run end-to-end and print its
+/// throughput table (Fig. 10's first panel).
+#[test]
+fn mixtral_3090_runs_to_completion() {
+    let out = cargo()
+        .args(["run", "--example", "mixtral_3090", "--quiet"])
+        .output()
+        .expect("spawning cargo");
+    assert!(
+        out.status.success(),
+        "example exited nonzero:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("Mixtral-8x7B") && stdout.contains("Klotski"),
+        "unexpected example output:\n{stdout}"
+    );
+    // The table must report a throughput figure for every batch size row.
+    let rows = stdout
+        .lines()
+        .filter(|l| l.trim_start().starts_with(char::is_numeric))
+        .count();
+    assert!(
+        rows >= 5,
+        "expected ≥5 batch-size rows, got {rows}:\n{stdout}"
+    );
+}

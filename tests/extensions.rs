@@ -38,7 +38,11 @@ fn warmup_table_survives_persistence_and_still_predicts() {
         reloaded.record(5, Some(0), &[7]);
     }
     assert_eq!(reloaded.predict(5, &[0], 1), vec![7]);
-    assert_eq!(serialize_table(&warm), saved, "saved table must be immutable");
+    assert_eq!(
+        serialize_table(&warm),
+        saved,
+        "saved table must be immutable"
+    );
 }
 
 #[test]
@@ -64,7 +68,10 @@ fn h2o_pipeline_is_exact_and_bounded_end_to_end() {
     let prompts: Vec<Vec<u32>> = (0..4)
         .map(|s| (0..20).map(|p| ((s * 13 + p * 5) % 128) as u32).collect())
         .collect();
-    let h2o = H2oConfig { budget: 8, sinks: 2 };
+    let h2o = H2oConfig {
+        budget: 8,
+        sinks: 2,
+    };
     let reference = model.generate_h2o(&prompts, 5, h2o);
     let piped = run_pipeline(
         &model,
@@ -87,7 +94,10 @@ fn h2o_composes_with_quantized_store() {
     let prompts: Vec<Vec<u32>> = (0..3)
         .map(|s| (0..16).map(|p| ((s * 7 + p * 3) % 96) as u32).collect())
         .collect();
-    let h2o = H2oConfig { budget: 7, sinks: 1 };
+    let h2o = H2oConfig {
+        budget: 7,
+        sinks: 1,
+    };
     let exact = run_pipeline(
         &model,
         &prompts,

@@ -72,7 +72,10 @@ fn bit_exact_across_prefetch_depths() {
 fn streaming_attention_matches_reference_streaming() {
     let model = MoeModel::new(MoeConfig::tiny(44));
     let p = prompts(2, 16, model.config().vocab, 1);
-    let mask = AttnMask::Streaming { sinks: 2, window: 5 };
+    let mask = AttnMask::Streaming {
+        sinks: 2,
+        window: 5,
+    };
     let reference = model.generate(&p, 4, mask);
     let cfg = NativePipelineConfig {
         mask,
@@ -118,8 +121,8 @@ fn prefetch_hit_rate_reflects_skewed_routing() {
     let model = MoeModel::new(MoeConfig::small(46));
     let p = prompts(12, 10, model.config().vocab, 4);
     let piped = run_pipeline(&model, &p, 6, &NativePipelineConfig::default());
-    let rate = piped.prefetch_hits as f64
-        / (piped.prefetch_hits + piped.prefetch_misses).max(1) as f64;
+    let rate =
+        piped.prefetch_hits as f64 / (piped.prefetch_hits + piped.prefetch_misses).max(1) as f64;
     assert!(rate > 0.6, "prefetch hit rate = {rate:.2}");
 }
 

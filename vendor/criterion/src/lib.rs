@@ -1,0 +1,137 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmarking crate.
+//!
+//! Implements the subset the workspace's `benches/` use — [`Criterion`],
+//! [`Bencher::iter`], [`black_box`], [`criterion_group!`] and
+//! [`criterion_main!`] — as a plain wall-clock timing harness: a short
+//! warm-up, then batches until a time budget is spent, reporting the mean
+//! and best iteration time. No statistics, plots, or baselines; those can
+//! come back the day a real registry is reachable.
+
+use std::time::{Duration, Instant};
+
+/// An opaque barrier preventing the optimizer from deleting a computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Per-benchmark timing loop handed to the closure of
+/// [`Criterion::bench_function`].
+pub struct Bencher {
+    /// Mean nanoseconds per iteration, filled by [`Bencher::iter`].
+    mean_ns: f64,
+    /// Best (minimum) nanoseconds per iteration.
+    min_ns: f64,
+    /// Total iterations measured.
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `f`: 3 warm-up calls, then batches until the budget
+    /// (`KLOTSKI_BENCH_MS`, default 300 ms) or 10 000 iterations.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        for _ in 0..3 {
+            black_box(f());
+        }
+        let budget = Duration::from_millis(
+            std::env::var("KLOTSKI_BENCH_MS")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(300),
+        );
+        let start = Instant::now();
+        let mut iters: u64 = 0;
+        let mut min_ns = f64::INFINITY;
+        while start.elapsed() < budget && iters < 10_000 {
+            let t0 = Instant::now();
+            black_box(f());
+            let dt = t0.elapsed().as_nanos() as f64;
+            min_ns = min_ns.min(dt);
+            iters += 1;
+        }
+        self.mean_ns = start.elapsed().as_nanos() as f64 / iters.max(1) as f64;
+        self.min_ns = if min_ns.is_finite() { min_ns } else { 0.0 };
+        self.iters = iters;
+    }
+}
+
+/// The benchmark driver; one per `criterion_group!`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs one named benchmark and prints its timing line.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            mean_ns: 0.0,
+            min_ns: 0.0,
+            iters: 0,
+        };
+        f(&mut b);
+        println!(
+            "{id:<44} time: [mean {:>12} | best {:>12} | {} iters]",
+            fmt_ns(b.mean_ns),
+            fmt_ns(b.min_ns),
+            b.iters
+        );
+        self
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Declares a benchmark group function `$name` running each `$target`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running each benchmark group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_and_reports() {
+        std::env::set_var("KLOTSKI_BENCH_MS", "5");
+        let mut c = Criterion::default();
+        c.bench_function("shim/self_test", |b| {
+            b.iter(|| black_box((0..100u64).sum::<u64>()))
+        });
+    }
+
+    #[test]
+    fn formats_cover_magnitudes() {
+        assert!(fmt_ns(12.0).ends_with("ns"));
+        assert!(fmt_ns(12_000.0).ends_with("µs"));
+        assert!(fmt_ns(12_000_000.0).ends_with("ms"));
+        assert!(fmt_ns(2e9).ends_with(" s"));
+    }
+}

@@ -1,0 +1,161 @@
+//! Offline stand-in for the [`crossbeam`](https://crates.io/crates/crossbeam)
+//! crate, built entirely on `std`.
+//!
+//! The workspace uses exactly two pieces of crossbeam:
+//!
+//! * [`channel::bounded`] / [`channel::unbounded`] MPSC channels — mapped to
+//!   `std::sync::mpsc` (`sync_channel` / `channel`). The workspace only ever
+//!   moves each `Receiver` into a single thread, so crossbeam's MPMC
+//!   capability is not needed.
+//! * [`scope`] — mapped to `std::thread::scope`. Spawn closures receive a
+//!   placeholder `()` argument where crossbeam passes the scope handle; the
+//!   workspace's closures ignore it (`|_|`).
+
+use std::any::Any;
+
+/// Multi-producer channels (single consumer in this stand-in).
+pub mod channel {
+    use std::sync::mpsc;
+
+    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+
+    enum SenderInner<T> {
+        Unbounded(mpsc::Sender<T>),
+        Bounded(mpsc::SyncSender<T>),
+    }
+
+    /// The sending half of a channel. Cloneable; `send` blocks when a
+    /// bounded channel is full.
+    pub struct Sender<T>(SenderInner<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(match &self.0 {
+                SenderInner::Unbounded(s) => SenderInner::Unbounded(s.clone()),
+                SenderInner::Bounded(s) => SenderInner::Bounded(s.clone()),
+            })
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends `value`, blocking on a full bounded channel. Errors only
+        /// when the receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            match &self.0 {
+                SenderInner::Unbounded(s) => s.send(value),
+                SenderInner::Bounded(s) => s.send(value),
+            }
+        }
+    }
+
+    /// The receiving half of a channel.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        /// Blocks until a value arrives. Errors only when every sender is
+        /// gone and the channel is drained.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv()
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv()
+        }
+    }
+
+    /// Creates a channel with unlimited buffering.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(SenderInner::Unbounded(tx)), Receiver(rx))
+    }
+
+    /// Creates a channel holding at most `cap` in-flight values; `send`
+    /// blocks while full (`cap == 0` is a rendezvous channel).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender(SenderInner::Bounded(tx)), Receiver(rx))
+    }
+}
+
+/// A scope in which borrowing threads can be spawned.
+///
+/// Thin wrapper over [`std::thread::Scope`].
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+/// Handle to a thread spawned inside a [`scope`].
+pub struct ScopedJoinHandle<'scope, T>(std::thread::ScopedJoinHandle<'scope, T>);
+
+impl<T> ScopedJoinHandle<'_, T> {
+    /// Waits for the thread and returns its result (`Err` if it panicked).
+    pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+        self.0.join()
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure's argument is a placeholder for
+    /// crossbeam's nested-scope handle and is always `()` here.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(()) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        ScopedJoinHandle(self.inner.spawn(move || f(())))
+    }
+}
+
+/// Runs `f` with a [`Scope`]; all spawned threads are joined before this
+/// returns. Unjoined-thread panics propagate as panics (rather than `Err`,
+/// which is what the real crossbeam returns); the workspace treats both as
+/// fatal via `.expect`, so the observable behavior matches.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{bounded, unbounded};
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3];
+        let sum = super::scope(|s| {
+            let h = s.spawn(|_| data.iter().sum::<u64>());
+            h.join().expect("worker")
+        })
+        .expect("scope");
+        assert_eq!(sum, 6);
+    }
+
+    #[test]
+    fn bounded_channel_acts_as_slot_pool() {
+        let (slot_tx, slot_rx) = bounded::<()>(2);
+        slot_tx.send(()).unwrap();
+        slot_tx.send(()).unwrap();
+        let (req_tx, req_rx) = unbounded::<u32>();
+        super::scope(|s| {
+            let worker = s.spawn(move |_| {
+                let mut served = 0;
+                while let Ok(x) = req_rx.recv() {
+                    slot_rx.recv().unwrap();
+                    served += x;
+                }
+                served
+            });
+            for i in 1..=3 {
+                req_tx.send(i).unwrap();
+            }
+            drop(req_tx);
+            // Return the slots the worker consumed (blocking handshake).
+            slot_tx.send(()).unwrap();
+            assert_eq!(worker.join().expect("worker"), 6);
+        })
+        .expect("scope");
+    }
+}

@@ -1,0 +1,166 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! property-testing crate.
+//!
+//! The build environment has no cargo registry, so the workspace vendors the
+//! subset its test suites use:
+//!
+//! * the [`proptest!`] macro (with an optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` header),
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`],
+//! * strategies: numeric ranges (`0u16..4`, `3u32..=8`, `-50.0f32..50.0`),
+//!   tuples of strategies, [`collection::vec`], [`strategy::Just`], and
+//!   [`strategy::Strategy::prop_map`].
+//!
+//! Differences from the real crate, chosen deliberately for an offline,
+//! reproducible build:
+//!
+//! * **Deterministic cases.** Inputs derive from a hash of the test's module
+//!   path and name plus the case index — every run explores the same cases,
+//!   so a CI failure always reproduces locally.
+//! * **No shrinking.** A failing case panics with its case index; since
+//!   generation is deterministic, re-running reaches the identical inputs.
+//! * `prop_assert*` panics immediately (the real crate routes a rejection
+//!   back to the shrinker, which does not exist here).
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob-importable surface: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines deterministic property tests.
+///
+/// ```
+/// use proptest::prelude::*;
+///
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(16))]
+///     fn addition_commutes(a in 0u32..1000, b in 0u32..1000) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// addition_commutes();
+/// ```
+///
+/// (In real test code each function carries `#[test]`, as in the module
+/// docs; the doctest omits it so the property actually runs here.)
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            ($crate::test_runner::ProptestConfig::default())
+            $($rest)*
+        }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr) ) => {};
+    (
+        ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let __cases = __config.effective_cases();
+            let __base = $crate::test_runner::case_seed(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for __case in 0..__cases {
+                let mut __rng = $crate::test_runner::TestRng::new(__base, __case);
+                $(let $arg =
+                    $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(
+            x in 0u16..4,
+            y in 3u32..=8,
+            f in -50.0f32..50.0,
+            n in 1usize..40,
+        ) {
+            prop_assert!(x < 4);
+            prop_assert!((3..=8).contains(&y));
+            prop_assert!((-50.0..50.0).contains(&f));
+            prop_assert!((1..40).contains(&n));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(7))]
+        /// Vec strategies honor length ranges; tuples compose.
+        #[test]
+        fn vec_and_tuple_strategies(
+            xs in crate::collection::vec(0u64..100, 1..30),
+            pairs in crate::collection::vec((0u16..4, 0u16..6), 0..10),
+        ) {
+            prop_assert!(!xs.is_empty() && xs.len() < 30);
+            prop_assert!(xs.iter().all(|&x| x < 100));
+            prop_assert!(pairs.len() < 10);
+            prop_assert!(pairs.iter().all(|&(a, b)| a < 4 && b < 6));
+        }
+
+        #[test]
+        fn prop_map_transforms(len in crate::collection::vec(-1.0f64..1.0, 3)) {
+            prop_assert_eq!(len.len(), 3);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let base = crate::test_runner::case_seed("a::b");
+        let mut r1 = crate::test_runner::TestRng::new(base, 5);
+        let mut r2 = crate::test_runner::TestRng::new(base, 5);
+        assert_eq!(r1.next_u64(), r2.next_u64());
+        let mut r3 = crate::test_runner::TestRng::new(base, 6);
+        assert_ne!(r1.next_u64(), r3.next_u64());
+    }
+}

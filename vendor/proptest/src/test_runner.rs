@@ -1,0 +1,80 @@
+//! Case configuration and the deterministic per-case RNG.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// How many cases a [`crate::proptest!`] block runs.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Cases per property (before the `PROPTEST_CASES` env override).
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running exactly `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+
+    /// Cases to actually run: `PROPTEST_CASES` (if set and parseable) wins
+    /// over the configured count, mirroring the real crate's env override.
+    pub fn effective_cases(&self) -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(self.cases)
+    }
+}
+
+impl Default for ProptestConfig {
+    /// 64 cases — far fewer than the real crate's 256, because several of
+    /// the workspace's properties run whole simulations per case.
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// FNV-1a hash of the test's full path; the per-test seed root.
+pub fn case_seed(test_path: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_path.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Deterministic generator for one test case.
+///
+/// Delegates to the vendored `rand` crate's [`StdRng`] so the workspace has
+/// exactly one PRNG implementation to keep correct.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// Builds the RNG for case `case` of the test seeded by `base`.
+    pub fn new(base: u64, case: u32) -> Self {
+        let seed = base ^ u64::from(case).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        TestRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        self.inner.gen()
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "empty size range");
+        self.inner.gen_range(lo..hi)
+    }
+}
