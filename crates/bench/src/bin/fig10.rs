@@ -7,7 +7,7 @@ use klotski_bench::{fig10_engines, tps_cell, Setting, TextTable};
 
 fn main() {
     let bs128 = std::env::args().any(|a| a == "--bs128");
-    let mut batch_sizes = vec![4u32, 8, 16, 32, 64];
+    let mut batch_sizes = klotski_bench::sweep_batch_sizes();
     if bs128 {
         batch_sizes.push(128);
     }

@@ -10,14 +10,15 @@ fn main() {
             "\n== Fig. 11: {} — (latency s → throughput tok/s) per batch size ==",
             setting.title()
         );
+        let batch_sizes = klotski_bench::sweep_batch_sizes();
         let mut headers = vec!["Engine".to_owned()];
-        for bs in [4u32, 8, 16, 32, 64] {
+        for &bs in &batch_sizes {
             headers.push(format!("bs={bs}"));
         }
         let mut table = TextTable::new(headers);
         for engine in fig10_engines() {
             let mut row = vec![engine.name()];
-            for bs in [4u32, 8, 16, 32, 64] {
+            for &bs in &batch_sizes {
                 let sc = setting.scenario(bs);
                 let report = engine.run(&sc).expect("engine run");
                 if report.succeeded() {

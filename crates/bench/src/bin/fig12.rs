@@ -5,7 +5,6 @@
 use klotski_bench::{Setting, TextTable};
 use klotski_core::engine::{KlotskiConfig, KlotskiEngine};
 use klotski_core::scenario::{Engine, Scenario};
-use klotski_model::workload::Workload;
 
 fn run_curve(sc: &Scenario, use_spare: bool) -> (Vec<(u64, u64)>, u64, f64) {
     let mut cfg = KlotskiConfig::full();
@@ -33,7 +32,7 @@ fn run_curve(sc: &Scenario, use_spare: bool) -> (Vec<(u64, u64)>, u64, f64) {
 
 fn main() {
     for (setting, bs) in [(Setting::Small8x7bEnv1, 16u32), (Setting::Big8x22bEnv2, 16)] {
-        let wl = Workload::paper_default(bs).with_batches(setting.n());
+        let wl = klotski_bench::workload(bs, setting.n());
         let sc = Scenario::generate(setting.model(), setting.hardware(), wl, klotski_bench::SEED);
         let original = sc.spec.total_bytes();
         let vram_limit = sc.hw.vram_bytes;

@@ -9,19 +9,25 @@ use klotski_model::workload::Workload;
 
 fn main() {
     let engine = KlotskiEngine::new(KlotskiConfig::full());
+    let batch_sizes = klotski_bench::sweep_batch_sizes();
+    let ns: Vec<u32> = if klotski_bench::cheap_mode() {
+        vec![3, 5]
+    } else {
+        (3..=15).step_by(2).collect()
+    };
     for setting in [Setting::Small8x7bEnv1, Setting::Big8x22bEnv2] {
         println!(
             "\n== Fig. 14: {} — throughput vs n and batch size ==",
             setting.title()
         );
         let mut headers = vec!["n".to_owned()];
-        for bs in [4u32, 8, 16, 32, 64] {
+        for &bs in &batch_sizes {
             headers.push(format!("bs={bs}"));
         }
         let mut table = TextTable::new(headers);
-        for n in (3..=15).step_by(2) {
+        for &n in &ns {
             let mut row = vec![n.to_string()];
-            for bs in [4u32, 8, 16, 32, 64] {
+            for &bs in &batch_sizes {
                 let wl = Workload::paper_default(bs).with_batches(n);
                 let sc = Scenario::generate(setting.model(), setting.hardware(), wl, SEED);
                 let report = engine.run(&sc).expect("engine run");

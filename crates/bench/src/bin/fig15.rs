@@ -7,7 +7,6 @@ use klotski_bench::{Setting, SEED};
 use klotski_core::engine::{KlotskiConfig, KlotskiEngine};
 use klotski_core::report::InferenceReport;
 use klotski_core::scenario::{Engine, Scenario};
-use klotski_model::workload::Workload;
 use klotski_sim::time::SimTime;
 
 fn run(cfg: KlotskiConfig, sc: &Scenario) -> InferenceReport {
@@ -47,21 +46,35 @@ fn show(label: &str, report: &InferenceReport, sc: &Scenario, per_block_batches:
 fn main() {
     // The paper's Fig. 15 workload: Mixtral-8×7B in Env 1, batch 64, n=10.
     let setting = Setting::Small8x7bEnv1;
-    let wl = Workload::paper_default(64).with_batches(10);
+    let bs = if klotski_bench::cheap_mode() { 16 } else { 64 };
+    let wl = klotski_bench::workload(bs, 10);
     let sc = Scenario::generate(setting.model(), setting.hardware(), wl, SEED);
 
-    println!("== Fig. 15: pipeline comparison (Mixtral-8x7B, Env 1, bs 64, n 10) ==");
+    println!(
+        "== Fig. 15: pipeline comparison (Mixtral-8x7B, Env 1, bs {bs}, n {}) ==",
+        wl.num_batches
+    );
     println!("legend: A attention, G gate, E expert compute, W weight-load,");
     println!("        E-load expert transfer, K kv transfer, '.' idle (bubble)");
 
     // (a) simple overlap: single batch, whole-MoE-layer prefetch. The same
     // total workload is processed batch-by-batch.
     let simple = run(KlotskiConfig::ablation_simple_pipeline(), &sc);
-    show("(a) simple overlap, single batch", &simple, &sc, 10);
+    show(
+        "(a) simple overlap, single batch",
+        &simple,
+        &sc,
+        wl.num_batches,
+    );
 
     // (b) Klotski's multi-batch pipeline.
     let klotski = run(KlotskiConfig::full(), &sc);
-    show("(b) Klotski, expert-aware multi-batch", &klotski, &sc, 10);
+    show(
+        "(b) Klotski, expert-aware multi-batch",
+        &klotski,
+        &sc,
+        wl.num_batches,
+    );
 
     let simple_block = block_ms(&simple, &sc);
     let klotski_block = block_ms(&klotski, &sc);

@@ -54,8 +54,9 @@ fn heatmap(spec: &ModelSpec, seqs: u32, decoder_only_layers: Option<u32>) {
 
 fn main() {
     println!("== Fig. 5: expert popularity heatmaps (darker = more tokens) ==");
-    heatmap(&ModelSpec::mixtral_8x7b(), 64, None);
+    let seqs = if klotski_bench::cheap_mode() { 16 } else { 64 };
+    heatmap(&ModelSpec::mixtral_8x7b(), seqs, None);
     // The paper plots the decoder halves of the switch models (6 MoE layers).
-    heatmap(&ModelSpec::switch_base(8), 64, Some(6));
-    heatmap(&ModelSpec::switch_base(16), 64, Some(6));
+    heatmap(&ModelSpec::switch_base(8), seqs, Some(6));
+    heatmap(&ModelSpec::switch_base(16), seqs, Some(6));
 }

@@ -41,7 +41,11 @@ fn main() {
         ModelSpec::switch_base(16),
         ModelSpec::switch_base(128),
     ] {
-        let wl = Workload::new(4, n, 512, 32);
+        let wl = if klotski_bench::cheap_mode() {
+            Workload::new(4, n, 128, 8)
+        } else {
+            Workload::new(4, n, 512, 32)
+        };
         let sc = Scenario::generate(spec.clone(), HardwareSpec::env1_rtx3090(), wl, SEED);
         let base = original.run(&sc).expect("original run");
         let plus = strategy.run(&sc).expect("strategy run");

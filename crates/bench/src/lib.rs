@@ -13,9 +13,14 @@
 //! | `fig13`  | Fig. 13 — prefetch accuracy per layer |
 //! | `fig14`  | Fig. 14 — throughput vs n × batch size |
 //! | `fig15`  | Fig. 15 — pipeline timelines / bubble reduction |
+//! | `serve_sweep` | online serving: arrival rate × admission policy → SLO metrics |
 //!
 //! Run e.g. `cargo run --release -p klotski-bench --bin fig10`.
 //! Criterion microbenchmarks live under `benches/`.
+//!
+//! Setting `KLOTSKI_CHEAP=1` shrinks every bin's sweep (smaller workloads,
+//! fewer cells) so CI can *execute* all of them — figure reproduction is
+//! smoke-run, not just compiled. Output stays deterministic either way.
 
 #![warn(missing_docs)]
 
@@ -29,6 +34,33 @@ use klotski_model::workload::Workload;
 
 /// The paper's evaluation seed (any fixed value; determinism is the point).
 pub const SEED: u64 = 2025;
+
+/// True when `KLOTSKI_CHEAP` is set (to anything but `0`): bins shrink
+/// their sweeps to CI-smoke scale. Same tables, fewer/smaller cells.
+pub fn cheap_mode() -> bool {
+    std::env::var("KLOTSKI_CHEAP")
+        .map(|v| v != "0")
+        .unwrap_or(false)
+}
+
+/// The batch sizes end-to-end figures sweep (paper: 4–64).
+pub fn sweep_batch_sizes() -> Vec<u32> {
+    if cheap_mode() {
+        vec![4, 8]
+    } else {
+        vec![4, 8, 16, 32, 64]
+    }
+}
+
+/// The paper workload at `batch_size` × `n` batches (prompt 512, gen 32),
+/// shrunk to prompt 128 / gen 8 / `n ≤ 3` under [`cheap_mode`].
+pub fn workload(batch_size: u32, n: u32) -> Workload {
+    if cheap_mode() {
+        Workload::new(batch_size, n.min(3), 128, 8)
+    } else {
+        Workload::paper_default(batch_size).with_batches(n)
+    }
+}
 
 /// The three end-to-end evaluation scenarios of Fig. 10/11.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -83,10 +115,14 @@ impl Setting {
     }
 
     /// Builds the scenario for one batch size (paper workload shape:
-    /// prompt 512, 32 generated tokens).
+    /// prompt 512, 32 generated tokens; shrunk under [`cheap_mode`]).
     pub fn scenario(self, batch_size: u32) -> Scenario {
-        let wl = Workload::paper_default(batch_size).with_batches(self.n());
-        Scenario::generate(self.model(), self.hardware(), wl, SEED)
+        Scenario::generate(
+            self.model(),
+            self.hardware(),
+            workload(batch_size, self.n()),
+            SEED,
+        )
     }
 }
 

@@ -306,6 +306,24 @@ fn expert_layer_bytes(spec: &ModelSpec, layer: u32) -> u64 {
     }
 }
 
+/// Scheduling context of one MoE layer's expert phase: which sequences the
+/// group spans, which experts the gates activated, which were prefetched as
+/// hot, and how many tokens each routed.
+struct ExpertPhase<'a> {
+    step: StepKind,
+    moe_layer: u32,
+    /// First sequence of the batch group (inclusive).
+    s0: u32,
+    /// Last sequence of the batch group (exclusive).
+    s1: u32,
+    /// Experts with at least one routed token, ascending id.
+    activated: &'a [u16],
+    /// The prefetched (predicted-hot) experts.
+    hot: &'a [u16],
+    /// Routed-token count per expert id.
+    counts: &'a [u32],
+}
+
 /// DAG builder for one run.
 struct Builder<'a> {
     spec: &'a ModelSpec,
@@ -696,7 +714,15 @@ impl<'a> Builder<'a> {
                 // offload: any batch may still need them).
             } else {
                 // Execution order: reordered (readiness) vs. fixed.
-                let order = self.execution_order(step, m, s0, s1, &activated, &hot, &counts);
+                let order = self.execution_order(&ExpertPhase {
+                    step,
+                    moe_layer: m,
+                    s0,
+                    s1,
+                    activated: &activated,
+                    hot: &hot,
+                    counts: &counts,
+                });
                 let mut prev_in_chain: Option<TaskId> = None;
                 for e in order {
                     let tokens = counts[e as usize] as u64;
@@ -842,27 +868,15 @@ impl<'a> Builder<'a> {
     /// Expert execution order for the fixed-order (non-reordered) modes;
     /// in reorder mode the submission order is hot-first but actual start
     /// times follow readiness.
-    // Takes the full scheduling context (step kind, group bounds, activated
-    // set, …); a params struct would just rename the same nine values.
-    #[allow(clippy::too_many_arguments)]
-    fn execution_order(
-        &self,
-        step: StepKind,
-        m: u32,
-        s0: u32,
-        s1: u32,
-        activated: &[u16],
-        hot: &[u16],
-        counts: &[u32],
-    ) -> Vec<u16> {
-        let mut order: Vec<u16> = activated.to_vec();
+    fn execution_order(&self, ph: &ExpertPhase<'_>) -> Vec<u16> {
+        let mut order: Vec<u16> = ph.activated.to_vec();
         if self.cfg.reorder_experts {
             // Hot (prefetched) experts first, by token count descending;
             // then the rest (their true order emerges from transfer
             // completion via readiness).
             order.sort_by_key(|&e| {
-                let is_hot = hot.contains(&e);
-                (!is_hot, std::cmp::Reverse(counts[e as usize]), e)
+                let is_hot = ph.hot.contains(&e);
+                (!is_hot, std::cmp::Reverse(ph.counts[e as usize]), e)
             });
         } else if self.cfg.hot_expert_prefetch {
             // Gate-discovery order: by first requesting batch, then id —
@@ -870,7 +884,14 @@ impl<'a> Builder<'a> {
             let view = self.view.as_ref().expect("moe run has a trace");
             order.sort_by_key(|&e| {
                 let b = view
-                    .first_requesting_batch(step, m, s0, s1, self.wl.batch_size, e)
+                    .first_requesting_batch(
+                        ph.step,
+                        ph.moe_layer,
+                        ph.s0,
+                        ph.s1,
+                        self.wl.batch_size,
+                        e,
+                    )
                     .unwrap_or(u32::MAX);
                 (b, e)
             });

@@ -1,0 +1,172 @@
+//! # klotski-serve — the online serving front-end
+//!
+//! The paper's multi-batch pipeline assumes a batch group of `n` batches
+//! already exists; a server must *form* those groups from a live request
+//! stream. This crate adds the request level on top of any
+//! [`Engine`](klotski_core::scenario::Engine):
+//!
+//! * [`traffic`] — seeded open-loop (Poisson / paced) and closed-loop
+//!   arrival processes with configurable prompt/output-length
+//!   distributions;
+//! * [`admission`] — the queue policies that cut batch groups online:
+//!   fixed-`n`, deadline-triggered partial groups, and a cost-model-informed
+//!   policy that sizes groups under a latency budget using
+//!   [`CostModel`](klotski_model::cost::CostModel);
+//! * [`server`] — the serving loop: drives an engine group-by-group over
+//!   simulated time, carrying per-request queueing delay into the results;
+//! * [`metrics`] — request-level SLO metrics: TTFT / TPOT / end-to-end
+//!   percentiles, goodput under an SLO, sustained throughput.
+//!
+//! Everything is deterministic under a seed: the same traffic, policy, and
+//! engine produce byte-identical reports (the `serve_sweep` bench binary
+//! asserts this).
+//!
+//! ```
+//! use klotski_core::engine::{KlotskiConfig, KlotskiEngine};
+//! use klotski_model::{hardware::HardwareSpec, spec::ModelSpec};
+//! use klotski_serve::admission::AdmissionPolicy;
+//! use klotski_serve::server::{serve, ServeConfig, Traffic};
+//! use klotski_serve::traffic::{generate, Arrivals, TrafficConfig};
+//! use klotski_sim::time::SimDuration;
+//!
+//! let stream = generate(
+//!     Arrivals::Poisson { rate: 1.0 },
+//!     &TrafficConfig::fixed(8, 64, 4, 7),
+//! );
+//! let report = serve(
+//!     &KlotskiEngine::new(KlotskiConfig::full()),
+//!     &ModelSpec::mixtral_8x7b(),
+//!     &HardwareSpec::env1_rtx3090(),
+//!     &Traffic::Open(stream),
+//!     &ServeConfig {
+//!         batch_size: 4,
+//!         policy: AdmissionPolicy::CostAware {
+//!             max_n: 4,
+//!             slo_e2e: SimDuration::from_secs(120),
+//!         },
+//!         seed: 7,
+//!     },
+//! )
+//! .unwrap();
+//! assert_eq!(report.outcomes.len(), 8);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod metrics;
+pub mod server;
+pub mod traffic;
+
+#[cfg(test)]
+mod proptests {
+    use crate::admission::AdmissionPolicy;
+    use crate::server::{serve, ServeConfig, Traffic};
+    use crate::traffic::{generate, Arrivals, LengthDist, TrafficConfig};
+    use klotski_core::engine::{KlotskiConfig, KlotskiEngine};
+    use klotski_model::hardware::HardwareSpec;
+    use klotski_model::spec::ModelSpec;
+    use klotski_model::workload::Workload;
+    use klotski_sim::time::SimDuration;
+    use proptest::prelude::*;
+
+    fn policy_for(selector: u8, n: u32) -> AdmissionPolicy {
+        match selector % 3 {
+            0 => AdmissionPolicy::FixedN { n },
+            1 => AdmissionPolicy::Deadline {
+                n,
+                deadline: SimDuration::from_secs(2),
+            },
+            _ => AdmissionPolicy::CostAware {
+                max_n: n,
+                slo_e2e: SimDuration::from_secs(120),
+            },
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(10))]
+        /// Admission never drops or duplicates a request, and every formed
+        /// group respects the policy's batch bounds.
+        #[test]
+        fn admission_conserves_requests_and_bounds_groups(
+            num in 1u32..40,
+            bs in 1u32..6,
+            n in 1u32..5,
+            rate in 1u64..40,
+            selector in 0u8..3,
+            seed in 0u64..30,
+        ) {
+            let stream = generate(
+                Arrivals::Poisson { rate: rate as f64 / 4.0 },
+                &TrafficConfig {
+                    num_requests: num,
+                    prompt: LengthDist::Uniform { lo: 16, hi: 64 },
+                    gen: LengthDist::Uniform { lo: 2, hi: 5 },
+                    seed,
+                },
+            );
+            let policy = policy_for(selector, n);
+            let report = serve(
+                &KlotskiEngine::new(KlotskiConfig::full()),
+                &ModelSpec::mixtral_8x7b(),
+                &HardwareSpec::env1_rtx3090(),
+                &Traffic::Open(stream),
+                &ServeConfig { batch_size: bs, policy, seed },
+            ).expect("serve");
+
+            // No drop, no duplicate: outcomes are exactly ids 0..num.
+            let ids: Vec<u64> = report.outcomes.iter().map(|o| o.id).collect();
+            prop_assert_eq!(ids, (0..num as u64).collect::<Vec<_>>());
+
+            // Group shape bounds.
+            for g in &report.groups {
+                prop_assert!(g.workload.num_batches <= policy.max_batches());
+                prop_assert!(g.workload.batch_size <= bs);
+                prop_assert_eq!(g.n_requests as u64, g.workload.total_seqs());
+            }
+            // A request belongs to exactly one group.
+            let grouped: u32 = report.groups.iter().map(|g| g.n_requests).sum();
+            prop_assert_eq!(grouped, num);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        /// With a fixed-shape stream, the serving loop's per-request token
+        /// counts add up to exactly the offline Workload totals for the
+        /// same request set.
+        #[test]
+        fn token_counts_match_offline_workload(
+            k in 1u32..5,
+            bs in 1u32..5,
+            n in 1u32..4,
+            selector in 0u8..3,
+            seed in 0u64..30,
+        ) {
+            let num = k * bs; // a whole number of batches
+            let stream = generate(
+                Arrivals::Poisson { rate: 2.0 },
+                &TrafficConfig::fixed(num, 32, 3, seed),
+            );
+            let report = serve(
+                &KlotskiEngine::new(KlotskiConfig::full()),
+                &ModelSpec::mixtral_8x7b(),
+                &HardwareSpec::env1_rtx3090(),
+                &Traffic::Open(stream),
+                &ServeConfig { batch_size: bs, policy: policy_for(selector, n), seed },
+            ).expect("serve");
+
+            let offline = Workload::new(bs, k, 32, 3);
+            let served: u64 = report.outcomes.iter().map(|o| o.gen_len as u64).sum();
+            prop_assert_eq!(served, offline.total_generated());
+            // Fixed shapes make padding a no-op: the groups' padded totals
+            // also add up exactly.
+            let padded: u64 = report.groups.iter()
+                .map(|g| g.workload.total_generated())
+                .sum();
+            prop_assert_eq!(padded, offline.total_generated());
+            prop_assert!(report.outcomes.iter().all(|o| !o.failed));
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! Request-level SLO metrics: latency percentiles, goodput, throughput.
+//!
+//! The offline [`InferenceReport`](klotski_core::report::InferenceReport)
+//! measures one batch group; a server is judged on *request* latency
+//! distributions under an SLO. This module folds a
+//! [`ServeReport`](crate::server::ServeReport) into the numbers serving
+//! papers quote: TTFT / TPOT / end-to-end at p50/p95/p99, goodput (tokens
+//! per second from requests that met the SLO), and sustained throughput.
+
+use klotski_sim::time::SimDuration;
+
+use crate::server::ServeReport;
+
+/// A per-request service-level objective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SloSpec {
+    /// Maximum acceptable time to first token.
+    pub ttft: SimDuration,
+    /// Maximum acceptable time per output token (after the first).
+    pub tpot: SimDuration,
+}
+
+impl SloSpec {
+    /// A loose interactive-serving SLO scaled to simulated offloading
+    /// speeds (TTFT 20 s, TPOT 1 s).
+    pub fn relaxed() -> Self {
+        SloSpec {
+            ttft: SimDuration::from_secs(20),
+            tpot: SimDuration::from_secs(1),
+        }
+    }
+}
+
+/// p50/p95/p99 of one latency population.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Percentiles {
+    /// Median.
+    pub p50: SimDuration,
+    /// 95th percentile.
+    pub p95: SimDuration,
+    /// 99th percentile.
+    pub p99: SimDuration,
+}
+
+impl Percentiles {
+    /// Nearest-rank percentiles of `values` (need not be sorted; empty
+    /// populations report zero).
+    pub fn of(values: &[SimDuration]) -> Self {
+        if values.is_empty() {
+            return Percentiles {
+                p50: SimDuration::ZERO,
+                p95: SimDuration::ZERO,
+                p99: SimDuration::ZERO,
+            };
+        }
+        let mut sorted = values.to_vec();
+        sorted.sort_unstable();
+        let rank = |p: f64| -> SimDuration {
+            let n = sorted.len() as f64;
+            let idx = (p / 100.0 * n).ceil() as usize;
+            sorted[idx.clamp(1, sorted.len()) - 1]
+        };
+        Percentiles {
+            p50: rank(50.0),
+            p95: rank(95.0),
+            p99: rank(99.0),
+        }
+    }
+}
+
+/// One serving run, summarized against an SLO.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloSummary {
+    /// Requests observed (failed ones included).
+    pub requests: usize,
+    /// Requests that completed *and* met both SLO components.
+    pub slo_met: usize,
+    /// Time-to-first-token percentiles.
+    pub ttft: Percentiles,
+    /// Time-per-output-token percentiles.
+    pub tpot: Percentiles,
+    /// End-to-end latency percentiles.
+    pub e2e: Percentiles,
+    /// Mean queueing delay.
+    pub mean_queue_delay: SimDuration,
+    /// Generated tokens of SLO-meeting requests per second of makespan.
+    pub goodput_tps: f64,
+    /// Generated tokens of all completed requests per second of makespan.
+    pub throughput_tps: f64,
+}
+
+/// Summarizes a serving run against `slo`.
+pub fn summarize(report: &ServeReport, slo: &SloSpec) -> SloSummary {
+    let completed: Vec<_> = report.outcomes.iter().filter(|o| !o.failed).collect();
+    let ttfts: Vec<SimDuration> = completed.iter().map(|o| o.ttft()).collect();
+    let tpots: Vec<SimDuration> = completed.iter().map(|o| o.tpot()).collect();
+    let e2es: Vec<SimDuration> = completed.iter().map(|o| o.e2e()).collect();
+
+    let good: Vec<_> = completed
+        .iter()
+        .filter(|o| o.ttft() <= slo.ttft && o.tpot() <= slo.tpot)
+        .collect();
+    let good_tokens: u64 = good.iter().map(|o| o.gen_len as u64).sum();
+    let goodput_tps = if report.makespan.is_zero() {
+        0.0
+    } else {
+        good_tokens as f64 / report.makespan.as_secs_f64()
+    };
+    let mean_queue_delay = if completed.is_empty() {
+        SimDuration::ZERO
+    } else {
+        completed
+            .iter()
+            .map(|o| o.queue_delay())
+            .sum::<SimDuration>()
+            / completed.len() as u64
+    };
+
+    SloSummary {
+        requests: report.outcomes.len(),
+        slo_met: good.len(),
+        ttft: Percentiles::of(&ttfts),
+        tpot: Percentiles::of(&tpots),
+        e2e: Percentiles::of(&e2es),
+        mean_queue_delay,
+        goodput_tps,
+        throughput_tps: report.throughput_tps(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::RequestOutcome;
+    use klotski_sim::time::SimTime;
+
+    fn ms(v: u64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+
+    #[test]
+    fn nearest_rank_percentiles() {
+        let vals: Vec<SimDuration> = (1..=100).map(ms).collect();
+        let p = Percentiles::of(&vals);
+        assert_eq!(p.p50, ms(50));
+        assert_eq!(p.p95, ms(95));
+        assert_eq!(p.p99, ms(99));
+        // Tiny populations: nearest rank, not interpolation.
+        let p = Percentiles::of(&[ms(10), ms(20), ms(30)]);
+        assert_eq!(p.p50, ms(20));
+        assert_eq!(p.p99, ms(30));
+        assert_eq!(Percentiles::of(&[]).p99, SimDuration::ZERO);
+    }
+
+    fn outcome(id: u64, wait_ms: u64, gen: u32, failed: bool) -> RequestOutcome {
+        let arrival = SimTime::ZERO + ms(id * 10);
+        let dispatched = arrival + ms(wait_ms);
+        let first_token = dispatched + ms(100);
+        RequestOutcome {
+            id,
+            arrival,
+            dispatched,
+            first_token,
+            finished: first_token + ms(50) * gen.saturating_sub(1) as u64,
+            prompt_len: 64,
+            gen_len: gen,
+            group: 0,
+            failed,
+        }
+    }
+
+    fn report(outcomes: Vec<RequestOutcome>) -> ServeReport {
+        let makespan = outcomes
+            .iter()
+            .map(|o| o.finished)
+            .max()
+            .unwrap()
+            .saturating_since(SimTime::ZERO);
+        ServeReport {
+            engine: "Stub".into(),
+            outcomes,
+            groups: Vec::new(),
+            makespan,
+        }
+    }
+
+    #[test]
+    fn goodput_counts_only_slo_met_requests() {
+        // Two fast requests, one slow (10 s wait), one failed.
+        let r = report(vec![
+            outcome(0, 10, 4, false),
+            outcome(1, 10, 4, false),
+            outcome(2, 10_000, 4, false),
+            outcome(3, 10, 4, true),
+        ]);
+        let slo = SloSpec {
+            ttft: SimDuration::from_secs(1),
+            tpot: SimDuration::from_secs(1),
+        };
+        let s = summarize(&r, &slo);
+        assert_eq!(s.requests, 4);
+        assert_eq!(s.slo_met, 2);
+        assert!(s.goodput_tps < s.throughput_tps);
+        let expected = 8.0 / r.makespan.as_secs_f64();
+        assert!((s.goodput_tps - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tighter_slo_never_increases_goodput() {
+        let r = report((0..20).map(|i| outcome(i, i * 40, 4, false)).collect());
+        let loose = summarize(
+            &r,
+            &SloSpec {
+                ttft: SimDuration::from_secs(5),
+                tpot: SimDuration::from_secs(5),
+            },
+        );
+        let tight = summarize(
+            &r,
+            &SloSpec {
+                ttft: ms(300),
+                tpot: ms(40),
+            },
+        );
+        assert!(tight.slo_met <= loose.slo_met);
+        assert!(tight.goodput_tps <= loose.goodput_tps);
+    }
+
+    #[test]
+    fn mean_queue_delay_averages_completed() {
+        let r = report(vec![outcome(0, 100, 2, false), outcome(1, 300, 2, false)]);
+        let s = summarize(&r, &SloSpec::relaxed());
+        assert_eq!(s.mean_queue_delay, ms(200));
+    }
+}

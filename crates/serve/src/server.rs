@@ -1,0 +1,747 @@
+//! The serving loop: requests in, batch groups through an engine, timed
+//! outcomes out.
+//!
+//! A single engine instance processes groups sequentially over simulated
+//! time. While a group runs, new requests queue; when the engine frees, the
+//! admission policy decides when to cut the next group and how large. Each
+//! group becomes one [`Workload`] (padded to its longest prompt/output) and
+//! one [`Scenario`], so Klotski and every baseline engine can serve the
+//! same traffic and be compared policy-for-policy.
+//!
+//! Per-request timings carry the queueing delay the offline harness never
+//! sees: `TTFT = wait + group prefill`, and a request's last token lands at
+//! its own `gen_len` (shorter requests in a padded group finish earlier).
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use klotski_core::scenario::{Engine, EngineError, Scenario};
+use klotski_model::hardware::HardwareSpec;
+use klotski_model::spec::ModelSpec;
+use klotski_model::workload::Workload;
+use klotski_sim::time::{SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::admission::{estimate_group_service, AdmissionPolicy, GroupTrigger};
+use crate::traffic::{Request, TrafficConfig};
+
+/// Traffic fed to the serving loop.
+#[derive(Debug, Clone)]
+pub enum Traffic {
+    /// Open loop: a pre-generated arrival stream (see
+    /// [`traffic::generate`](crate::traffic::generate)).
+    Open(Vec<Request>),
+    /// Closed loop: `clients` concurrent users; each issues its next
+    /// request `think` after its previous one completes, until
+    /// `cfg.num_requests` have been issued in total.
+    Closed {
+        /// Concurrent clients (all issue their first request at t = 0).
+        clients: u32,
+        /// Think time between a completion and the next request.
+        think: SimDuration,
+        /// Stream shape (lengths + total request count + seed).
+        cfg: TrafficConfig,
+    },
+}
+
+/// Serving-loop configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeConfig {
+    /// Sequences per batch within a group.
+    pub batch_size: u32,
+    /// The admission policy forming batch groups.
+    pub policy: AdmissionPolicy,
+    /// Seed for per-group scenario generation (gating traces).
+    pub seed: u64,
+}
+
+/// One served request with its full timing breakdown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestOutcome {
+    /// Request id (stable from the traffic stream).
+    pub id: u64,
+    /// Arrival time.
+    pub arrival: SimTime,
+    /// When the request's group was dispatched to the engine.
+    pub dispatched: SimTime,
+    /// When the request's first generated token landed (end of the group's
+    /// prefill).
+    pub first_token: SimTime,
+    /// When the request's *own* last token landed.
+    pub finished: SimTime,
+    /// Prompt tokens.
+    pub prompt_len: u32,
+    /// Generated tokens.
+    pub gen_len: u32,
+    /// Index of the group that served this request.
+    pub group: u32,
+    /// Whether the group aborted (OOM); timings are then meaningless and
+    /// the request counts as an SLO violation.
+    pub failed: bool,
+}
+
+impl RequestOutcome {
+    /// Time spent queued before dispatch.
+    pub fn queue_delay(&self) -> SimDuration {
+        self.dispatched.saturating_since(self.arrival)
+    }
+
+    /// Time to first token (queueing delay + group prefill).
+    pub fn ttft(&self) -> SimDuration {
+        self.first_token.saturating_since(self.arrival)
+    }
+
+    /// Time per output token after the first (zero for 1-token outputs).
+    pub fn tpot(&self) -> SimDuration {
+        if self.gen_len <= 1 {
+            return SimDuration::ZERO;
+        }
+        self.finished.saturating_since(self.first_token) / (self.gen_len - 1) as u64
+    }
+
+    /// End-to-end latency (arrival → own last token).
+    pub fn e2e(&self) -> SimDuration {
+        self.finished.saturating_since(self.arrival)
+    }
+}
+
+/// One dispatched batch group.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GroupRecord {
+    /// Group index, in dispatch order.
+    pub index: u32,
+    /// Dispatch (= formation) time.
+    pub dispatched: SimTime,
+    /// The padded workload handed to the engine.
+    pub workload: Workload,
+    /// Requests in the group (`= workload.total_seqs()`).
+    pub n_requests: u32,
+    /// What cut the group.
+    pub trigger: GroupTrigger,
+    /// The engine's service time for the group.
+    pub service_time: SimDuration,
+    /// The group's prefill span.
+    pub prefill_time: SimDuration,
+    /// Whether the engine aborted with OOM.
+    pub oom: bool,
+}
+
+/// Everything one serving run produced.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Engine name.
+    pub engine: String,
+    /// Per-request outcomes, in request-id order.
+    pub outcomes: Vec<RequestOutcome>,
+    /// Per-group records, in dispatch order.
+    pub groups: Vec<GroupRecord>,
+    /// First arrival → last completed token.
+    pub makespan: SimDuration,
+}
+
+impl ServeReport {
+    /// Sustained throughput: generated tokens of completed requests over
+    /// the makespan.
+    pub fn throughput_tps(&self) -> f64 {
+        if self.makespan.is_zero() {
+            return 0.0;
+        }
+        let tokens: u64 = self
+            .outcomes
+            .iter()
+            .filter(|o| !o.failed)
+            .map(|o| o.gen_len as u64)
+            .sum();
+        tokens as f64 / self.makespan.as_secs_f64()
+    }
+}
+
+/// Drives `engine` over `traffic` and returns per-request outcomes.
+///
+/// # Errors
+///
+/// Returns [`EngineError`] if the engine rejects a scenario as invalid
+/// (configuration errors — OOM is a per-group *result*, not an error).
+///
+/// # Panics
+///
+/// Panics if `cfg.batch_size` is zero, the policy's group size is zero,
+/// or closed-loop traffic promises requests but has no clients to issue
+/// them.
+pub fn serve(
+    engine: &dyn Engine,
+    spec: &ModelSpec,
+    hw: &HardwareSpec,
+    traffic: &Traffic,
+    cfg: &ServeConfig,
+) -> Result<ServeReport, EngineError> {
+    assert!(cfg.batch_size > 0, "batch_size must be positive");
+    assert!(cfg.policy.max_batches() > 0, "group size must be positive");
+    if let Traffic::Closed {
+        clients, cfg: tc, ..
+    } = traffic
+    {
+        assert!(
+            *clients > 0 || tc.num_requests == 0,
+            "closed-loop traffic needs at least one client"
+        );
+    }
+
+    let mut loop_state = Loop::new(traffic, cfg);
+    let mut outcomes: Vec<RequestOutcome> = Vec::new();
+    let mut groups: Vec<GroupRecord> = Vec::new();
+    let mut t_free = SimTime::ZERO;
+    let cost = klotski_model::cost::CostModel::new(spec.clone(), hw.clone());
+
+    while let Some(dispatch) = loop_state.next_group(t_free, &cost) {
+        let (t_form, batch, trigger) = dispatch;
+        let wl = group_workload(&batch, cfg.batch_size);
+        let seed = cfg.seed.wrapping_add(3 * groups.len() as u64);
+        let scenario = Scenario::generate(spec.clone(), hw.clone(), wl, seed);
+        let report = engine.run(&scenario)?;
+        let oom = !report.succeeded();
+
+        let (service, prefill) = if oom {
+            (SimDuration::ZERO, SimDuration::ZERO)
+        } else {
+            (report.total_time, report.prefill_time)
+        };
+        let first_token = t_form + prefill;
+        let group_end = t_form + service;
+        // Decode pace of the padded group; each request stops at its own
+        // gen_len.
+        let padded_gen = wl.gen_len;
+        let tpot = if padded_gen > 1 {
+            service.saturating_sub(prefill) / (padded_gen - 1) as u64
+        } else {
+            SimDuration::ZERO
+        };
+        for r in &batch {
+            let finished = if oom {
+                t_form
+            } else {
+                first_token + tpot * (r.gen_len.saturating_sub(1)) as u64
+            };
+            outcomes.push(RequestOutcome {
+                id: r.id,
+                arrival: r.arrival,
+                dispatched: t_form,
+                first_token,
+                finished,
+                prompt_len: r.prompt_len,
+                gen_len: r.gen_len,
+                group: groups.len() as u32,
+                failed: oom,
+            });
+            loop_state.on_complete(finished, oom);
+        }
+        groups.push(GroupRecord {
+            index: groups.len() as u32,
+            dispatched: t_form,
+            workload: wl,
+            n_requests: batch.len() as u32,
+            trigger,
+            service_time: service,
+            prefill_time: prefill,
+            oom,
+        });
+        t_free = group_end;
+    }
+
+    outcomes.sort_by_key(|o| o.id);
+    let first_arrival = outcomes
+        .iter()
+        .map(|o| o.arrival)
+        .min()
+        .unwrap_or(SimTime::ZERO);
+    let makespan = outcomes
+        .iter()
+        .map(|o| o.finished)
+        .max()
+        .unwrap_or(SimTime::ZERO)
+        .saturating_since(first_arrival);
+    Ok(ServeReport {
+        engine: engine.name(),
+        outcomes,
+        groups,
+        makespan,
+    })
+}
+
+/// Pads a drained batch into one engine workload: whole batches of
+/// `batch_size` when possible, otherwise a single ragged batch.
+fn group_workload(batch: &[Request], batch_size: u32) -> Workload {
+    let count = batch.len() as u32;
+    let prompt = batch.iter().map(|r| r.prompt_len).max().expect("non-empty");
+    let gen = batch.iter().map(|r| r.gen_len).max().expect("non-empty");
+    if count < batch_size {
+        Workload::new(count, 1, prompt, gen)
+    } else {
+        debug_assert_eq!(count % batch_size, 0, "admission drains whole batches");
+        Workload::new(batch_size, count / batch_size, prompt, gen)
+    }
+}
+
+/// Queue + arrival bookkeeping shared by open- and closed-loop traffic.
+struct Loop<'a> {
+    cfg: &'a ServeConfig,
+    queue: VecDeque<Request>,
+    /// Future arrivals, earliest first.
+    future: BinaryHeap<Reverse<(u64, u64, u32, u32)>>, // (nanos, id, prompt, gen)
+    /// Closed-loop state: requests still to issue, lengths, think time.
+    closed: Option<ClosedState>,
+}
+
+struct ClosedState {
+    remaining: u32,
+    think: SimDuration,
+    cfg: TrafficConfig,
+    rng: StdRng,
+    next_id: u64,
+}
+
+impl<'a> Loop<'a> {
+    fn new(traffic: &Traffic, cfg: &'a ServeConfig) -> Self {
+        let mut future = BinaryHeap::new();
+        let mut closed = None;
+        match traffic {
+            Traffic::Open(requests) => {
+                for r in requests {
+                    future.push(Reverse((
+                        r.arrival.as_nanos(),
+                        r.id,
+                        r.prompt_len,
+                        r.gen_len,
+                    )));
+                }
+            }
+            Traffic::Closed {
+                clients,
+                think,
+                cfg: tc,
+            } => {
+                let mut rng = StdRng::seed_from_u64(tc.seed);
+                let initial = (*clients).min(tc.num_requests);
+                for id in 0..initial as u64 {
+                    let prompt = tc.prompt.sample(&mut rng);
+                    let gen = tc.gen.sample(&mut rng);
+                    future.push(Reverse((0, id, prompt, gen)));
+                }
+                closed = Some(ClosedState {
+                    remaining: tc.num_requests - initial,
+                    think: *think,
+                    cfg: *tc,
+                    rng,
+                    next_id: initial as u64,
+                });
+            }
+        }
+        Loop {
+            cfg,
+            queue: VecDeque::new(),
+            future,
+            closed,
+        }
+    }
+
+    /// A request completed at `finished`; in closed-loop mode its client
+    /// issues the next request after thinking (unless the group failed —
+    /// a failed client walks away, which also guarantees progress).
+    fn on_complete(&mut self, finished: SimTime, failed: bool) {
+        let Some(state) = self.closed.as_mut() else {
+            return;
+        };
+        if failed || state.remaining == 0 {
+            return;
+        }
+        state.remaining -= 1;
+        let arrival = finished + state.think;
+        let prompt = state.cfg.prompt.sample(&mut state.rng);
+        let gen = state.cfg.gen.sample(&mut state.rng);
+        self.future
+            .push(Reverse((arrival.as_nanos(), state.next_id, prompt, gen)));
+        state.next_id += 1;
+    }
+
+    fn ingest_until(&mut self, now: SimTime) {
+        while let Some(&Reverse((at, id, prompt, gen))) = self.future.peek() {
+            if at > now.as_nanos() {
+                break;
+            }
+            self.future.pop();
+            self.queue.push_back(Request {
+                id,
+                arrival: SimTime::from_nanos(at),
+                prompt_len: prompt,
+                gen_len: gen,
+            });
+        }
+    }
+
+    fn oldest_wait(&self, now: SimTime) -> SimDuration {
+        self.queue
+            .front()
+            .map(|r| now.saturating_since(r.arrival))
+            .unwrap_or(SimDuration::ZERO)
+    }
+
+    /// Advances simulated time from `t_free` until the policy cuts a
+    /// group; returns `(formation time, drained requests, trigger)`, or
+    /// `None` when all traffic has been served.
+    fn next_group(
+        &mut self,
+        t_free: SimTime,
+        cost: &klotski_model::cost::CostModel,
+    ) -> Option<(SimTime, Vec<Request>, GroupTrigger)> {
+        let mut now = t_free;
+        loop {
+            self.ingest_until(now);
+            if self.queue.is_empty() {
+                // Idle: jump to the next arrival (or finish).
+                let &Reverse((at, ..)) = self.future.peek()?;
+                now = now.max(SimTime::from_nanos(at));
+                self.ingest_until(now);
+            }
+            let eos = self.future.is_empty();
+            let wait = self.oldest_wait(now);
+            if self
+                .cfg
+                .policy
+                .ready(self.queue.len(), wait, eos, self.cfg.batch_size)
+            {
+                // Padded shape of the group actually being cut: only the
+                // front of the queue (up to the policy's cap) is
+                // dispatchable, so requests beyond it must not inflate the
+                // estimate.
+                let horizon =
+                    (self.cfg.policy.max_batches() as usize) * self.cfg.batch_size as usize;
+                let front = self.queue.iter().take(horizon);
+                let (prompt, gen) =
+                    front.fold((1, 1), |(p, g), r| (p.max(r.prompt_len), g.max(r.gen_len)));
+                let estimate =
+                    |n: u32| estimate_group_service(cost, self.cfg.batch_size, n, prompt, gen);
+                let (count, trigger) = self.cfg.policy.take(
+                    self.queue.len(),
+                    wait,
+                    eos,
+                    self.cfg.batch_size,
+                    &estimate,
+                );
+                let batch: Vec<Request> = self.queue.drain(..count).collect();
+                return Some((now, batch, trigger));
+            }
+            // Not ready: wake at the policy timer or the next arrival,
+            // whichever comes first.
+            let timer = self
+                .cfg
+                .policy
+                .timer(self.queue.len(), wait)
+                .map(|d| now + d);
+            let arrival = self
+                .future
+                .peek()
+                .map(|&Reverse((at, ..))| SimTime::from_nanos(at));
+            now = match (timer, arrival) {
+                (Some(t), Some(a)) => t.min(a).max(now),
+                (Some(t), None) => t.max(now),
+                (None, Some(a)) => a.max(now),
+                (None, None) => unreachable!("eos with a non-empty queue is always ready"),
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traffic::{generate, Arrivals, LengthDist};
+    use klotski_core::report::InferenceReport;
+
+    /// A stub engine with a fixed per-batch cost: service = base +
+    /// per_batch × num_batches, prefill = base. Makes queueing arithmetic
+    /// exact in tests without running the simulator.
+    struct StubEngine {
+        base: SimDuration,
+        per_batch: SimDuration,
+    }
+
+    impl StubEngine {
+        fn new() -> Self {
+            StubEngine {
+                base: SimDuration::from_secs(1),
+                per_batch: SimDuration::from_secs(1),
+            }
+        }
+    }
+
+    impl Engine for StubEngine {
+        fn name(&self) -> String {
+            "Stub".into()
+        }
+
+        fn run(&self, sc: &Scenario) -> Result<InferenceReport, EngineError> {
+            let total = self.base + self.per_batch * sc.workload.num_batches as u64;
+            Ok(InferenceReport {
+                engine: self.name(),
+                model: sc.spec.name.clone(),
+                total_time: total,
+                prefill_time: self.base,
+                decode_time: total - self.base,
+                generated_tokens: sc.workload.total_generated(),
+                gpu_busy: total,
+                gpu_bubble: SimDuration::ZERO,
+                peak_vram: 0,
+                peak_dram: 0,
+                oom: None,
+                metrics: None,
+            })
+        }
+    }
+
+    fn mixtral() -> (ModelSpec, HardwareSpec) {
+        (ModelSpec::mixtral_8x7b(), HardwareSpec::env1_rtx3090())
+    }
+
+    fn serve_stub(traffic: &Traffic, cfg: &ServeConfig) -> ServeReport {
+        let (spec, hw) = mixtral();
+        serve(&StubEngine::new(), &spec, &hw, traffic, cfg).expect("serve")
+    }
+
+    #[test]
+    fn all_requests_served_exactly_once() {
+        let stream = generate(
+            Arrivals::Poisson { rate: 4.0 },
+            &TrafficConfig::fixed(37, 64, 4, 5),
+        );
+        let report = serve_stub(
+            &Traffic::Open(stream),
+            &ServeConfig {
+                batch_size: 4,
+                policy: AdmissionPolicy::FixedN { n: 3 },
+                seed: 1,
+            },
+        );
+        assert_eq!(report.outcomes.len(), 37);
+        let ids: Vec<u64> = report.outcomes.iter().map(|o| o.id).collect();
+        assert_eq!(ids, (0..37).collect::<Vec<_>>());
+        let grouped: u32 = report.groups.iter().map(|g| g.n_requests).sum();
+        assert_eq!(grouped, 37);
+    }
+
+    #[test]
+    fn timings_are_causally_ordered() {
+        let stream = generate(
+            Arrivals::Poisson { rate: 2.0 },
+            &TrafficConfig {
+                num_requests: 20,
+                prompt: LengthDist::Uniform { lo: 16, hi: 64 },
+                gen: LengthDist::Uniform { lo: 2, hi: 8 },
+                seed: 11,
+            },
+        );
+        let report = serve_stub(
+            &Traffic::Open(stream.clone()),
+            &ServeConfig {
+                batch_size: 4,
+                policy: AdmissionPolicy::Deadline {
+                    n: 4,
+                    deadline: SimDuration::from_secs(2),
+                },
+                seed: 1,
+            },
+        );
+        for o in &report.outcomes {
+            assert!(o.dispatched >= o.arrival);
+            assert!(o.first_token >= o.dispatched);
+            assert!(o.finished >= o.first_token);
+            assert!(o.ttft() >= o.queue_delay());
+            assert!(o.e2e() >= o.ttft());
+        }
+        // Groups are dispatched in time order and never overlap.
+        for w in report.groups.windows(2) {
+            assert!(w[1].dispatched >= w[0].dispatched + w[0].service_time);
+        }
+    }
+
+    #[test]
+    fn fixed_n_groups_are_full_until_the_flush() {
+        let stream = generate(
+            Arrivals::Poisson { rate: 100.0 },
+            &TrafficConfig::fixed(30, 64, 4, 5),
+        );
+        let report = serve_stub(
+            &Traffic::Open(stream),
+            &ServeConfig {
+                batch_size: 4,
+                policy: AdmissionPolicy::FixedN { n: 2 },
+                seed: 1,
+            },
+        );
+        for g in &report.groups {
+            assert!(g.workload.num_batches <= 2);
+            assert_eq!(g.n_requests as u64, g.workload.total_seqs());
+            match g.trigger {
+                GroupTrigger::Full => assert_eq!(g.n_requests, 8),
+                GroupTrigger::Flush => assert!(g.n_requests < 8),
+                other => panic!("unexpected trigger {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn deadline_bounds_queue_delay_when_engine_is_idle() {
+        // 1 request at t=0, nothing else until t=100 s: the deadline (2 s)
+        // must dispatch a partial group at exactly t=2 s.
+        let reqs = vec![
+            Request {
+                id: 0,
+                arrival: SimTime::ZERO,
+                prompt_len: 64,
+                gen_len: 4,
+            },
+            Request {
+                id: 1,
+                arrival: SimTime::from_nanos(100_000_000_000),
+                prompt_len: 64,
+                gen_len: 4,
+            },
+        ];
+        let report = serve_stub(
+            &Traffic::Open(reqs),
+            &ServeConfig {
+                batch_size: 4,
+                policy: AdmissionPolicy::Deadline {
+                    n: 4,
+                    deadline: SimDuration::from_secs(2),
+                },
+                seed: 1,
+            },
+        );
+        assert_eq!(report.groups.len(), 2);
+        assert_eq!(report.outcomes[0].queue_delay(), SimDuration::from_secs(2));
+        assert_eq!(report.groups[0].trigger, GroupTrigger::DeadlineExpired);
+        // The straggler is flushed as end-of-stream.
+        assert_eq!(report.groups[1].trigger, GroupTrigger::Flush);
+    }
+
+    #[test]
+    fn padding_lets_short_requests_finish_early() {
+        let reqs = vec![
+            Request {
+                id: 0,
+                arrival: SimTime::ZERO,
+                prompt_len: 64,
+                gen_len: 2,
+            },
+            Request {
+                id: 1,
+                arrival: SimTime::ZERO,
+                prompt_len: 32,
+                gen_len: 8,
+            },
+        ];
+        let report = serve_stub(
+            &Traffic::Open(reqs),
+            &ServeConfig {
+                batch_size: 2,
+                policy: AdmissionPolicy::CostAware {
+                    max_n: 4,
+                    slo_e2e: SimDuration::from_secs(3600),
+                },
+                seed: 1,
+            },
+        );
+        assert_eq!(report.groups.len(), 1);
+        let wl = report.groups[0].workload;
+        assert_eq!((wl.prompt_len, wl.gen_len), (64, 8), "padded to maxima");
+        let [a, b] = report.outcomes[..] else {
+            panic!("expected 2 outcomes")
+        };
+        assert!(a.finished < b.finished, "2-token request finishes first");
+        assert_eq!(a.first_token, b.first_token);
+    }
+
+    #[test]
+    fn closed_loop_issues_exactly_num_requests() {
+        let traffic = Traffic::Closed {
+            clients: 3,
+            think: SimDuration::from_secs(1),
+            cfg: TrafficConfig::fixed(11, 64, 4, 5),
+        };
+        let report = serve_stub(
+            &traffic,
+            &ServeConfig {
+                batch_size: 2,
+                policy: AdmissionPolicy::CostAware {
+                    max_n: 4,
+                    slo_e2e: SimDuration::from_secs(3600),
+                },
+                seed: 1,
+            },
+        );
+        assert_eq!(report.outcomes.len(), 11);
+        // A client's next request arrives strictly after its previous one
+        // finished (ids are issue-ordered).
+        assert!(report.makespan > SimDuration::from_secs(4));
+    }
+
+    #[test]
+    fn serving_is_deterministic() {
+        let stream = generate(
+            Arrivals::Poisson { rate: 3.0 },
+            &TrafficConfig {
+                num_requests: 25,
+                prompt: LengthDist::Uniform { lo: 16, hi: 128 },
+                gen: LengthDist::Uniform { lo: 2, hi: 8 },
+                seed: 21,
+            },
+        );
+        let cfg = ServeConfig {
+            batch_size: 4,
+            policy: AdmissionPolicy::Deadline {
+                n: 4,
+                deadline: SimDuration::from_secs(1),
+            },
+            seed: 7,
+        };
+        let a = serve_stub(&Traffic::Open(stream.clone()), &cfg);
+        let b = serve_stub(&Traffic::Open(stream), &cfg);
+        assert_eq!(a.outcomes, b.outcomes);
+        assert_eq!(a.groups, b.groups);
+    }
+
+    #[test]
+    fn real_engine_round_trip() {
+        // End-to-end with the actual Klotski engine at a tiny scale: the
+        // reported group times come from the simulator, not the stub.
+        use klotski_core::engine::{KlotskiConfig, KlotskiEngine};
+        let (spec, hw) = mixtral();
+        let stream = generate(
+            Arrivals::Poisson { rate: 0.5 },
+            &TrafficConfig::fixed(8, 32, 3, 2),
+        );
+        let report = serve(
+            &KlotskiEngine::new(KlotskiConfig::full()),
+            &spec,
+            &hw,
+            &Traffic::Open(stream),
+            &ServeConfig {
+                batch_size: 4,
+                policy: AdmissionPolicy::CostAware {
+                    max_n: 2,
+                    slo_e2e: SimDuration::from_secs(600),
+                },
+                seed: 3,
+            },
+        )
+        .expect("serve");
+        assert_eq!(report.outcomes.len(), 8);
+        assert!(report.outcomes.iter().all(|o| !o.failed));
+        assert!(report.throughput_tps() > 0.0);
+        assert!(report
+            .groups
+            .iter()
+            .all(|g| g.service_time > SimDuration::ZERO));
+    }
+}

@@ -1,0 +1,220 @@
+//! Request traffic: arrival processes and length distributions.
+//!
+//! The offline harness fixes one [`Workload`](klotski_model::workload::Workload)
+//! shape up front; a server sees a *stream* of requests instead. This module
+//! turns a seeded PRNG into that stream: open-loop arrivals (Poisson or
+//! uniformly paced — load independent of service times) are pre-generated
+//! here, while closed-loop traffic (each client waits for its previous
+//! request) is driven by the serving loop as completions happen.
+
+use klotski_sim::time::{SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One user request as the front-end sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Request {
+    /// Stable id, assigned in issue order.
+    pub id: u64,
+    /// When the request entered the system.
+    pub arrival: SimTime,
+    /// Prompt length in tokens.
+    pub prompt_len: u32,
+    /// Tokens the request wants generated.
+    pub gen_len: u32,
+}
+
+/// A token-length distribution, sampled deterministically under a seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LengthDist {
+    /// Every request has exactly this length.
+    Fixed(u32),
+    /// Uniform over `[lo, hi]` (inclusive).
+    Uniform {
+        /// Smallest length (≥ 1).
+        lo: u32,
+        /// Largest length.
+        hi: u32,
+    },
+}
+
+impl LengthDist {
+    /// Draws one length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the distribution can produce 0 or has `lo > hi` — every
+    /// request must carry at least one prompt token and generate at least
+    /// one token.
+    pub fn sample(&self, rng: &mut StdRng) -> u32 {
+        match *self {
+            LengthDist::Fixed(v) => {
+                assert!(v > 0, "lengths must be positive");
+                v
+            }
+            LengthDist::Uniform { lo, hi } => {
+                assert!(lo > 0 && lo <= hi, "need 1 <= lo <= hi");
+                rng.gen_range(lo..=hi)
+            }
+        }
+    }
+
+    /// The largest length the distribution can produce.
+    pub fn max(&self) -> u32 {
+        match *self {
+            LengthDist::Fixed(v) => v,
+            LengthDist::Uniform { hi, .. } => hi,
+        }
+    }
+}
+
+/// Open-loop arrival processes (arrivals do not react to service times).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Arrivals {
+    /// Poisson process: exponential inter-arrival gaps at `rate` req/s.
+    Poisson {
+        /// Mean arrival rate in requests per second (> 0).
+        rate: f64,
+    },
+    /// Uniformly paced: one request every `1/rate` seconds exactly.
+    Paced {
+        /// Arrival rate in requests per second (> 0).
+        rate: f64,
+    },
+}
+
+/// Shape of a request stream: how many requests, their lengths, the seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrafficConfig {
+    /// Total number of requests to issue.
+    pub num_requests: u32,
+    /// Prompt-length distribution.
+    pub prompt: LengthDist,
+    /// Output-length distribution.
+    pub gen: LengthDist,
+    /// PRNG seed; same seed ⇒ byte-identical stream.
+    pub seed: u64,
+}
+
+impl TrafficConfig {
+    /// A fixed-shape stream (every request identical) — the shape offline
+    /// experiments use, so serve results can be cross-checked against
+    /// [`Workload`](klotski_model::workload::Workload) totals.
+    pub fn fixed(num_requests: u32, prompt_len: u32, gen_len: u32, seed: u64) -> Self {
+        TrafficConfig {
+            num_requests,
+            prompt: LengthDist::Fixed(prompt_len),
+            gen: LengthDist::Fixed(gen_len),
+            seed,
+        }
+    }
+}
+
+/// Pre-generates an open-loop request stream, sorted by arrival time.
+///
+/// # Panics
+///
+/// Panics if the arrival rate is not positive.
+pub fn generate(arrivals: Arrivals, cfg: &TrafficConfig) -> Vec<Request> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut t = SimTime::ZERO;
+    let mut out = Vec::with_capacity(cfg.num_requests as usize);
+    for id in 0..cfg.num_requests as u64 {
+        let gap = match arrivals {
+            Arrivals::Poisson { rate } => {
+                assert!(rate > 0.0, "arrival rate must be positive");
+                // Inverse-CDF exponential; u ∈ [0, 1) keeps ln(1−u) finite.
+                let u: f64 = rng.gen();
+                SimDuration::from_secs_f64(-(1.0 - u).ln() / rate)
+            }
+            Arrivals::Paced { rate } => {
+                assert!(rate > 0.0, "arrival rate must be positive");
+                SimDuration::from_secs_f64(1.0 / rate)
+            }
+        };
+        // The first request arrives at t = 0 so every run starts loaded.
+        if id > 0 {
+            t += gap;
+        }
+        out.push(Request {
+            id,
+            arrival: t,
+            prompt_len: cfg.prompt.sample(&mut rng),
+            gen_len: cfg.gen.sample(&mut rng),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let cfg = TrafficConfig {
+            num_requests: 50,
+            prompt: LengthDist::Uniform { lo: 32, hi: 512 },
+            gen: LengthDist::Uniform { lo: 4, hi: 32 },
+            seed: 9,
+        };
+        let a = generate(Arrivals::Poisson { rate: 2.0 }, &cfg);
+        let b = generate(Arrivals::Poisson { rate: 2.0 }, &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn arrivals_are_sorted_and_start_at_zero() {
+        let cfg = TrafficConfig::fixed(40, 128, 8, 3);
+        let reqs = generate(Arrivals::Poisson { rate: 1.0 }, &cfg);
+        assert_eq!(reqs.len(), 40);
+        assert_eq!(reqs[0].arrival, SimTime::ZERO);
+        for w in reqs.windows(2) {
+            assert!(w[0].arrival <= w[1].arrival);
+            assert_eq!(w[0].id + 1, w[1].id);
+        }
+    }
+
+    #[test]
+    fn poisson_rate_scales_the_span() {
+        let cfg = TrafficConfig::fixed(200, 128, 8, 7);
+        let slow = generate(Arrivals::Poisson { rate: 1.0 }, &cfg);
+        let fast = generate(Arrivals::Poisson { rate: 8.0 }, &cfg);
+        let span = |v: &[Request]| v.last().unwrap().arrival.as_secs_f64();
+        // 200 arrivals at 8 req/s land ~8× sooner than at 1 req/s.
+        let ratio = span(&slow) / span(&fast);
+        assert!((4.0..16.0).contains(&ratio), "ratio = {ratio}");
+    }
+
+    #[test]
+    fn paced_arrivals_are_evenly_spaced() {
+        let cfg = TrafficConfig::fixed(5, 128, 8, 1);
+        let reqs = generate(Arrivals::Paced { rate: 4.0 }, &cfg);
+        for (i, r) in reqs.iter().enumerate() {
+            assert_eq!(r.arrival.as_nanos(), i as u64 * 250_000_000);
+        }
+    }
+
+    #[test]
+    fn uniform_lengths_stay_in_bounds() {
+        let cfg = TrafficConfig {
+            num_requests: 300,
+            prompt: LengthDist::Uniform { lo: 10, hi: 20 },
+            gen: LengthDist::Uniform { lo: 2, hi: 4 },
+            seed: 5,
+        };
+        let reqs = generate(Arrivals::Paced { rate: 1.0 }, &cfg);
+        assert!(reqs.iter().all(|r| (10..=20).contains(&r.prompt_len)));
+        assert!(reqs.iter().all(|r| (2..=4).contains(&r.gen_len)));
+        // Both endpoints are actually hit.
+        assert!(reqs.iter().any(|r| r.prompt_len == 10));
+        assert!(reqs.iter().any(|r| r.prompt_len == 20));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rate_rejected() {
+        let cfg = TrafficConfig::fixed(1, 128, 8, 0);
+        let _ = generate(Arrivals::Poisson { rate: 0.0 }, &cfg);
+    }
+}

@@ -26,6 +26,9 @@
 //!   simulated + native engines.
 //! * [`baselines`] — faithful re-implementations of the five comparators
 //!   (Accelerate, DeepSpeed-FastGen, FlexGen, MoE-Infinity, Fiddler).
+//! * [`serve`] — the online serving front-end: traffic generation,
+//!   continuous batch-group formation (admission policies), and
+//!   request-level SLO metrics over any engine.
 //!
 //! ## Quickstart
 //!
@@ -54,5 +57,6 @@ pub use klotski_baselines as baselines;
 pub use klotski_core as core;
 pub use klotski_model as model;
 pub use klotski_moe as moe;
+pub use klotski_serve as serve;
 pub use klotski_sim as sim;
 pub use klotski_tensor as tensor;
