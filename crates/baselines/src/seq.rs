@@ -104,6 +104,22 @@ fn run_seq(sc: &Scenario, name: String, overlap: bool) -> Result<InferenceReport
     Ok(build_report(name, spec, &wl, &sim, &stats, oom))
 }
 
+/// One (step, layer) submission of one batch: the identifiers and sizes
+/// [`SeqBuilder::submit_layer`] needs, bundled so the call stays within
+/// clippy's argument budget.
+#[derive(Debug, Clone, Copy)]
+struct LayerSubmission {
+    step: StepKind,
+    /// Layer index.
+    l: u32,
+    /// First sequence of the batch (inclusive).
+    s0: u32,
+    /// Last sequence of the batch (exclusive).
+    s1: u32,
+    /// The batch's resident KV bytes (claimed once, freed at batch end).
+    kv_bytes: u64,
+}
+
 struct SeqBuilder<'a> {
     sim: &'a mut Simulator,
     cost: &'a CostModel,
@@ -146,7 +162,14 @@ impl<'a> SeqBuilder<'a> {
         let mut kv_allocated = false;
         for step in StepKind::all(wl.gen_len) {
             for l in 0..spec.n_layers {
-                self.submit_layer(step, l, s0, s1, &mut kv_allocated, kv_bytes);
+                let layer = LayerSubmission {
+                    step,
+                    l,
+                    s0,
+                    s1,
+                    kv_bytes,
+                };
+                self.submit_layer(&layer, &mut kv_allocated);
             }
         }
         // Release this batch's resident KV on the final layer end.
@@ -155,16 +178,14 @@ impl<'a> SeqBuilder<'a> {
         }
     }
 
-    #[allow(clippy::too_many_arguments)]
-    fn submit_layer(
-        &mut self,
-        step: StepKind,
-        l: u32,
-        s0: u32,
-        s1: u32,
-        kv_allocated: &mut bool,
-        kv_bytes: u64,
-    ) {
+    fn submit_layer(&mut self, layer: &LayerSubmission, kv_allocated: &mut bool) {
+        let LayerSubmission {
+            step,
+            l,
+            s0,
+            s1,
+            kv_bytes,
+        } = *layer;
         let spec = &self.sc.spec;
         let cost = self.cost;
         let wl = self.sc.workload;

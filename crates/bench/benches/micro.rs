@@ -104,10 +104,33 @@ fn bench_native_kernels(c: &mut Criterion) {
     c.bench_function("tensor/matmul_64x64x64", |b| {
         b.iter(|| black_box(a.matmul(&bm)))
     });
+    // Tiled/register-blocked nt kernel vs the retained naive reference, at
+    // an expert-FFN-like shape.
+    let xs = xavier_matrix(16, 256, 3);
+    let w = xavier_matrix(1024, 256, 4);
+    c.bench_function("tensor/matmul_nt_16x256x1024_tiled", |b| {
+        b.iter(|| black_box(xs.matmul_nt(&w)))
+    });
+    c.bench_function("tensor/matmul_nt_16x256x1024_naive", |b| {
+        b.iter(|| black_box(xs.matmul_nt_naive(&w)))
+    });
     let model = MoeModel::new(MoeConfig::tiny(3));
     let x = vec![0.1f32; model.config().d_model];
     c.bench_function("moe/expert_forward_tiny", |b| {
         b.iter(|| black_box(model.expert_out(0, 0, &x)))
+    });
+    // Batched expert forward vs the same tokens one at a time.
+    let e = klotski_moe::weights::ExpertWeights::seeded(model.config(), 0, 0);
+    let toks = xavier_matrix(16, model.config().d_model, 5);
+    c.bench_function("moe/expert_forward_batch_16", |b| {
+        b.iter(|| black_box(e.forward_batch(&toks)))
+    });
+    c.bench_function("moe/expert_forward_16_per_token", |b| {
+        b.iter(|| {
+            for r in 0..toks.rows() {
+                black_box(e.forward(toks.row(r)));
+            }
+        })
     });
 }
 

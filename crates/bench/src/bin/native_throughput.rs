@@ -1,0 +1,252 @@
+//! Native-path throughput: tokens/sec of the really-executed pipeline,
+//! prefill and decode, across batch sizes — the first entry in the repo's
+//! perf trajectory (committed as `BENCH_native.json`).
+//!
+//! Every cell runs the same workload twice through [`run_pipeline`]:
+//!
+//! * **per-token** — `batch_experts: false`, the retained pre-batching
+//!   fallback that computes each routed token as its own matvec chain;
+//! * **batched** — expert-level batched GEMMs, serial (`1` worker) and
+//!   parallel (the default worker pool).
+//!
+//! The bin asserts the modes produce byte-identical tokens and final
+//! hidden states (the batching is numerics-neutral), and in full mode
+//! asserts the ≥2× decode speedup the batched path exists for. Output
+//! ends with one JSON line per cell; everything in it is deterministic
+//! except the wall-clock-derived `*_tps` / `speedup_*` fields, which are
+//! excluded from any determinism assertion.
+//!
+//! `KLOTSKI_CHEAP=1` shrinks the model and sweep to CI-smoke scale (and
+//! only smoke-checks the speedup, since shared CI runners make tight
+//! ratio asserts flaky).
+
+use std::time::Duration;
+
+use klotski_bench::{cheap_mode, TextTable};
+use klotski_core::native::{run_pipeline, NativePipelineConfig, NativeRunResult};
+use klotski_moe::config::MoeConfig;
+use klotski_moe::model::MoeModel;
+
+/// The benchmark model. Bigger than the test presets on purpose: each
+/// expert is ~3 MB (full) / ~0.75 MB (cheap), so the per-token path
+/// actually re-streams weights out of cache and the batched path's
+/// amortization is measured, not simulated.
+fn bench_model(cheap: bool) -> MoeConfig {
+    if cheap {
+        MoeConfig {
+            n_layers: 2,
+            d_model: 128,
+            d_ff: 512,
+            n_heads: 4,
+            head_dim: 32,
+            n_experts: 6,
+            top_k: 2,
+            vocab: 256,
+            seed: 77,
+        }
+    } else {
+        MoeConfig {
+            n_layers: 4,
+            d_model: 256,
+            d_ff: 1024,
+            n_heads: 8,
+            head_dim: 32,
+            n_experts: 8,
+            top_k: 2,
+            vocab: 512,
+            seed: 77,
+        }
+    }
+}
+
+fn prompts(n_seqs: usize, len: usize, vocab: usize) -> Vec<Vec<u32>> {
+    (0..n_seqs)
+        .map(|s| {
+            (0..len)
+                .map(|p| ((s * 131 + p * 17 + 7) % vocab) as u32)
+                .collect()
+        })
+        .collect()
+}
+
+struct Cell {
+    phase: &'static str,
+    n_seqs: usize,
+    /// Total forward-pass tokens the run processes (prompt + generated).
+    tokens: usize,
+    per_token: Duration,
+    batched_serial: Duration,
+    batched_parallel: Duration,
+}
+
+impl Cell {
+    fn tps(&self, d: Duration) -> f64 {
+        self.tokens as f64 / d.as_secs_f64().max(1e-9)
+    }
+
+    fn speedup_serial(&self) -> f64 {
+        self.per_token.as_secs_f64() / self.batched_serial.as_secs_f64().max(1e-9)
+    }
+
+    fn speedup_parallel(&self) -> f64 {
+        self.per_token.as_secs_f64() / self.batched_parallel.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Best-of-2 runs (wall-clock noise) of one pipeline config; asserts the
+/// result matches `reference` bit-for-bit before timing counts.
+fn timed(
+    model: &MoeModel,
+    p: &[Vec<u32>],
+    gen_len: usize,
+    cfg: &NativePipelineConfig,
+    reference: &NativeRunResult,
+    label: &str,
+) -> Duration {
+    let mut best = Duration::MAX;
+    for _ in 0..2 {
+        let r = run_pipeline(model, p, gen_len, cfg);
+        assert_eq!(r.tokens, reference.tokens, "{label}: tokens diverged");
+        assert_eq!(
+            r.final_hidden, reference.final_hidden,
+            "{label}: hidden states diverged"
+        );
+        best = best.min(r.elapsed);
+    }
+    best
+}
+
+fn json_line(mode: &str, c: &Cell) -> String {
+    format!(
+        "{{\"bench\":\"native_throughput\",\"mode\":\"{}\",\"phase\":\"{}\",\"seqs\":{},\
+         \"tokens\":{},\"per_token_tps\":{:.1},\"batched_serial_tps\":{:.1},\
+         \"batched_parallel_tps\":{:.1},\"speedup_serial\":{:.2},\"speedup_parallel\":{:.2}}}",
+        mode,
+        c.phase,
+        c.n_seqs,
+        c.tokens,
+        c.tps(c.per_token),
+        c.tps(c.batched_serial),
+        c.tps(c.batched_parallel),
+        c.speedup_serial(),
+        c.speedup_parallel(),
+    )
+}
+
+fn main() {
+    let cheap = cheap_mode();
+    let mcfg = bench_model(cheap);
+    let model = MoeModel::new(mcfg);
+    let batch_sizes: Vec<usize> = if cheap {
+        vec![2, 8]
+    } else {
+        vec![1, 8, 16, 32]
+    };
+    // Prefill cells are prompt-dominated, decode cells generation-dominated.
+    let (prefill_prompt, decode_prompt, decode_gen) = if cheap { (16, 2, 6) } else { (48, 4, 12) };
+
+    println!(
+        "== native_throughput: {} layers x {} experts (top-{}), d_model {}, d_ff {} ({}) ==",
+        mcfg.n_layers,
+        mcfg.n_experts,
+        mcfg.top_k,
+        mcfg.d_model,
+        mcfg.d_ff,
+        if cheap { "cheap" } else { "full" },
+    );
+    println!("per-token = retained matvec fallback; batched = expert-level GEMMs");
+
+    let per_token_cfg = NativePipelineConfig {
+        batch_experts: false,
+        ..Default::default()
+    };
+    let serial_cfg = NativePipelineConfig {
+        compute_workers: 1,
+        ..Default::default()
+    };
+    let parallel_cfg = NativePipelineConfig::default();
+
+    let mut cells: Vec<Cell> = Vec::new();
+    for &n_seqs in &batch_sizes {
+        for (phase, prompt_len, gen_len) in [
+            ("prefill", prefill_prompt, 1usize),
+            ("decode", decode_prompt, decode_gen),
+        ] {
+            let p = prompts(n_seqs, prompt_len, mcfg.vocab);
+            let reference = run_pipeline(&model, &p, gen_len, &per_token_cfg);
+            let per_token = timed(&model, &p, gen_len, &per_token_cfg, &reference, "per-token");
+            let batched_serial = timed(
+                &model,
+                &p,
+                gen_len,
+                &serial_cfg,
+                &reference,
+                "batched serial",
+            );
+            let batched_parallel = timed(
+                &model,
+                &p,
+                gen_len,
+                &parallel_cfg,
+                &reference,
+                "batched parallel",
+            );
+            cells.push(Cell {
+                phase,
+                n_seqs,
+                tokens: n_seqs * (prompt_len + gen_len),
+                per_token,
+                batched_serial,
+                batched_parallel,
+            });
+        }
+    }
+
+    let mut table = TextTable::new([
+        "phase",
+        "seqs",
+        "tokens",
+        "per-token tok/s",
+        "batched tok/s",
+        "batched(par) tok/s",
+        "speedup",
+    ]);
+    for c in &cells {
+        table.row([
+            c.phase.to_owned(),
+            c.n_seqs.to_string(),
+            c.tokens.to_string(),
+            format!("{:.0}", c.tps(c.per_token)),
+            format!("{:.0}", c.tps(c.batched_serial)),
+            format!("{:.0}", c.tps(c.batched_parallel)),
+            format!("{:.2}x", c.speedup_parallel()),
+        ]);
+    }
+    table.print();
+
+    println!("\nall modes byte-identical (tokens + final hidden): confirmed");
+
+    // The acceptance bar: on a >= 8-sequence batch, decode must run >= 2x
+    // faster batched than per-token. Cheap/CI mode only smoke-checks
+    // execution (shared-runner wall clocks are too noisy to gate on).
+    let gate = cells
+        .iter()
+        .filter(|c| c.phase == "decode" && c.n_seqs >= 8)
+        .map(|c| c.speedup_parallel())
+        .fold(0.0f64, f64::max);
+    if cheap {
+        println!("decode speedup at >=8 seqs: {gate:.2}x (cheap mode: not gated)");
+    } else {
+        println!("decode speedup at >=8 seqs: {gate:.2}x (gate: >=2.00x)");
+        assert!(
+            gate >= 2.0,
+            "batched expert path must be >=2x over per-token decode, got {gate:.2}x"
+        );
+    }
+
+    println!("\n-- JSON --");
+    let mode = if cheap { "cheap" } else { "full" };
+    for c in &cells {
+        println!("{}", json_line(mode, c));
+    }
+}

@@ -1,4 +1,5 @@
-//! The two-thread native pipeline.
+//! The native pipeline: an I/O thread, an inference thread, and a compute
+//! worker pool.
 //!
 //! Thread layout mirrors the paper's implementation (§4, Fig. 6): an
 //! **inference thread** walks steps × layers × sequences, and an **I/O
@@ -13,16 +14,38 @@
 //! * expert computations run in **arrival order** (hot first, then
 //!   transfer-completion order), with each expert's slot released as soon
 //!   as its tokens are done — "offloaded immediately".
+//!
+//! Two compute-side levers make the path fast (this is the aggregation
+//! payoff of §5 — many batches' tokens amortize each expert transfer, so
+//! each resident expert should also amortize its *compute*):
+//!
+//! * **Batched expert GEMMs** ([`ExpertWeights::forward_batch`]): all
+//!   tokens routed to an arrived expert are stacked into one matrix and
+//!   pushed through the FFN as two GEMMs, streaming the weights once per
+//!   group instead of once per token. Disable with
+//!   [`NativePipelineConfig::batch_experts`] to get the retained
+//!   per-token fallback (the pre-batching behavior, kept in-tree for
+//!   benchmark comparisons).
+//! * **A compute worker pool**: independent arrived experts are computed
+//!   in parallel by `compute_workers` crossbeam workers sharing one task
+//!   queue — a pull model, so load balances itself by token count (an
+//!   expert with many tokens occupies one worker while others drain the
+//!   rest; see He et al., 2025 on imbalanced per-expert loads).
+//!
+//! Neither lever changes a single bit of output: each expert's per-row
+//! accumulation order is identical to the per-token matvec, and expert
+//! contributions are still combined in fixed expert-index order.
 
 use std::collections::HashSet;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{bounded, unbounded};
+use crossbeam::channel::{bounded, unbounded, Sender};
 use klotski_moe::attention::AttnMask;
 use klotski_moe::h2o::{H2oConfig, H2oState};
 use klotski_moe::kv::KvCache;
 use klotski_moe::model::MoeModel;
 use klotski_moe::weights::ExpertWeights;
+use klotski_tensor::matrix::Matrix;
 use klotski_tensor::quant::QuantConfig;
 
 use super::store::ExpertStore;
@@ -44,6 +67,26 @@ pub struct NativePipelineConfig {
     /// it replaces `mask`, and bit-exactness is checked against
     /// [`MoeModel::generate_h2o`].
     pub h2o: Option<H2oConfig>,
+    /// Compute each expert's token group as batched GEMMs (`true`, the
+    /// default) or with the retained per-token matvec fallback (`false`,
+    /// the pre-batching path kept for benchmark comparison). Output is
+    /// bit-identical either way.
+    pub batch_experts: bool,
+    /// Compute workers for parallel expert execution (≤ 1 computes inline
+    /// on the inference thread). Only effective with `batch_experts`;
+    /// output is bit-identical at any worker count.
+    pub compute_workers: usize,
+}
+
+/// Default worker-pool width: leave a core each for the inference and I/O
+/// threads, cap small — expert parallelism saturates quickly because the
+/// slot pool bounds how many experts are resident at once.
+fn default_compute_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .saturating_sub(2)
+        .clamp(1, 4)
 }
 
 impl Default for NativePipelineConfig {
@@ -54,6 +97,8 @@ impl Default for NativePipelineConfig {
             quant: None,
             mask: AttnMask::Dense,
             h2o: None,
+            batch_experts: true,
+            compute_workers: default_compute_workers(),
         }
     }
 }
@@ -71,7 +116,8 @@ pub struct NativeRunResult {
     pub prefetch_hits: u64,
     /// Prefetched experts that received no tokens (wasted transfers).
     pub prefetch_misses: u64,
-    /// Wall-clock run time.
+    /// Wall-clock run time of the pipeline (store construction — model
+    /// loading — excluded).
     pub elapsed: Duration,
 }
 
@@ -87,12 +133,36 @@ struct FetchedExpert {
     weights: ExpertWeights,
 }
 
+/// What the inference thread multiplexes on: expert arrivals from the I/O
+/// thread and finished batched forwards from the worker pool. One channel
+/// for both means the inference thread never blocks on the wrong event
+/// (e.g. waiting for a fetch while a finished compute should release the
+/// slot the I/O thread needs).
+enum Event {
+    Fetched(FetchedExpert),
+    Computed {
+        expert: usize,
+        rows: Matrix,
+        /// The slot buffer travels with the task and returns to the pool.
+        weights: ExpertWeights,
+    },
+}
+
+/// One expert's batched forward, shipped to the worker pool.
+struct ComputeTask {
+    expert: usize,
+    weights: ExpertWeights,
+    /// The routed tokens' normalized hidden states, one per row.
+    xs: Matrix,
+}
+
 /// Runs Klotski's native pipeline over `prompts`, generating `gen_len`
 /// tokens per sequence.
 ///
 /// All sequences form one batch group: each layer's experts are fetched
 /// once and shared across every sequence's tokens (the multi-batch weight
-/// sharing of §5).
+/// sharing of §5), and each arrived expert computes its whole token group
+/// as one batched forward.
 ///
 /// # Panics
 ///
@@ -106,18 +176,24 @@ pub fn run_pipeline(
 ) -> NativeRunResult {
     assert!(cfg.vram_slots >= 1, "need at least one VRAM slot");
     assert!(!prompts.is_empty(), "no prompts");
-    let start = Instant::now();
     let mcfg = *model.config();
     let n_seqs = prompts.len();
     let store = ExpertStore::from_model(model, cfg.quant);
+    // Time the pipeline itself; store construction is model loading.
+    let start = Instant::now();
 
     let (req_tx, req_rx) = unbounded::<FetchRequest>();
-    let (res_tx, res_rx) = unbounded::<FetchedExpert>();
-    // Slot pool: the I/O thread takes a token per in-flight expert; the
-    // inference thread returns it when the expert is offloaded.
-    let (slot_tx, slot_rx) = bounded::<()>(cfg.vram_slots);
+    let (event_tx, event_rx) = unbounded::<Event>();
+    // Slot pool: the I/O thread takes a slot *buffer* per in-flight
+    // expert and stages the fetch into it; the inference thread returns
+    // the buffer when the expert is offloaded. Because the buffers
+    // circulate, every fetch after each buffer's first use is a pure copy
+    // with no allocation (all experts share one shape).
+    let (slot_tx, slot_rx) = bounded::<ExpertWeights>(cfg.vram_slots);
     for _ in 0..cfg.vram_slots {
-        slot_tx.send(()).expect("filling fresh slot pool");
+        slot_tx
+            .send(ExpertWeights::placeholder())
+            .expect("filling fresh slot pool");
     }
 
     let mut result = NativeRunResult {
@@ -132,20 +208,22 @@ pub fn run_pipeline(
     crossbeam::scope(|scope| {
         // --- I/O thread.
         let io_store = &store;
+        let io_event_tx = event_tx.clone();
         let io = scope.spawn(move |_| {
             let mut served = 0u64;
             while let Ok(req) = req_rx.recv() {
-                // Block until a VRAM slot frees up (bounded staging).
-                if slot_rx.recv().is_err() {
+                // Block until a VRAM slot frees up (bounded staging), then
+                // stage the expert into the freed slot's buffer.
+                let Ok(mut weights) = slot_rx.recv() else {
                     break;
-                }
-                let weights = io_store.fetch(req.layer, req.expert);
+                };
+                io_store.fetch_into(req.layer, req.expert, &mut weights);
                 served += 1;
-                if res_tx
-                    .send(FetchedExpert {
+                if io_event_tx
+                    .send(Event::Fetched(FetchedExpert {
                         expert: req.expert,
                         weights,
-                    })
+                    }))
                     .is_err()
                 {
                     break;
@@ -153,6 +231,37 @@ pub fn run_pipeline(
             }
             served
         });
+
+        // --- Compute worker pool (pull model: a shared task queue
+        // load-balances by token count without central scheduling).
+        let task_tx: Option<Sender<ComputeTask>> = if cfg.batch_experts && cfg.compute_workers > 1 {
+            let (tx, rx) = unbounded::<ComputeTask>();
+            for _ in 0..cfg.compute_workers {
+                let rx = rx.clone();
+                let worker_event_tx = event_tx.clone();
+                scope.spawn(move |_| {
+                    while let Ok(task) = rx.recv() {
+                        // The pool already parallelizes across experts;
+                        // intra-GEMM threading on top would oversubscribe.
+                        let rows = task.weights.forward_batch_threaded(&task.xs, 1);
+                        if worker_event_tx
+                            .send(Event::Computed {
+                                expert: task.expert,
+                                rows,
+                                weights: task.weights,
+                            })
+                            .is_err()
+                        {
+                            break;
+                        }
+                    }
+                });
+            }
+            Some(tx)
+        } else {
+            None
+        };
+        drop(event_tx); // senders live in the I/O thread and workers only
 
         // --- Inference thread (this thread).
         // Online marginal popularity table (the prefetcher's layer-0 /
@@ -164,20 +273,32 @@ pub fn run_pipeline(
         let mut h2o_states: Vec<Option<H2oState>> = (0..n_seqs)
             .map(|_| cfg.h2o.map(|c| H2oState::new(mcfg.n_layers, c)))
             .collect();
-        // Token streams: per sequence, the positions processed so far.
-        let mut hidden: Vec<Vec<f32>> = vec![Vec::new(); n_seqs];
-        let mut positions: Vec<usize> = vec![0; n_seqs];
 
-        // Steps: every prompt position (prefill), then gen_len − 1 decode
+        // Hot-loop state, allocated once and reused across all steps and
+        // layers: per-sequence working + carry hidden states, the per-layer
+        // normalized states, the per-expert token groups and batched
+        // outputs, and the logits scratch. The step loop itself is
+        // allocation-free apart from per-expert task matrices.
+        let mut hidden: Vec<Vec<f32>> = vec![Vec::new(); n_seqs];
+        let mut h: Vec<Vec<f32>> = vec![Vec::new(); n_seqs];
+        let mut normed: Vec<Vec<f32>> = vec![Vec::new(); n_seqs];
+        let mut tokens_of: Vec<Vec<(usize, f32)>> = vec![Vec::new(); mcfg.n_experts];
+        let mut expert_rows: Vec<Option<Matrix>> = vec![None; mcfg.n_experts];
+        let mut active: Vec<usize> = Vec::with_capacity(n_seqs);
+        let mut positions: Vec<usize> = vec![0; n_seqs];
+        let mut scratch = model.logits_scratch();
+
+        // Steps: every prompt position (prefill), then gen_len decode
         // steps; each step pushes one token of every sequence through all
-        // layers. Ragged prompts are handled by per-sequence position.
+        // layers — including the final generated token, whose advance
+        // produces `final_hidden` exactly like the reference. Ragged
+        // prompts are handled by per-sequence position.
         let max_prompt = prompts.iter().map(Vec::len).max().unwrap_or(0);
-        let total_steps = max_prompt + gen_len - 1;
+        let total_steps = max_prompt + gen_len;
 
         for step in 0..total_steps {
             // Which sequences have a token this step, and which token.
-            let mut active: Vec<usize> = Vec::new();
-            let mut h: Vec<Vec<f32>> = vec![Vec::new(); n_seqs];
+            active.clear();
             for (s, prompt) in prompts.iter().enumerate() {
                 let pos = positions[s];
                 let tok = if step < prompt.len() {
@@ -185,20 +306,15 @@ pub fn run_pipeline(
                         continue; // this sequence's prompt is shorter; wait
                     }
                     prompt[pos]
-                } else if pos == step
-                    && step >= prompt.len()
-                    && result.tokens[s].len() + 1 < gen_len
-                {
-                    // Greedy continuation from the previous hidden state
-                    // (the final token of each sequence is emitted after
-                    // the step loop).
-                    let next = model.next_token(&hidden[s]);
+                } else if pos == step && step >= prompt.len() && result.tokens[s].len() < gen_len {
+                    // Greedy continuation from the previous hidden state.
+                    let next = model.next_token_with(&hidden[s], &mut scratch);
                     result.tokens[s].push(next);
                     next
                 } else {
                     continue;
                 };
-                h[s] = model.embed(tok, pos);
+                model.embed_into(tok, pos, &mut h[s]);
                 positions[s] += 1;
                 active.push(s);
             }
@@ -226,10 +342,11 @@ pub fn run_pipeline(
                 }
 
                 // (3) Gate every token; group tokens by expert.
-                let mut normed: Vec<Vec<f32>> = vec![Vec::new(); n_seqs];
-                let mut tokens_of: Vec<Vec<(usize, f32)>> = vec![Vec::new(); mcfg.n_experts];
+                for group in tokens_of.iter_mut() {
+                    group.clear();
+                }
                 for &s in &active {
-                    normed[s] = model.moe_norm(layer, &h[s]);
+                    model.moe_norm_into(layer, &h[s], &mut normed[s]);
                     let routing = model.route_token(layer, &normed[s]);
                     for &(e, w) in &routing.picks {
                         tokens_of[e].push((s, w));
@@ -239,88 +356,105 @@ pub fn run_pipeline(
 
                 // (4) On-demand requests for activated cold experts, in
                 // discovery (expert-id within gate output) order.
-                let activated: Vec<usize> = (0..mcfg.n_experts)
-                    .filter(|&e| !tokens_of[e].is_empty())
-                    .collect();
-                for &e in &activated {
-                    if requested.insert(e) {
+                for (e, group) in tokens_of.iter().enumerate() {
+                    if !group.is_empty() && requested.insert(e) {
                         req_tx
                             .send(FetchRequest { layer, expert: e })
                             .expect("I/O thread alive");
                     }
                 }
 
-                // (5) Compute experts in ARRIVAL order; release each slot
-                // immediately after its tokens finish.
-                let mut contributions: Vec<Vec<(usize, f32, Vec<f32>)>> = vec![Vec::new(); n_seqs];
+                // (5) Compute experts in ARRIVAL order. Each arrived
+                // expert's token group runs as ONE batched forward —
+                // dispatched to the worker pool when one is running, so
+                // independent experts overlap — and its slot is released
+                // the moment its compute finishes ("offloaded
+                // immediately"). The single event channel means the
+                // inference thread always reacts to whichever happens
+                // first: an arrival or a completion.
                 let mut remaining = requested.len();
+                let mut in_flight = 0usize;
                 let mut done: HashSet<usize> = HashSet::new();
-                while remaining > 0 {
-                    let fetched = res_rx.recv().expect("I/O thread alive");
-                    remaining -= 1;
-                    let e = fetched.expert;
-                    assert!(done.insert(e), "duplicate expert arrival");
-                    if tokens_of[e].is_empty() {
-                        result.prefetch_misses += 1;
-                    } else {
-                        if hot.contains(&e) {
-                            result.prefetch_hits += 1;
+                while remaining > 0 || in_flight > 0 {
+                    match event_rx.recv().expect("pipeline threads alive") {
+                        Event::Fetched(fetched) => {
+                            remaining -= 1;
+                            let e = fetched.expert;
+                            assert!(done.insert(e), "duplicate expert arrival");
+                            if tokens_of[e].is_empty() {
+                                result.prefetch_misses += 1;
+                                slot_tx.send(fetched.weights).expect("returning slot");
+                                continue;
+                            }
+                            if hot.contains(&e) {
+                                result.prefetch_hits += 1;
+                            }
+                            if !cfg.batch_experts {
+                                // Retained per-token fallback: one matvec
+                                // per routed token, weights re-streamed
+                                // every time (the pre-batching path).
+                                let mut rows = Matrix::zeros(tokens_of[e].len(), mcfg.d_model);
+                                for (r, &(s, _)) in tokens_of[e].iter().enumerate() {
+                                    let out = fetched.weights.forward(&normed[s]);
+                                    rows.row_mut(r).copy_from_slice(&out);
+                                }
+                                expert_rows[e] = Some(rows);
+                                slot_tx.send(fetched.weights).expect("returning slot");
+                                continue;
+                            }
+                            // Stack the expert's routed tokens row-major.
+                            let mut xs = Matrix::zeros(tokens_of[e].len(), mcfg.d_model);
+                            for (r, &(s, _)) in tokens_of[e].iter().enumerate() {
+                                xs.row_mut(r).copy_from_slice(&normed[s]);
+                            }
+                            if let Some(task_tx) = &task_tx {
+                                task_tx
+                                    .send(ComputeTask {
+                                        expert: e,
+                                        weights: fetched.weights,
+                                        xs,
+                                    })
+                                    .expect("worker pool alive");
+                                in_flight += 1;
+                            } else {
+                                expert_rows[e] = Some(fetched.weights.forward_batch(&xs));
+                                slot_tx.send(fetched.weights).expect("returning slot");
+                            }
                         }
-                        for &(s, w) in &tokens_of[e] {
-                            let out = fetched.weights.forward(&normed[s]);
-                            contributions[s].push((e, w, out));
+                        Event::Computed {
+                            expert,
+                            rows,
+                            weights,
+                        } => {
+                            expert_rows[expert] = Some(rows);
+                            in_flight -= 1;
+                            // Expert finished: offload immediately.
+                            slot_tx.send(weights).expect("returning slot");
                         }
                     }
-                    // Expert finished: offload immediately (free the slot).
-                    slot_tx.send(()).expect("returning slot");
                 }
 
-                // (6) Combine in fixed expert-index order (bit-exactness).
-                for &s in &active {
-                    h[s] = model.combine(&h[s], &mut contributions[s]);
+                // (6) Combine in fixed expert-index order (bit-exactness):
+                // ascending-e iteration adds each sequence's contributions
+                // in exactly the order [`MoeModel::combine`] would after
+                // its sort, with no per-token Vec churn.
+                for (e, rows) in expert_rows.iter_mut().enumerate() {
+                    if let Some(rows) = rows.take() {
+                        for (r, &(s, w)) in tokens_of[e].iter().enumerate() {
+                            for (hv, &x) in h[s].iter_mut().zip(rows.row(r)) {
+                                *hv += w * x;
+                            }
+                        }
+                    }
                 }
             }
 
             for &s in &active {
-                hidden[s] = std::mem::take(&mut h[s]);
+                std::mem::swap(&mut hidden[s], &mut h[s]);
             }
         }
 
-        // Emit the final token of each sequence.
-        for s in 0..n_seqs {
-            let next = model.next_token(&hidden[s]);
-            result.tokens[s].push(next);
-            // Advance once more so final_hidden matches the reference,
-            // which runs the last generated token back through the model.
-            let pos = positions[s];
-            let mut hh = model.embed(next, pos);
-            for layer in 0..mcfg.n_layers {
-                hh = match h2o_states[s].as_mut() {
-                    Some(state) => model.attn_block_h2o(layer, &hh, &mut caches[s], state),
-                    None => model.attn_block(layer, &hh, &mut caches[s], cfg.mask),
-                };
-                let normed = model.moe_norm(layer, &hh);
-                let routing = model.route_token(layer, &normed);
-                let mut contributions: Vec<(usize, f32, Vec<f32>)> = routing
-                    .picks
-                    .iter()
-                    .map(|&(e, w)| {
-                        (e, w, {
-                            req_tx
-                                .send(FetchRequest { layer, expert: e })
-                                .expect("I/O thread alive");
-                            let fetched = res_rx.recv().expect("I/O thread alive");
-                            let out = fetched.weights.forward(&normed);
-                            slot_tx.send(()).expect("returning slot");
-                            out
-                        })
-                    })
-                    .collect();
-                hh = model.combine(&hh, &mut contributions);
-            }
-            hidden[s] = hh;
-        }
-
+        drop(task_tx);
         drop(req_tx);
         result.expert_fetches = io.join().expect("I/O thread panicked");
         result.final_hidden = hidden;
@@ -471,5 +605,67 @@ mod tests {
         // experts should mostly participate.
         let hit_rate = r.prefetch_hits as f64 / (r.prefetch_hits + r.prefetch_misses).max(1) as f64;
         assert!(hit_rate > 0.5, "hit rate = {hit_rate}");
+    }
+
+    #[test]
+    fn batched_and_per_token_paths_are_bit_identical() {
+        // The tentpole invariant: batching an expert's token group into
+        // GEMMs (with or without the worker pool) changes nothing but
+        // wall-clock versus the retained per-token fallback.
+        let model = MoeModel::new(MoeConfig::tiny(23));
+        let p = prompts(5, 7, model.config().vocab);
+        let fallback = run_pipeline(
+            &model,
+            &p,
+            4,
+            &NativePipelineConfig {
+                batch_experts: false,
+                ..Default::default()
+            },
+        );
+        for workers in [1usize, 2, 4] {
+            let batched = run_pipeline(
+                &model,
+                &p,
+                4,
+                &NativePipelineConfig {
+                    batch_experts: true,
+                    compute_workers: workers,
+                    ..Default::default()
+                },
+            );
+            assert_eq!(batched.tokens, fallback.tokens, "workers={workers}");
+            assert_eq!(
+                batched.final_hidden, fallback.final_hidden,
+                "workers={workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn worker_pool_composes_with_one_slot_and_h2o() {
+        // The tight corner: a 1-slot pool serializes fetches behind slot
+        // returns, so completions must be able to release slots while the
+        // inference thread waits — the single event channel guarantees it.
+        let model = MoeModel::new(MoeConfig::tiny(29));
+        let p = prompts(4, 9, model.config().vocab);
+        let h2o_cfg = H2oConfig {
+            budget: 6,
+            sinks: 2,
+        };
+        let reference = model.generate_h2o(&p, 3, h2o_cfg);
+        let piped = run_pipeline(
+            &model,
+            &p,
+            3,
+            &NativePipelineConfig {
+                vram_slots: 1,
+                h2o: Some(h2o_cfg),
+                compute_workers: 3,
+                ..Default::default()
+            },
+        );
+        assert_eq!(piped.tokens, reference.tokens);
+        assert_eq!(piped.final_hidden, reference.final_hidden);
     }
 }

@@ -74,13 +74,32 @@ impl ExpertStore {
     ///
     /// Panics if the indices are out of range.
     pub fn fetch(&self, layer: usize, expert: usize) -> ExpertWeights {
+        let mut out = ExpertWeights::placeholder();
+        self.fetch_into(layer, expert, &mut out);
+        out
+    }
+
+    /// [`ExpertStore::fetch`] into a reused slot buffer: after the buffer
+    /// has been used once, every subsequent fetch is a pure copy (or
+    /// dequantization) into resident memory with **no allocation** — the
+    /// VRAM-slot-buffer reuse a real offloading runtime gets from its
+    /// staging pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    pub fn fetch_into(&self, layer: usize, expert: usize, out: &mut ExpertWeights) {
         match &self.experts[layer][expert] {
-            StoredExpert::Full(w) => w.clone(),
-            StoredExpert::Quantized { w1, w2, w3 } => ExpertWeights {
-                w1: w1.dequantize(),
-                w2: w2.dequantize(),
-                w3: w3.dequantize(),
-            },
+            StoredExpert::Full(w) => {
+                out.w1.copy_from(&w.w1);
+                out.w2.copy_from(&w.w2);
+                out.w3.copy_from(&w.w3);
+            }
+            StoredExpert::Quantized { w1, w2, w3 } => {
+                w1.dequantize_into(&mut out.w1);
+                w2.dequantize_into(&mut out.w2);
+                w3.dequantize_into(&mut out.w3);
+            }
         }
     }
 }

@@ -35,6 +35,37 @@ pub enum Phase {
     Decode,
 }
 
+/// Everything that identifies one token's trip through the model: the
+/// token and its position, the attention mask in force, and where the trip
+/// is recorded in the routing trace (phase/step/sequence).
+///
+/// Bundled as a params struct so [`MoeModel::forward_token`] and the MoE
+/// block stay within clippy's argument budget without an `#[allow]`.
+#[derive(Debug, Clone, Copy)]
+pub struct TokenCtx {
+    /// The input token id.
+    pub token: u32,
+    /// Its absolute position in the sequence.
+    pub pos: usize,
+    /// Attention mask (dense or StreamingLLM).
+    pub mask: AttnMask,
+    /// Prefill or decode (for the routing trace).
+    pub phase: Phase,
+    /// Prompt position or decode step (for the routing trace).
+    pub step: usize,
+    /// Sequence index within the batch (for the routing trace).
+    pub seq: usize,
+}
+
+/// Reusable buffers for [`MoeModel::logits_into`]: the normalized hidden
+/// state and the logits, both allocated once and reused across every
+/// decoded token.
+#[derive(Debug, Clone)]
+pub struct LogitsScratch {
+    normed: Vec<f32>,
+    logits: Vec<f32>,
+}
+
 /// One recorded routing decision.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RoutingEvent {
@@ -93,13 +124,25 @@ impl MoeModel {
     ///
     /// Panics if `token` is out of vocabulary.
     pub fn embed(&self, token: u32, pos: usize) -> Vec<f32> {
+        let mut h = Vec::new();
+        self.embed_into(token, pos, &mut h);
+        h
+    }
+
+    /// [`MoeModel::embed`] into a reused buffer — the allocation-free form
+    /// the native pipeline's per-step hot loop uses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `token` is out of vocabulary.
+    pub fn embed_into(&self, token: u32, pos: usize, out: &mut Vec<f32>) {
         assert!((token as usize) < self.cfg.vocab, "token out of vocabulary");
-        let mut h = self.weights.embed.row(token as usize).to_vec();
-        for (i, v) in h.iter_mut().enumerate() {
+        out.clear();
+        out.extend_from_slice(self.weights.embed.row(token as usize));
+        for (i, v) in out.iter_mut().enumerate() {
             let rate = 1.0 / 10_000f32.powf(i as f32 / self.cfg.d_model as f32);
             *v += 0.1 * (pos as f32 * rate).sin();
         }
-        h
     }
 
     /// `h + attention(rmsnorm1(h))` for one token of one sequence.
@@ -151,10 +194,17 @@ impl MoeModel {
 
     /// The pre-MoE normalized hidden state.
     pub fn moe_norm(&self, layer: usize, h: &[f32]) -> Vec<f32> {
-        let lw = &self.weights.layers[layer];
-        let mut normed = h.to_vec();
-        rmsnorm_inplace(&mut normed, &lw.attn.norm2, NORM_EPS);
+        let mut normed = Vec::new();
+        self.moe_norm_into(layer, h, &mut normed);
         normed
+    }
+
+    /// [`MoeModel::moe_norm`] into a reused buffer (allocation-free form).
+    pub fn moe_norm_into(&self, layer: usize, h: &[f32], out: &mut Vec<f32>) {
+        let lw = &self.weights.layers[layer];
+        out.clear();
+        out.extend_from_slice(h);
+        rmsnorm_inplace(out, &lw.attn.norm2, NORM_EPS);
     }
 
     /// Routes one normalized token through `layer`'s gate.
@@ -181,23 +231,20 @@ impl MoeModel {
     }
 
     /// Full MoE block for one token (gate → experts → combine), recording
-    /// the routing into `events` if provided.
-    #[allow(clippy::too_many_arguments)]
+    /// the routing into `events`.
     fn moe_block(
         &self,
         layer: usize,
         h: &[f32],
-        phase: Phase,
-        step: usize,
-        seq: usize,
+        ctx: TokenCtx,
         events: &mut Vec<RoutingEvent>,
     ) -> Vec<f32> {
         let normed = self.moe_norm(layer, h);
         let routing = self.route_token(layer, &normed);
         events.push(RoutingEvent {
-            phase,
-            step,
-            seq,
+            phase: ctx.phase,
+            step: ctx.step,
+            seq: ctx.seq,
             layer,
             experts: routing.experts(),
         });
@@ -209,49 +256,65 @@ impl MoeModel {
         self.combine(h, &mut contributions)
     }
 
-    /// One token through every layer (the canonical forward pass).
-    // The arguments mirror the paper's per-token state (cache, mask, phase,
-    // step); bundling them into a struct would obscure the correspondence.
-    #[allow(clippy::too_many_arguments)]
+    /// One token through every layer (the canonical forward pass). The
+    /// per-token state travels in a [`TokenCtx`].
     pub fn forward_token(
         &self,
-        token: u32,
-        pos: usize,
+        ctx: TokenCtx,
         cache: &mut KvCache,
-        mask: AttnMask,
-        phase: Phase,
-        step: usize,
-        seq: usize,
         events: &mut Vec<RoutingEvent>,
     ) -> Vec<f32> {
-        let mut h = self.embed(token, pos);
+        let mut h = self.embed(ctx.token, ctx.pos);
         for layer in 0..self.cfg.n_layers {
-            h = self.attn_block(layer, &h, cache, mask);
-            h = self.moe_block(layer, &h, phase, step, seq, events);
+            h = self.attn_block(layer, &h, cache, ctx.mask);
+            h = self.moe_block(layer, &h, ctx, events);
         }
         h
     }
 
-    /// Logits of hidden state `h` (final norm + tied LM head).
+    /// Fresh reusable buffers for [`MoeModel::logits_into`].
+    pub fn logits_scratch(&self) -> LogitsScratch {
+        LogitsScratch {
+            normed: vec![0.0; self.cfg.d_model],
+            logits: vec![0.0; self.cfg.vocab],
+        }
+    }
+
+    /// Logits of hidden state `h` (final norm + tied LM head) into reused
+    /// scratch buffers: one blocked matvec of the embedding matrix against
+    /// the normalized hidden state, instead of a per-vocab-entry scalar
+    /// loop with a fresh `Vec`. Bit-identical to the old loop (same
+    /// ascending-k sequential dot per vocab entry).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h.len()` is not `d_model`.
+    pub fn logits_into<'s>(&self, h: &[f32], scratch: &'s mut LogitsScratch) -> &'s [f32] {
+        assert_eq!(h.len(), scratch.normed.len(), "hidden width mismatch");
+        scratch.normed.copy_from_slice(h);
+        rmsnorm_inplace(&mut scratch.normed, &self.weights.final_norm, NORM_EPS);
+        self.weights
+            .embed
+            .matvec_into(&scratch.normed, &mut scratch.logits);
+        &scratch.logits
+    }
+
+    /// Logits of hidden state `h` (allocating convenience form).
     pub fn logits(&self, h: &[f32]) -> Vec<f32> {
-        let mut normed = h.to_vec();
-        rmsnorm_inplace(&mut normed, &self.weights.final_norm, NORM_EPS);
-        (0..self.cfg.vocab)
-            .map(|t| {
-                self.weights
-                    .embed
-                    .row(t)
-                    .iter()
-                    .zip(&normed)
-                    .map(|(w, x)| w * x)
-                    .sum()
-            })
-            .collect()
+        let mut scratch = self.logits_scratch();
+        self.logits_into(h, &mut scratch);
+        scratch.logits
+    }
+
+    /// Greedy next token from hidden state `h`, reusing `scratch` — the
+    /// allocation-free form for decode loops.
+    pub fn next_token_with(&self, h: &[f32], scratch: &mut LogitsScratch) -> u32 {
+        argmax(self.logits_into(h, scratch)).expect("non-empty vocabulary") as u32
     }
 
     /// Greedy next token from hidden state `h`.
     pub fn next_token(&self, h: &[f32]) -> u32 {
-        argmax(&self.logits(h)).expect("non-empty vocabulary") as u32
+        self.next_token_with(h, &mut self.logits_scratch())
     }
 
     /// A fresh KV cache sized for this model.
@@ -274,36 +337,35 @@ impl MoeModel {
         let mut tokens = Vec::with_capacity(prompts.len());
         let mut final_hidden = Vec::with_capacity(prompts.len());
         let mut routing = Vec::new();
+        let mut scratch = self.logits_scratch();
         for (seq, prompt) in prompts.iter().enumerate() {
             assert!(!prompt.is_empty(), "empty prompt for sequence {seq}");
             let mut cache = self.new_cache();
             let mut h = Vec::new();
             for (pos, &tok) in prompt.iter().enumerate() {
-                h = self.forward_token(
-                    tok,
+                let ctx = TokenCtx {
+                    token: tok,
                     pos,
-                    &mut cache,
                     mask,
-                    Phase::Prefill,
-                    pos,
+                    phase: Phase::Prefill,
+                    step: pos,
                     seq,
-                    &mut routing,
-                );
+                };
+                h = self.forward_token(ctx, &mut cache, &mut routing);
             }
             let mut generated = Vec::with_capacity(gen_len);
             for step in 0..gen_len {
-                let next = self.next_token(&h);
+                let next = self.next_token_with(&h, &mut scratch);
                 generated.push(next);
-                h = self.forward_token(
-                    next,
-                    prompt.len() + step,
-                    &mut cache,
+                let ctx = TokenCtx {
+                    token: next,
+                    pos: prompt.len() + step,
                     mask,
-                    Phase::Decode,
+                    phase: Phase::Decode,
                     step,
                     seq,
-                    &mut routing,
-                );
+                };
+                h = self.forward_token(ctx, &mut cache, &mut routing);
             }
             tokens.push(generated);
             final_hidden.push(h);
@@ -332,49 +394,49 @@ impl MoeModel {
         let mut tokens = Vec::with_capacity(prompts.len());
         let mut final_hidden = Vec::with_capacity(prompts.len());
         let mut routing = Vec::new();
+        let mut scratch = self.logits_scratch();
         for (seq, prompt) in prompts.iter().enumerate() {
             assert!(!prompt.is_empty(), "empty prompt for sequence {seq}");
             let mut cache = self.new_cache();
             let mut state = crate::h2o::H2oState::new(self.cfg.n_layers, cfg);
-            let forward = |tok: u32,
-                           pos: usize,
-                           phase: Phase,
-                           step: usize,
+            // The H2O path replaces the mask with stateful selection, so
+            // `ctx.mask` is unused here; Dense is a placeholder.
+            let forward = |ctx: TokenCtx,
                            cache: &mut KvCache,
                            state: &mut crate::h2o::H2oState,
                            routing: &mut Vec<RoutingEvent>| {
-                let mut h = self.embed(tok, pos);
+                let mut h = self.embed(ctx.token, ctx.pos);
                 for layer in 0..self.cfg.n_layers {
                     h = self.attn_block_h2o(layer, &h, cache, state);
-                    h = self.moe_block(layer, &h, phase, step, seq, routing);
+                    h = self.moe_block(layer, &h, ctx, routing);
                 }
                 h
             };
             let mut h = Vec::new();
             for (pos, &tok) in prompt.iter().enumerate() {
-                h = forward(
-                    tok,
+                let ctx = TokenCtx {
+                    token: tok,
                     pos,
-                    Phase::Prefill,
-                    pos,
-                    &mut cache,
-                    &mut state,
-                    &mut routing,
-                );
+                    mask: AttnMask::Dense,
+                    phase: Phase::Prefill,
+                    step: pos,
+                    seq,
+                };
+                h = forward(ctx, &mut cache, &mut state, &mut routing);
             }
             let mut generated = Vec::with_capacity(gen_len);
             for step in 0..gen_len {
-                let next = self.next_token(&h);
+                let next = self.next_token_with(&h, &mut scratch);
                 generated.push(next);
-                h = forward(
-                    next,
-                    prompt.len() + step,
-                    Phase::Decode,
+                let ctx = TokenCtx {
+                    token: next,
+                    pos: prompt.len() + step,
+                    mask: AttnMask::Dense,
+                    phase: Phase::Decode,
                     step,
-                    &mut cache,
-                    &mut state,
-                    &mut routing,
-                );
+                    seq,
+                };
+                h = forward(ctx, &mut cache, &mut state, &mut routing);
             }
             tokens.push(generated);
             final_hidden.push(h);

@@ -6,7 +6,7 @@
 //! matrix as an opaque transferable blob.
 
 use klotski_tensor::init::{norm_weight, sub_seed, xavier_matrix};
-use klotski_tensor::matrix::Matrix;
+use klotski_tensor::matrix::{auto_threads, Matrix};
 use klotski_tensor::ops::silu;
 
 use crate::config::MoeConfig;
@@ -39,6 +39,16 @@ pub struct ExpertWeights {
 }
 
 impl ExpertWeights {
+    /// An empty (0-sized) expert — a placeholder buffer for staging pools
+    /// that fill it via [`klotski_tensor::matrix::Matrix::copy_from`].
+    pub fn placeholder() -> Self {
+        ExpertWeights {
+            w1: Matrix::zeros(0, 0),
+            w2: Matrix::zeros(0, 0),
+            w3: Matrix::zeros(0, 0),
+        }
+    }
+
     /// Builds the expert at (`layer`, `expert`) of the model seeded `root`.
     pub fn seeded(cfg: &MoeConfig, layer: usize, expert: usize) -> Self {
         let idx = (layer * cfg.n_experts + expert) as u64;
@@ -79,6 +89,55 @@ impl ExpertWeights {
             }
             *o = acc;
         }
+        out
+    }
+
+    /// Applies the expert to a whole batch of hidden vectors at once —
+    /// `xs` is `[n_tokens, d_model]` row-major, one routed token per row.
+    ///
+    /// This is the Klotski aggregation payoff: the expert's three weight
+    /// matrices are streamed **once per batch** (two GEMMs + activation)
+    /// instead of once per token. Each output row is **bit-identical** to
+    /// [`ExpertWeights::forward`] of the same input row: the GEMM kernels
+    /// accumulate every element in the same ascending-k order as the
+    /// per-token matvec, so batching is numerics-neutral and the
+    /// pipeline-vs-reference exactness tests keep holding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs.cols()` does not match `d_model`.
+    pub fn forward_batch(&self, xs: &Matrix) -> Matrix {
+        let threads = auto_threads(xs.rows() * self.w1.rows() * self.w1.cols());
+        self.forward_batch_threaded(xs, threads)
+    }
+
+    /// [`ExpertWeights::forward_batch`] with an explicit GEMM thread count
+    /// (1 = fully serial). Callers that already provide parallelism at the
+    /// expert level — e.g. the native pipeline's compute worker pool —
+    /// should pass 1, otherwise each worker spawning its own row-parallel
+    /// team oversubscribes the machine. Output is bit-identical at any
+    /// thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs.cols()` does not match `d_model`.
+    pub fn forward_batch_threaded(&self, xs: &Matrix, threads: usize) -> Matrix {
+        assert_eq!(xs.cols(), self.w1.cols(), "expert input width mismatch");
+        let n_tokens = xs.rows();
+        let d_ff = self.w1.rows();
+        let d_model = self.w2.rows();
+        // gate = xs · w1ᵀ, up = xs · w3ᵀ  (same dots as the matvec path).
+        let mut gate = Matrix::zeros(n_tokens, d_ff);
+        xs.matmul_nt_into_threaded(&self.w1, &mut gate, threads);
+        let mut up = Matrix::zeros(n_tokens, d_ff);
+        xs.matmul_nt_into_threaded(&self.w3, &mut up, threads);
+        // SwiGLU: gate ← silu(gate) ⊙ up.
+        for (g, &u) in gate.as_mut_slice().iter_mut().zip(up.as_slice()) {
+            *g = silu(*g) * u;
+        }
+        // out = inner · w2ᵀ.
+        let mut out = Matrix::zeros(n_tokens, d_model);
+        gate.matmul_nt_into_threaded(&self.w2, &mut out, threads);
         out
     }
 
@@ -238,5 +297,71 @@ mod tests {
         let cfg = MoeConfig::tiny(5);
         let e = ExpertWeights::seeded(&cfg, 0, 0);
         let _ = e.forward(&[0.0; 3]);
+    }
+
+    #[test]
+    fn forward_batch_matches_forward_bitwise() {
+        let cfg = MoeConfig::tiny(5);
+        let e = ExpertWeights::seeded(&cfg, 1, 2);
+        let xs = Matrix::from_fn(7, cfg.d_model, |r, c| {
+            ((r * 13 + c * 7) as f32 * 0.09).sin()
+        });
+        let batched = e.forward_batch(&xs);
+        assert_eq!(batched.rows(), 7);
+        assert_eq!(batched.cols(), cfg.d_model);
+        for r in 0..xs.rows() {
+            let single = e.forward(xs.row(r));
+            assert_eq!(batched.row(r), &single[..], "row {r} diverged");
+        }
+    }
+
+    #[test]
+    fn forward_batch_handles_empty_and_single_row() {
+        let cfg = MoeConfig::tiny(5);
+        let e = ExpertWeights::seeded(&cfg, 0, 1);
+        let empty = e.forward_batch(&Matrix::zeros(0, cfg.d_model));
+        assert_eq!((empty.rows(), empty.cols()), (0, cfg.d_model));
+        let one = Matrix::from_fn(1, cfg.d_model, |_, c| (c as f32 * 0.3).cos());
+        assert_eq!(e.forward_batch(&one).row(0), &e.forward(one.row(0))[..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn forward_batch_rejects_wrong_width() {
+        let cfg = MoeConfig::tiny(5);
+        let e = ExpertWeights::seeded(&cfg, 0, 0);
+        let _ = e.forward_batch(&Matrix::zeros(2, 3));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Batched expert forward is bit-identical to the per-token matvec
+        /// for random token groups of any size (including 0 and 1).
+        #[test]
+        fn forward_batch_is_bit_identical_to_forward(
+            n_tokens in 0usize..6,
+            layer in 0usize..2,
+            expert in 0usize..3,
+            raw in proptest::collection::vec(-2.0f32..2.0, 6 * 32),
+        ) {
+            let cfg = MoeConfig::tiny(31);
+            let e = ExpertWeights::seeded(&cfg, layer, expert);
+            let xs = Matrix::from_vec(
+                n_tokens,
+                cfg.d_model,
+                raw[..n_tokens * cfg.d_model].to_vec(),
+            );
+            let batched = e.forward_batch(&xs);
+            prop_assert_eq!(batched.rows(), n_tokens);
+            for r in 0..n_tokens {
+                let single = e.forward(xs.row(r));
+                prop_assert_eq!(batched.row(r), &single[..]);
+            }
+        }
     }
 }

@@ -1,7 +1,197 @@
 //! Row-major `f32` matrices and the handful of BLAS-like kernels the native
 //! MoE path needs.
+//!
+//! Every kernel comes in three flavors with **bit-identical** results:
+//!
+//! * a `*_naive` reference (the textbook loop, kept in-tree so tests can
+//!   assert exact agreement),
+//! * a cache-blocked (tiled) kernel — the default behind [`Matrix::matmul`]
+//!   and [`Matrix::matmul_nt`] — which reorders *which element is computed
+//!   when* but never the per-element accumulation order, and
+//! * a row-parallel threaded variant that splits output rows over a scoped
+//!   thread team (each row's arithmetic is untouched, so parallelism is
+//!   numerics-neutral).
+//!
+//! The bit-exactness invariant is what lets the native MoE pipeline swap
+//! per-token matvecs for batched GEMMs without perturbing the
+//! pipeline-vs-reference comparisons.
 
 use std::fmt;
+
+/// A-row block: output rows processed together so their slices of `rhs`
+/// stay hot in L1 across the j-tile.
+const TILE_I: usize = 16;
+/// Output-column block (j-tile): bounds the working set of B rows (`nt`)
+/// or B columns (`nn`) touched per pass.
+const TILE_J: usize = 64;
+/// Inner-dimension block for the `A·B` kernel; k-blocks are visited in
+/// ascending order with the accumulator carried across blocks, so tiling
+/// k does not change any element's summation sequence.
+const TILE_K: usize = 64;
+
+/// Multiply-add count below which spawning threads costs more than it
+/// saves (≈1M mul-adds ≈ 0.5 ms single-threaded).
+const PAR_MADD_THRESHOLD: usize = 1 << 20;
+
+/// How many worker threads are worth using for a kernel of `madds`
+/// multiply-adds: 1 below [`PAR_MADD_THRESHOLD`], else the machine's
+/// parallelism capped at 8. Results are identical at any thread count;
+/// this only tunes wall-clock.
+pub fn auto_threads(madds: usize) -> usize {
+    if madds < PAR_MADD_THRESHOLD {
+        1
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(8)
+    }
+}
+
+/// Tiled `out = A · B` over `m` rows of `a` (row-major, inner dim `k`,
+/// `b` is `k × n`). Per output element the k-accumulation order is the
+/// naive ikj order, so results are bit-identical to [`mm_naive_rows`].
+fn mm_rows(a: &[f32], m: usize, k: usize, b: &[f32], n: usize, out: &mut [f32]) {
+    out.fill(0.0);
+    for ib in (0..m).step_by(TILE_I) {
+        let ie = (ib + TILE_I).min(m);
+        for kb in (0..k).step_by(TILE_K) {
+            let ke = (kb + TILE_K).min(k);
+            for jb in (0..n).step_by(TILE_J) {
+                let je = (jb + TILE_J).min(n);
+                for i in ib..ie {
+                    let a_row = &a[i * k..(i + 1) * k];
+                    let o_row = &mut out[i * n + jb..i * n + je];
+                    for kk in kb..ke {
+                        let av = a_row[kk];
+                        let b_row = &b[kk * n + jb..kk * n + je];
+                        for (o, &bv) in o_row.iter_mut().zip(b_row) {
+                            *o += av * bv;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// How many output columns the `nt` kernel carries per pass over k. Each
+/// column keeps its **own** accumulator advancing in strict ascending-k
+/// order (bit-identical to the one-at-a-time dot), but the 8 independent
+/// dependency chains hide FMA latency — a single sequential chain caps a
+/// scalar dot at ~1 mul-add per FMA-latency, several× below machine
+/// throughput — and each `a` element is loaded once per 8 outputs.
+const NT_COLS: usize = 8;
+
+/// `NT_COLS` dots of one `a` row against consecutive `b` rows, sharing the
+/// `a` loads across all column accumulators.
+#[inline]
+fn nt_micro_1xu(a_row: &[f32], rows: &[&[f32]; NT_COLS], acc: &mut [f32; NT_COLS]) {
+    for (kk, &av) in a_row.iter().enumerate() {
+        for u in 0..NT_COLS {
+            acc[u] += av * rows[u][kk];
+        }
+    }
+}
+
+/// The 2×[`NT_COLS`] register micro-kernel: two `a` rows against the same
+/// [`NT_COLS`] `b` rows, so every `b` element loaded feeds two mul-adds.
+#[inline]
+fn nt_micro_2xu(
+    a0: &[f32],
+    a1: &[f32],
+    rows: &[&[f32]; NT_COLS],
+    acc0: &mut [f32; NT_COLS],
+    acc1: &mut [f32; NT_COLS],
+) {
+    for (kk, (&av0, &av1)) in a0.iter().zip(a1).enumerate() {
+        for u in 0..NT_COLS {
+            let bv = rows[u][kk];
+            acc0[u] += av0 * bv;
+            acc1[u] += av1 * bv;
+        }
+    }
+}
+
+/// One dot product, sequential accumulator — the remainder path and the
+/// per-element definition the micro-kernels replicate exactly.
+#[inline]
+fn nt_dot(a_row: &[f32], b_row: &[f32]) -> f32 {
+    let mut acc = 0.0f32;
+    for (&x, &y) in a_row.iter().zip(b_row) {
+        acc += x * y;
+    }
+    acc
+}
+
+/// Tiled `out = A · Bᵀ` over `m` rows of `a` (`b` is `n × k` row-major).
+/// Each element is one full-length dot product with a single sequential
+/// accumulator — bit-identical to the naive per-element loop; the kernel
+/// only reorders *which elements* are computed when (a 2×[`NT_COLS`]
+/// register block inside [`TILE_I`] × [`TILE_J`] cache blocks). The
+/// register block matters because one sequential chain is FMA-latency
+/// bound: 16 independent accumulators hide the latency, and sharing each
+/// `b` load across two rows halves the loads per mul-add.
+fn mm_nt_rows(a: &[f32], m: usize, k: usize, b: &[f32], n: usize, out: &mut [f32]) {
+    for ib in (0..m).step_by(TILE_I) {
+        let ie = (ib + TILE_I).min(m);
+        for jb in (0..n).step_by(TILE_J) {
+            let je = (jb + TILE_J).min(n);
+            let mut j = jb;
+            while j + NT_COLS <= je {
+                let rows: [&[f32]; NT_COLS] =
+                    std::array::from_fn(|u| &b[(j + u) * k..(j + u) * k + k]);
+                let mut i = ib;
+                while i + 2 <= ie {
+                    let (a0, a1) = (&a[i * k..(i + 1) * k], &a[(i + 1) * k..(i + 2) * k]);
+                    let mut acc0 = [0.0f32; NT_COLS];
+                    let mut acc1 = [0.0f32; NT_COLS];
+                    nt_micro_2xu(a0, a1, &rows, &mut acc0, &mut acc1);
+                    out[i * n + j..i * n + j + NT_COLS].copy_from_slice(&acc0);
+                    out[(i + 1) * n + j..(i + 1) * n + j + NT_COLS].copy_from_slice(&acc1);
+                    i += 2;
+                }
+                if i < ie {
+                    let mut acc = [0.0f32; NT_COLS];
+                    nt_micro_1xu(&a[i * k..(i + 1) * k], &rows, &mut acc);
+                    out[i * n + j..i * n + j + NT_COLS].copy_from_slice(&acc);
+                }
+                j += NT_COLS;
+            }
+            // Column remainder: plain dots.
+            for i in ib..ie {
+                let a_row = &a[i * k..(i + 1) * k];
+                for jj in j..je {
+                    out[i * n + jj] = nt_dot(a_row, &b[jj * k..(jj + 1) * k]);
+                }
+            }
+        }
+    }
+}
+
+/// Splits `out` into per-thread contiguous row chunks and runs `kernel`
+/// on each chunk in a scoped thread team. Row-disjoint writes keep every
+/// row's arithmetic identical to the single-threaded kernel.
+fn par_rows<K>(a: &[f32], m: usize, k: usize, n: usize, out: &mut [f32], threads: usize, kernel: K)
+where
+    K: Fn(&[f32], usize, usize, &mut [f32]) + Copy + Send,
+{
+    let threads = threads.clamp(1, m.max(1));
+    if threads <= 1 || k == 0 || n == 0 {
+        kernel(a, m, k, out);
+        return;
+    }
+    let chunk_rows = m.div_ceil(threads);
+    std::thread::scope(|scope| {
+        let mut rest = out;
+        for a_chunk in a.chunks(chunk_rows * k) {
+            let rows_here = a_chunk.len() / k;
+            let (o_chunk, tail) = std::mem::take(&mut rest).split_at_mut(rows_here * n);
+            rest = tail;
+            scope.spawn(move || kernel(a_chunk, rows_here, k, o_chunk));
+        }
+    });
+}
 
 /// A dense row-major `f32` matrix.
 ///
@@ -146,7 +336,7 @@ impl Matrix {
         self.data[r * self.cols + c] = v;
     }
 
-    /// `self · rhs` (new allocation).
+    /// `self · rhs` (new allocation), tiled kernel.
     ///
     /// # Panics
     ///
@@ -157,38 +347,134 @@ impl Matrix {
         out
     }
 
-    /// `out = self · rhs`, reusing `out`'s buffer (ikj loop order).
+    /// `out = self · rhs`, reusing `out`'s buffer. Cache-blocked, with the
+    /// naive ikj per-element accumulation order preserved, so results are
+    /// bit-identical to [`Matrix::matmul_naive`]. Unlike the pre-tiled
+    /// kernel there is **no** `a == 0.0` skip: runtime no longer depends on
+    /// the data, and `-0.0`/`NaN`/`inf` operands follow IEEE semantics
+    /// (`0 · NaN` propagates instead of being silently dropped).
     ///
     /// # Panics
     ///
     /// Panics on any shape mismatch.
     pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        self.matmul_into_threaded(rhs, out, 1);
+    }
+
+    /// [`Matrix::matmul_into`] with output rows split over `threads`
+    /// scoped threads (1 runs inline). Bit-identical at any thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any shape mismatch.
+    pub fn matmul_into_threaded(&self, rhs: &Matrix, out: &mut Matrix, threads: usize) {
         assert_eq!(self.cols, rhs.rows, "inner dimension mismatch");
         assert_eq!(out.rows, self.rows, "output rows mismatch");
         assert_eq!(out.cols, rhs.cols, "output cols mismatch");
-        out.data.fill(0.0);
+        let (k, n) = (self.cols, rhs.cols);
+        let b = &rhs.data;
+        par_rows(
+            &self.data,
+            self.rows,
+            k,
+            n,
+            &mut out.data,
+            threads,
+            |a, m, k, o| mm_rows(a, m, k, b, n, o),
+        );
+    }
+
+    /// Reference `self · rhs`: the naive ikj loop, kept so tests can
+    /// assert the tiled/threaded kernels are bit-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != rhs.rows`.
+    pub fn matmul_naive(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.rows, "inner dimension mismatch");
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
         for i in 0..self.rows {
             let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
             let o_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
             for (k, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
                 let b_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
                 for (o, &b) in o_row.iter_mut().zip(b_row) {
                     *o += a * b;
                 }
             }
         }
+        out
     }
 
-    /// `self · rhsᵀ` (new allocation) — the natural layout for weight
-    /// matrices stored as `[out_features, in_features]`.
+    /// `self · rhsᵀ` (new allocation), tiled kernel — the natural layout
+    /// for weight matrices stored as `[out_features, in_features]`.
     ///
     /// # Panics
     ///
     /// Panics if `self.cols != rhs.cols`.
     pub fn matmul_nt(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, rhs.rows);
+        self.matmul_nt_into(rhs, &mut out);
+        out
+    }
+
+    /// `out = self · rhsᵀ`, reusing `out`'s buffer. Cache-blocked; each
+    /// element is one sequential full-length dot product, bit-identical to
+    /// [`Matrix::matmul_nt_naive`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on any shape mismatch.
+    pub fn matmul_nt_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        self.matmul_nt_into_threaded(rhs, out, 1);
+    }
+
+    /// [`Matrix::matmul_nt_into`] with output rows split over `threads`
+    /// scoped threads (1 runs inline). Bit-identical at any thread count;
+    /// use [`auto_threads`] to pick a worthwhile count.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any shape mismatch.
+    pub fn matmul_nt_into_threaded(&self, rhs: &Matrix, out: &mut Matrix, threads: usize) {
+        assert_eq!(self.cols, rhs.cols, "inner dimension mismatch");
+        assert_eq!(out.rows, self.rows, "output rows mismatch");
+        assert_eq!(out.cols, rhs.rows, "output cols mismatch");
+        let (k, n) = (self.cols, rhs.rows);
+        let b = &rhs.data;
+        par_rows(
+            &self.data,
+            self.rows,
+            k,
+            n,
+            &mut out.data,
+            threads,
+            |a, m, k, o| mm_nt_rows(a, m, k, b, n, o),
+        );
+    }
+
+    /// `out[j] = Σ_k x[k] · self[j][k]` — the matrix–vector product
+    /// `self · x` for a weight matrix stored `[out_features, in_features]`,
+    /// through the blocked nt kernel (the out-features dimension gets the
+    /// [`NT_COLS`] register blocking). Bit-identical to a per-row
+    /// sequential dot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols` or `out.len() != self.rows`.
+    pub fn matvec_into(&self, x: &[f32], out: &mut [f32]) {
+        assert_eq!(x.len(), self.cols, "matvec input width mismatch");
+        assert_eq!(out.len(), self.rows, "matvec output width mismatch");
+        mm_nt_rows(x, 1, self.cols, &self.data, self.rows, out);
+    }
+
+    /// Reference `self · rhsᵀ`: the naive per-element dot product, kept so
+    /// tests can assert the tiled/threaded kernels are bit-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != rhs.cols`.
+    pub fn matmul_nt_naive(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(self.cols, rhs.cols, "inner dimension mismatch");
         let mut out = Matrix::zeros(self.rows, rhs.rows);
         for i in 0..self.rows {
@@ -208,6 +494,17 @@ impl Matrix {
     /// Transpose (new allocation).
     pub fn transpose(&self) -> Matrix {
         Matrix::from_fn(self.cols, self.rows, |r, c| self.get(c, r))
+    }
+
+    /// Becomes a copy of `src`, reshaping as needed but reusing the
+    /// existing buffer when its capacity allows — the allocation-free
+    /// "transfer into a resident buffer" primitive (after the first use at
+    /// a given shape, this is a pure memcpy).
+    pub fn copy_from(&mut self, src: &Matrix) {
+        self.rows = src.rows;
+        self.cols = src.cols;
+        self.data.clear();
+        self.data.extend_from_slice(&src.data);
     }
 
     /// Element-wise `self += rhs`.
@@ -330,6 +627,74 @@ mod tests {
     fn from_vec_validates_length() {
         let _ = Matrix::from_vec(2, 2, vec![0.0; 5]);
     }
+
+    #[test]
+    fn zero_times_nan_propagates() {
+        // The old kernel skipped a == 0.0 rows, silently turning 0·NaN
+        // into 0 and making runtime data-dependent. IEEE semantics now.
+        let a = Matrix::from_rows(&[&[0.0, 1.0]]);
+        let b = Matrix::from_rows(&[&[f32::NAN], &[2.0]]);
+        assert!(a.matmul(&b).get(0, 0).is_nan(), "0·NaN must propagate");
+        let bt = b.transpose();
+        assert!(a.matmul_nt(&bt).get(0, 0).is_nan());
+    }
+
+    #[test]
+    fn matmul_and_matmul_nt_agree_bitwise() {
+        // Both kernels accumulate each element in ascending-k order from a
+        // zero accumulator, so nn-vs-nt is exact, not just within an eps.
+        let a = Matrix::from_fn(9, 33, |r, c| ((r * 33 + c) as f32).sin());
+        let b = Matrix::from_fn(33, 17, |r, c| ((r * 17 + c) as f32).cos());
+        assert_eq!(a.matmul(&b), a.matmul_nt(&b.transpose()));
+    }
+
+    #[test]
+    fn tiled_kernels_cross_tile_boundaries_exactly() {
+        // Shapes straddling every tile edge (TILE_I=16, TILE_J=64,
+        // TILE_K=64) must still match the naive kernels bit-for-bit.
+        let a = Matrix::from_fn(17, 65, |r, c| ((r * 65 + c) as f32 * 0.37).sin());
+        let b = Matrix::from_fn(65, 66, |r, c| ((r * 66 + c) as f32 * 0.11).cos());
+        assert_eq!(a.matmul(&b), a.matmul_naive(&b));
+        let bt = b.transpose();
+        assert_eq!(a.matmul_nt(&bt), a.matmul_nt_naive(&bt));
+    }
+
+    #[test]
+    fn threaded_kernels_match_at_any_thread_count() {
+        let a = Matrix::from_fn(23, 40, |r, c| ((r * 40 + c) as f32 * 0.2).sin());
+        let b = Matrix::from_fn(40, 31, |r, c| ((r + 2 * c) as f32 * 0.3).cos());
+        let bt = b.transpose();
+        let nn = a.matmul_naive(&b);
+        let nt = a.matmul_nt_naive(&bt);
+        for threads in [1usize, 2, 3, 8, 64] {
+            let mut out = Matrix::zeros(23, 31);
+            a.matmul_into_threaded(&b, &mut out, threads);
+            assert_eq!(out, nn, "nn threads={threads}");
+            a.matmul_nt_into_threaded(&bt, &mut out, threads);
+            assert_eq!(out, nt, "nt threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_shapes_are_handled() {
+        let a = Matrix::zeros(0, 5);
+        let b = Matrix::zeros(5, 3);
+        assert_eq!(a.matmul(&b).rows(), 0);
+        let c = Matrix::zeros(4, 0);
+        let d = Matrix::zeros(0, 3);
+        let out = c.matmul(&d); // inner dimension zero: all-zero result
+        assert_eq!(out, Matrix::zeros(4, 3));
+        let e = Matrix::zeros(4, 0);
+        assert_eq!(c.matmul_nt(&e), Matrix::zeros(4, 4));
+    }
+
+    #[test]
+    fn auto_threads_has_a_floor_and_ceiling() {
+        assert_eq!(auto_threads(0), 1);
+        assert_eq!(auto_threads(1000), 1);
+        assert!(auto_threads(usize::MAX) >= 1);
+        assert!(auto_threads(usize::MAX) <= 8);
+    }
 }
 
 #[cfg(test)]
@@ -364,6 +729,47 @@ mod proptests {
             let lhs = a.matmul(&b).transpose();
             let rhs = b.transpose().matmul(&a.transpose());
             prop_assert!(lhs.max_abs_diff(&rhs) < 1e-3);
+        }
+
+        /// Tiled and threaded A·B are bit-identical to the naive kernel on
+        /// arbitrary shapes, including empty and 1-row matrices and shapes
+        /// larger than the tile sizes.
+        #[test]
+        fn tiled_matmul_matches_naive_exactly(
+            m in 0usize..35,
+            k in 0usize..70,
+            n in 0usize..70,
+            threads in 1usize..5,
+            raw_a in proptest::collection::vec(-10.0f32..10.0, 35 * 70),
+            raw_b in proptest::collection::vec(-10.0f32..10.0, 70 * 70),
+        ) {
+            let a = Matrix::from_vec(m, k, raw_a[..m * k].to_vec());
+            let b = Matrix::from_vec(k, n, raw_b[..k * n].to_vec());
+            let reference = a.matmul_naive(&b);
+            prop_assert_eq!(&a.matmul(&b), &reference);
+            let mut out = Matrix::zeros(m, n);
+            a.matmul_into_threaded(&b, &mut out, threads);
+            prop_assert_eq!(&out, &reference);
+        }
+
+        /// Tiled and threaded A·Bᵀ are bit-identical to the naive kernel
+        /// on arbitrary shapes, including empty and 1-row matrices.
+        #[test]
+        fn tiled_matmul_nt_matches_naive_exactly(
+            m in 0usize..35,
+            k in 0usize..70,
+            n in 0usize..70,
+            threads in 1usize..5,
+            raw_a in proptest::collection::vec(-10.0f32..10.0, 35 * 70),
+            raw_b in proptest::collection::vec(-10.0f32..10.0, 70 * 70),
+        ) {
+            let a = Matrix::from_vec(m, k, raw_a[..m * k].to_vec());
+            let b = Matrix::from_vec(n, k, raw_b[..n * k].to_vec());
+            let reference = a.matmul_nt_naive(&b);
+            prop_assert_eq!(&a.matmul_nt(&b), &reference);
+            let mut out = Matrix::zeros(m, n);
+            a.matmul_nt_into_threaded(&b, &mut out, threads);
+            prop_assert_eq!(&out, &reference);
         }
     }
 }

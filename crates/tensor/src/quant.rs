@@ -158,18 +158,29 @@ impl QuantizedMatrix {
 
     /// Reconstructs the full-precision matrix.
     pub fn dequantize(&self) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.dequantize_into(&mut out);
+        out
+    }
+
+    /// [`QuantizedMatrix::dequantize`] into a reused matrix, reshaping it
+    /// as needed — the allocation-free form the native pipeline's I/O
+    /// thread uses when staging into a resident slot buffer.
+    pub fn dequantize_into(&self, out: &mut Matrix) {
         let g = self.config.group_size as usize;
         let zg = self.config.zero_group_size as usize;
         let n = self.rows * self.cols;
-        let mut out = Vec::with_capacity(n);
+        let mut buf = std::mem::replace(out, Matrix::zeros(0, 0)).into_vec();
+        buf.clear();
+        buf.reserve(n);
         let mut unpacker = BitUnpacker::new(self.config.bits, &self.packed);
         for i in 0..n {
             let code = unpacker.next() as f32;
             let gi = i / g;
             let zi = i / zg;
-            out.push((code - self.zeros[zi]) * self.scales[gi]);
+            buf.push((code - self.zeros[zi]) * self.scales[gi]);
         }
-        Matrix::from_vec(self.rows, self.cols, out)
+        *out = Matrix::from_vec(self.rows, self.cols, buf);
     }
 
     /// Rows of the original matrix.

@@ -127,6 +127,33 @@ fn prefetch_hit_rate_reflects_skewed_routing() {
 }
 
 #[test]
+fn batched_experts_and_worker_pool_are_numerics_neutral() {
+    // The compute-side levers — batched expert GEMMs and the parallel
+    // worker pool — must be invisible in the output: every combination is
+    // bit-identical to the sequential reference (and hence to the retained
+    // per-token fallback).
+    let model = MoeModel::new(MoeConfig::small(48));
+    let p = prompts(6, 9, model.config().vocab, 7);
+    let reference = model.generate(&p, 4, AttnMask::Dense);
+    for (batch_experts, compute_workers) in [(false, 1), (true, 1), (true, 2), (true, 4)] {
+        let cfg = NativePipelineConfig {
+            batch_experts,
+            compute_workers,
+            ..Default::default()
+        };
+        let piped = run_pipeline(&model, &p, 4, &cfg);
+        assert_eq!(
+            piped.tokens, reference.tokens,
+            "batch={batch_experts} workers={compute_workers}: tokens"
+        );
+        assert_eq!(
+            piped.final_hidden, reference.final_hidden,
+            "batch={batch_experts} workers={compute_workers}: hidden"
+        );
+    }
+}
+
+#[test]
 fn routing_is_expert_diverse() {
     // Sanity for the scheduling problem itself: real gates spread tokens
     // over multiple experts per layer (otherwise reordering is trivial).

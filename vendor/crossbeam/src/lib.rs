@@ -3,19 +3,20 @@
 //!
 //! The workspace uses exactly two pieces of crossbeam:
 //!
-//! * [`channel::bounded`] / [`channel::unbounded`] MPSC channels — mapped to
-//!   `std::sync::mpsc` (`sync_channel` / `channel`). The workspace only ever
-//!   moves each `Receiver` into a single thread, so crossbeam's MPMC
-//!   capability is not needed.
+//! * [`channel::bounded`] / [`channel::unbounded`] MPMC channels — mapped to
+//!   `std::sync::mpsc` (`sync_channel` / `channel`) with the `Receiver`
+//!   wrapped in an `Arc<Mutex<…>>` so it is `Clone`, matching crossbeam's
+//!   multi-consumer capability (the native pipeline's compute worker pool
+//!   shares one task receiver).
 //! * [`scope`] — mapped to `std::thread::scope`. Spawn closures receive a
 //!   placeholder `()` argument where crossbeam passes the scope handle; the
 //!   workspace's closures ignore it (`|_|`).
 
 use std::any::Any;
 
-/// Multi-producer channels (single consumer in this stand-in).
+/// Multi-producer, multi-consumer channels.
 pub mod channel {
-    use std::sync::mpsc;
+    use std::sync::{mpsc, Arc, Mutex};
 
     pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
 
@@ -48,33 +49,49 @@ pub mod channel {
         }
     }
 
-    /// The receiving half of a channel.
-    pub struct Receiver<T>(mpsc::Receiver<T>);
+    /// The receiving half of a channel. Cloneable: clones share the same
+    /// stream, and each message is delivered to exactly one receiver —
+    /// crossbeam's MPMC work-queue semantics (backed by a mutex over the
+    /// single `std::sync::mpsc` consumer).
+    pub struct Receiver<T>(Arc<Mutex<mpsc::Receiver<T>>>);
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver(Arc::clone(&self.0))
+        }
+    }
 
     impl<T> Receiver<T> {
         /// Blocks until a value arrives. Errors only when every sender is
-        /// gone and the channel is drained.
+        /// gone and the channel is drained. When receivers are cloned, one
+        /// waiter holds the inner lock while blocking; the others queue on
+        /// the lock and take subsequent messages — every message goes to
+        /// exactly one receiver.
         pub fn recv(&self) -> Result<T, RecvError> {
-            self.0.recv()
+            self.0.lock().expect("receiver lock").recv()
         }
 
         /// Non-blocking receive.
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
-            self.0.try_recv()
+            self.0.lock().expect("receiver lock").try_recv()
         }
+    }
+
+    fn wrap<T>(rx: mpsc::Receiver<T>) -> Receiver<T> {
+        Receiver(Arc::new(Mutex::new(rx)))
     }
 
     /// Creates a channel with unlimited buffering.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         let (tx, rx) = mpsc::channel();
-        (Sender(SenderInner::Unbounded(tx)), Receiver(rx))
+        (Sender(SenderInner::Unbounded(tx)), wrap(rx))
     }
 
     /// Creates a channel holding at most `cap` in-flight values; `send`
     /// blocks while full (`cap == 0` is a rendezvous channel).
     pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
         let (tx, rx) = mpsc::sync_channel(cap);
-        (Sender(SenderInner::Bounded(tx)), Receiver(rx))
+        (Sender(SenderInner::Bounded(tx)), wrap(rx))
     }
 }
 
@@ -157,5 +174,41 @@ mod tests {
             assert_eq!(worker.join().expect("worker"), 6);
         })
         .expect("scope");
+    }
+
+    #[test]
+    fn cloned_receivers_share_a_work_queue() {
+        // MPMC semantics: every message is consumed exactly once across
+        // all receiver clones (the native pipeline's worker pool).
+        let (tx, rx) = unbounded::<u32>();
+        for i in 0..100u32 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let totals = super::scope(|s| {
+            let handles: Vec<_> = (0..3)
+                .map(|_| {
+                    let rx = rx.clone();
+                    s.spawn(move |_| {
+                        let mut sum = 0u32;
+                        let mut count = 0u32;
+                        while let Ok(x) = rx.recv() {
+                            sum += x;
+                            count += 1;
+                        }
+                        (sum, count)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker"))
+                .collect::<Vec<_>>()
+        })
+        .expect("scope");
+        let sum: u32 = totals.iter().map(|&(s, _)| s).sum();
+        let count: u32 = totals.iter().map(|&(_, c)| c).sum();
+        assert_eq!(sum, (0..100).sum::<u32>(), "messages lost or duplicated");
+        assert_eq!(count, 100);
     }
 }
