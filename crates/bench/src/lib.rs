@@ -14,6 +14,7 @@
 //! | `fig14`  | Fig. 14 — throughput vs n × batch size |
 //! | `fig15`  | Fig. 15 — pipeline timelines / bubble reduction |
 //! | `serve_sweep` | online serving: arrival rate × admission policy → SLO metrics |
+//! | `serve_scale` | multi-replica serving: replicas × rate × dispatch policy → SLO metrics (`BENCH_serve_scale.json`) |
 //! | `native_throughput` | native path tokens/sec: batched expert GEMMs vs the per-token fallback (`BENCH_native.json`) |
 //!
 //! Run e.g. `cargo run --release -p klotski-bench --bin fig10`.

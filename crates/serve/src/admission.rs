@@ -80,43 +80,6 @@ impl AdmissionPolicy {
         }
     }
 
-    /// Whether a group may be cut *now*, given `queued` requests of which
-    /// the oldest has waited `oldest_wait`, and whether the stream has
-    /// ended (`eos`).
-    pub(crate) fn ready(
-        &self,
-        queued: usize,
-        oldest_wait: SimDuration,
-        eos: bool,
-        batch_size: u32,
-    ) -> bool {
-        if queued == 0 {
-            return false;
-        }
-        if eos {
-            return true;
-        }
-        match *self {
-            AdmissionPolicy::FixedN { n } => queued >= (n * batch_size) as usize,
-            AdmissionPolicy::Deadline { n, deadline } => {
-                queued >= (n * batch_size) as usize || oldest_wait >= deadline
-            }
-            AdmissionPolicy::CostAware { .. } => true,
-        }
-    }
-
-    /// The next wait (relative to now) after which the policy will become
-    /// ready without further arrivals, if any. Only the deadline policy has
-    /// such a timer.
-    pub(crate) fn timer(&self, queued: usize, oldest_wait: SimDuration) -> Option<SimDuration> {
-        match *self {
-            AdmissionPolicy::Deadline { deadline, .. } if queued > 0 => {
-                Some(deadline.saturating_sub(oldest_wait))
-            }
-            _ => None,
-        }
-    }
-
     /// How many requests to drain for the group being cut, and why.
     ///
     /// Groups are always a whole number of `batch_size` batches, except
@@ -255,10 +218,6 @@ mod tests {
     #[test]
     fn fixed_n_waits_for_full_groups() {
         let p = AdmissionPolicy::FixedN { n: 3 };
-        assert!(!p.ready(11, SimDuration::from_secs(100), false, 4));
-        assert!(p.ready(12, SimDuration::ZERO, false, 4));
-        // End of stream flushes whatever is left.
-        assert!(p.ready(1, SimDuration::ZERO, true, 4));
         let (count, trig) = p.take(14, SimDuration::ZERO, false, 4, NO_EST);
         assert_eq!((count, trig), (12, GroupTrigger::Full));
         let (count, trig) = p.take(6, SimDuration::ZERO, true, 4, NO_EST);
@@ -273,27 +232,11 @@ mod tests {
             n: 4,
             deadline: SimDuration::from_secs(2),
         };
-        assert!(!p.ready(3, SimDuration::from_millis(1999), false, 4));
-        assert!(p.ready(3, SimDuration::from_secs(2), false, 4));
-        assert_eq!(
-            p.timer(3, SimDuration::from_millis(1500)),
-            Some(SimDuration::from_millis(500))
-        );
         let (count, trig) = p.take(6, SimDuration::from_secs(2), false, 4, NO_EST);
         assert_eq!((count, trig), (4, GroupTrigger::DeadlineExpired));
         // A ragged sub-batch group when fewer than one batch is queued.
         let (count, trig) = p.take(3, SimDuration::from_secs(2), false, 4, NO_EST);
         assert_eq!((count, trig), (3, GroupTrigger::DeadlineExpired));
-    }
-
-    #[test]
-    fn cost_aware_is_work_conserving() {
-        let p = AdmissionPolicy::CostAware {
-            max_n: 8,
-            slo_e2e: SimDuration::from_secs(60),
-        };
-        assert!(p.ready(1, SimDuration::ZERO, false, 4));
-        assert!(!p.ready(0, SimDuration::ZERO, false, 4));
     }
 
     #[test]

@@ -6,10 +6,12 @@
 //! [`ServeReport`](crate::server::ServeReport) into the numbers serving
 //! papers quote: TTFT / TPOT / end-to-end at p50/p95/p99, goodput (tokens
 //! per second from requests that met the SLO), and sustained throughput.
+//! Multi-replica reports summarize identically (the outcomes are merged),
+//! and [`summarize_replica`] breaks the same numbers out per replica.
 
 use klotski_sim::time::SimDuration;
 
-use crate::server::ServeReport;
+use crate::server::{RequestOutcome, ServeReport};
 
 /// A per-request service-level objective.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -91,7 +93,28 @@ pub struct SloSummary {
 
 /// Summarizes a serving run against `slo`.
 pub fn summarize(report: &ServeReport, slo: &SloSpec) -> SloSummary {
-    let completed: Vec<_> = report.outcomes.iter().filter(|o| !o.failed).collect();
+    summarize_outcomes(&report.outcomes.iter().collect::<Vec<_>>(), report, slo)
+}
+
+/// Summarizes only the requests served by `replica`, against `slo`.
+///
+/// Throughput and goodput keep the whole run's makespan as denominator,
+/// so per-replica rates sum to the merged report's rates.
+pub fn summarize_replica(report: &ServeReport, slo: &SloSpec, replica: u32) -> SloSummary {
+    let mine: Vec<&RequestOutcome> = report
+        .outcomes
+        .iter()
+        .filter(|o| o.replica == replica)
+        .collect();
+    summarize_outcomes(&mine, report, slo)
+}
+
+fn summarize_outcomes(
+    outcomes: &[&RequestOutcome],
+    report: &ServeReport,
+    slo: &SloSpec,
+) -> SloSummary {
+    let completed: Vec<_> = outcomes.iter().filter(|o| !o.failed).collect();
     let ttfts: Vec<SimDuration> = completed.iter().map(|o| o.ttft()).collect();
     let tpots: Vec<SimDuration> = completed.iter().map(|o| o.tpot()).collect();
     let e2es: Vec<SimDuration> = completed.iter().map(|o| o.e2e()).collect();
@@ -116,15 +139,22 @@ pub fn summarize(report: &ServeReport, slo: &SloSpec) -> SloSummary {
             / completed.len() as u64
     };
 
+    let completed_tokens: u64 = completed.iter().map(|o| o.gen_len as u64).sum();
+    let throughput_tps = if report.makespan.is_zero() {
+        0.0
+    } else {
+        completed_tokens as f64 / report.makespan.as_secs_f64()
+    };
+
     SloSummary {
-        requests: report.outcomes.len(),
+        requests: outcomes.len(),
         slo_met: good.len(),
         ttft: Percentiles::of(&ttfts),
         tpot: Percentiles::of(&tpots),
         e2e: Percentiles::of(&e2es),
         mean_queue_delay,
         goodput_tps,
-        throughput_tps: report.throughput_tps(),
+        throughput_tps,
     }
 }
 
@@ -165,6 +195,7 @@ mod tests {
             prompt_len: 64,
             gen_len: gen,
             group: 0,
+            replica: 0,
             failed,
         }
     }
@@ -180,6 +211,7 @@ mod tests {
             engine: "Stub".into(),
             outcomes,
             groups: Vec::new(),
+            replicas: Vec::new(),
             makespan,
         }
     }
@@ -231,5 +263,28 @@ mod tests {
         let r = report(vec![outcome(0, 100, 2, false), outcome(1, 300, 2, false)]);
         let s = summarize(&r, &SloSpec::relaxed());
         assert_eq!(s.mean_queue_delay, ms(200));
+    }
+
+    #[test]
+    fn replica_summaries_partition_the_merged_report() {
+        let mut outcomes: Vec<RequestOutcome> =
+            (0..10).map(|i| outcome(i, i * 30, 4, false)).collect();
+        for o in outcomes.iter_mut() {
+            o.replica = (o.id % 2) as u32;
+        }
+        let r = report(outcomes);
+        let slo = SloSpec::relaxed();
+        let total = summarize(&r, &slo);
+        let r0 = summarize_replica(&r, &slo, 0);
+        let r1 = summarize_replica(&r, &slo, 1);
+        assert_eq!(r0.requests + r1.requests, total.requests);
+        assert_eq!(r0.slo_met + r1.slo_met, total.slo_met);
+        // Same makespan denominator, so rates compose additively.
+        assert!((r0.throughput_tps + r1.throughput_tps - total.throughput_tps).abs() < 1e-9);
+        assert!((r0.goodput_tps + r1.goodput_tps - total.goodput_tps).abs() < 1e-9);
+        // A replica that served nothing reports an empty summary.
+        let empty = summarize_replica(&r, &slo, 7);
+        assert_eq!(empty.requests, 0);
+        assert_eq!(empty.throughput_tps, 0.0);
     }
 }

@@ -1,8 +1,18 @@
 //! The serving loop: requests in, batch groups through an engine, timed
 //! outcomes out.
 //!
-//! A single engine instance processes groups sequentially over simulated
-//! time. While a group runs, new requests queue; when the engine frees, the
+//! The loop is built from replica-local state: a [`Replica`] owns one
+//! engine's admission queue and clock, forms batch groups with the
+//! [`AdmissionPolicy`], and runs them over simulated time. The shared
+//! [`drive`] event loop interleaves request arrivals with group
+//! formations in global time order, routing each arrival to a replica
+//! through a pluggable router. The single-engine [`serve`] entry point is
+//! one replica behind a trivial router; the multi-replica
+//! [`dispatcher`](crate::dispatcher) shards the same stream over `R`
+//! replicas — both paths execute the identical per-replica code, so their
+//! results are directly comparable.
+//!
+//! While a group runs, new requests queue; when the engine frees, the
 //! admission policy decides when to cut the next group and how large. Each
 //! group becomes one [`Workload`] (padded to its longest prompt/output) and
 //! one [`Scenario`], so Klotski and every baseline engine can serve the
@@ -10,12 +20,14 @@
 //!
 //! Per-request timings carry the queueing delay the offline harness never
 //! sees: `TTFT = wait + group prefill`, and a request's last token lands at
-//! its own `gen_len` (shorter requests in a padded group finish earlier).
+//! its own `gen_len` (shorter requests in a padded group finish earlier,
+//! while the pace-setting requests finish exactly when the engine frees).
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
 use klotski_core::scenario::{Engine, EngineError, Scenario};
+use klotski_model::cost::CostModel;
 use klotski_model::hardware::HardwareSpec;
 use klotski_model::spec::ModelSpec;
 use klotski_model::workload::Workload;
@@ -76,6 +88,8 @@ pub struct RequestOutcome {
     pub gen_len: u32,
     /// Index of the group that served this request.
     pub group: u32,
+    /// Replica that served this request (0 for single-engine [`serve`]).
+    pub replica: u32,
     /// Whether the group aborted (OOM); timings are then meaningless and
     /// the request counts as an SLO violation.
     pub failed: bool,
@@ -109,8 +123,10 @@ impl RequestOutcome {
 /// One dispatched batch group.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GroupRecord {
-    /// Group index, in dispatch order.
+    /// Group index, in dispatch order across all replicas.
     pub index: u32,
+    /// Replica that ran the group (0 for single-engine [`serve`]).
+    pub replica: u32,
     /// Dispatch (= formation) time.
     pub dispatched: SimTime,
     /// The padded workload handed to the engine.
@@ -127,6 +143,23 @@ pub struct GroupRecord {
     pub oom: bool,
 }
 
+/// How one replica spent a serving run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReplicaUtilization {
+    /// Replica id (always 0 for single-engine [`serve`]).
+    pub replica: u32,
+    /// Groups this replica dispatched.
+    pub groups: u32,
+    /// Requests this replica served (failed ones included).
+    pub requests: u32,
+    /// Engine-busy time: the sum of this replica's group service times.
+    pub busy: SimDuration,
+    /// Generated tokens of this replica's completed (non-OOM) requests.
+    pub tokens: u64,
+    /// `busy` over the run's makespan (0 when the makespan is zero).
+    pub utilization: f64,
+}
+
 /// Everything one serving run produced.
 #[derive(Debug, Clone)]
 pub struct ServeReport {
@@ -134,8 +167,11 @@ pub struct ServeReport {
     pub engine: String,
     /// Per-request outcomes, in request-id order.
     pub outcomes: Vec<RequestOutcome>,
-    /// Per-group records, in dispatch order.
+    /// Per-group records, in dispatch order (interleaved across replicas).
     pub groups: Vec<GroupRecord>,
+    /// Per-replica utilization, in replica-id order (one entry for
+    /// single-engine [`serve`]).
+    pub replicas: Vec<ReplicaUtilization>,
     /// First arrival → last completed token.
     pub makespan: SimDuration,
 }
@@ -176,8 +212,45 @@ pub fn serve(
     traffic: &Traffic,
     cfg: &ServeConfig,
 ) -> Result<ServeReport, EngineError> {
+    drive(engine, spec, hw, traffic, cfg, 1, &mut |_, _, _| 0)
+}
+
+/// Everything [`Replica::run_group`] needs beyond replica-local state.
+pub(crate) struct EngineCtx<'a> {
+    engine: &'a dyn Engine,
+    spec: &'a ModelSpec,
+    hw: &'a HardwareSpec,
+    cost: CostModel,
+    cfg: &'a ServeConfig,
+}
+
+/// A completed request, reported back so closed-loop clients can react.
+struct Completion {
+    finished: SimTime,
+    failed: bool,
+}
+
+/// The shared serving event loop behind [`serve`] and the dispatcher.
+///
+/// Interleaves arrivals and group formations in global simulated-time
+/// order. Every arrival is routed through `route`, which sees the
+/// replicas' queues and clocks exactly as of the arrival instant (groups
+/// that would form earlier have already run). Arrivals at the same instant
+/// as a formation are ingested first, so a request arriving exactly when
+/// the engine frees still joins that group — the same ingest-then-cut
+/// order the single-engine loop has always had.
+pub(crate) fn drive(
+    engine: &dyn Engine,
+    spec: &ModelSpec,
+    hw: &HardwareSpec,
+    traffic: &Traffic,
+    cfg: &ServeConfig,
+    n_replicas: u32,
+    route: &mut dyn FnMut(&Request, &[Replica], &CostModel) -> usize,
+) -> Result<ServeReport, EngineError> {
     assert!(cfg.batch_size > 0, "batch_size must be positive");
     assert!(cfg.policy.max_batches() > 0, "group size must be positive");
+    assert!(n_replicas > 0, "need at least one replica");
     if let Traffic::Closed {
         clients, cfg: tc, ..
     } = traffic
@@ -188,65 +261,57 @@ pub fn serve(
         );
     }
 
-    let mut loop_state = Loop::new(traffic, cfg);
+    let mut source = ArrivalSource::new(traffic);
+    let mut replicas: Vec<Replica> = (0..n_replicas)
+        .map(|id| Replica::new(id, cfg.seed))
+        .collect();
+    let ctx = EngineCtx {
+        engine,
+        spec,
+        hw,
+        cost: CostModel::new(spec.clone(), hw.clone()),
+        cfg,
+    };
     let mut outcomes: Vec<RequestOutcome> = Vec::new();
     let mut groups: Vec<GroupRecord> = Vec::new();
-    let mut t_free = SimTime::ZERO;
-    let cost = klotski_model::cost::CostModel::new(spec.clone(), hw.clone());
+    // The instant end-of-stream became knowable: a flush can be cut no
+    // earlier than the last arrival that proved the queue complete.
+    let mut last_arrival = SimTime::ZERO;
 
-    while let Some(dispatch) = loop_state.next_group(t_free, &cost) {
-        let (t_form, batch, trigger) = dispatch;
-        let wl = group_workload(&batch, cfg.batch_size);
-        let seed = cfg.seed.wrapping_add(3 * groups.len() as u64);
-        let scenario = Scenario::generate(spec.clone(), hw.clone(), wl, seed);
-        let report = engine.run(&scenario)?;
-        let oom = !report.succeeded();
-
-        let (service, prefill) = if oom {
-            (SimDuration::ZERO, SimDuration::ZERO)
-        } else {
-            (report.total_time, report.prefill_time)
+    loop {
+        let next_arrival = source.peek();
+        // "End of stream" means no *known* future arrival; a closed-loop
+        // completion may still push more, exactly as in the single-engine
+        // loop, where flushes between think-time gaps are intended.
+        let eos = next_arrival.is_none();
+        let next_form = replicas
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.next_form_time(cfg, eos, last_arrival).map(|t| (t, i)))
+            .min();
+        let form_first = match (next_arrival, next_form) {
+            (None, None) => break,
+            (Some(at), Some((tf, _))) => tf < at,
+            (Some(_), None) => false,
+            (None, Some(_)) => true,
         };
-        let first_token = t_form + prefill;
-        let group_end = t_form + service;
-        // Decode pace of the padded group; each request stops at its own
-        // gen_len.
-        let padded_gen = wl.gen_len;
-        let tpot = if padded_gen > 1 {
-            service.saturating_sub(prefill) / (padded_gen - 1) as u64
+        if form_first {
+            let (t_form, i) = next_form.expect("formation event");
+            let done = replicas[i].run_group(t_form, eos, &ctx, &mut outcomes, &mut groups)?;
+            for c in &done {
+                source.on_complete(c.finished, c.failed);
+            }
         } else {
-            SimDuration::ZERO
-        };
-        for r in &batch {
-            let finished = if oom {
-                t_form
-            } else {
-                first_token + tpot * (r.gen_len.saturating_sub(1)) as u64
-            };
-            outcomes.push(RequestOutcome {
-                id: r.id,
-                arrival: r.arrival,
-                dispatched: t_form,
-                first_token,
-                finished,
-                prompt_len: r.prompt_len,
-                gen_len: r.gen_len,
-                group: groups.len() as u32,
-                failed: oom,
-            });
-            loop_state.on_complete(finished, oom);
+            let r = source.pop();
+            last_arrival = last_arrival.max(r.arrival);
+            let idx = route(&r, &replicas, &ctx.cost);
+            assert!(
+                idx < replicas.len(),
+                "router picked replica {idx} of {}",
+                replicas.len()
+            );
+            replicas[idx].enqueue(r);
         }
-        groups.push(GroupRecord {
-            index: groups.len() as u32,
-            dispatched: t_form,
-            workload: wl,
-            n_requests: batch.len() as u32,
-            trigger,
-            service_time: service,
-            prefill_time: prefill,
-            oom,
-        });
-        t_free = group_end;
     }
 
     outcomes.sort_by_key(|o| o.id);
@@ -261,16 +326,280 @@ pub fn serve(
         .max()
         .unwrap_or(SimTime::ZERO)
         .saturating_since(first_arrival);
+    let replicas = replicas.iter().map(|r| r.stats(makespan)).collect();
     Ok(ServeReport {
         engine: engine.name(),
         outcomes,
         groups,
+        replicas,
         makespan,
     })
 }
 
+/// One engine replica's serving state: its admission queue, its clock, and
+/// its running utilization totals. Shared verbatim between the
+/// single-engine loop and the multi-replica dispatcher.
+pub(crate) struct Replica {
+    id: u32,
+    /// Per-replica scenario-seed base (replica 0 preserves the
+    /// single-engine seed stream exactly).
+    seed: u64,
+    queue: VecDeque<Request>,
+    t_free: SimTime,
+    queued_tokens: u64,
+    /// Tokens of the group currently on the engine (count toward the
+    /// backlog until `t_free`, prorated by remaining service time).
+    inflight_tokens: u64,
+    /// Service time of the group currently on the engine.
+    inflight_service: SimDuration,
+    local_groups: u64,
+    busy: SimDuration,
+    served: u32,
+    tokens: u64,
+}
+
+impl Replica {
+    fn new(id: u32, seed: u64) -> Self {
+        let salt = u64::from(id).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        Replica {
+            id,
+            seed: seed.wrapping_add(salt),
+            queue: VecDeque::new(),
+            t_free: SimTime::ZERO,
+            queued_tokens: 0,
+            inflight_tokens: 0,
+            inflight_service: SimDuration::ZERO,
+            local_groups: 0,
+            busy: SimDuration::ZERO,
+            served: 0,
+            tokens: 0,
+        }
+    }
+
+    /// When this replica's engine frees (or freed).
+    pub(crate) fn t_free(&self) -> SimTime {
+        self.t_free
+    }
+
+    /// Requests waiting in the admission queue.
+    pub(crate) fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Tokens (prompt + requested output) in the system as of `at`: the
+    /// admission queue plus the *unserved remainder* of the group still on
+    /// the engine — the join-shortest-queue dispatch metric. Counting
+    /// in-flight work keeps a busy engine with a freshly drained queue
+    /// from dogpiling; prorating it by remaining service time keeps a
+    /// nearly finished group from repelling work it no longer represents.
+    pub(crate) fn backlog_tokens(&self, at: SimTime) -> u64 {
+        let inflight = if self.t_free > at && !self.inflight_service.is_zero() {
+            let remaining = self.t_free.saturating_since(at).as_nanos() as u128;
+            let service = self.inflight_service.as_nanos() as u128;
+            (self.inflight_tokens as u128 * remaining.min(service) / service) as u64
+        } else {
+            0
+        };
+        self.queued_tokens + inflight
+    }
+
+    /// Padded shape (max prompt, max gen) of the current queue; `(1, 1)`
+    /// when empty.
+    pub(crate) fn queue_shape(&self) -> (u32, u32) {
+        self.queue
+            .iter()
+            .fold((1, 1), |(p, g), r| (p.max(r.prompt_len), g.max(r.gen_len)))
+    }
+
+    fn enqueue(&mut self, r: Request) {
+        self.queued_tokens += u64::from(r.prompt_len) + u64::from(r.gen_len);
+        self.queue.push_back(r);
+    }
+
+    /// The earliest instant at which this replica would cut a group, given
+    /// the requests routed to it so far — `None` while the policy is
+    /// waiting on arrivals that have not happened yet. An end-of-stream
+    /// flush is never backdated before `last_arrival`, the instant the
+    /// stream was known to be drained.
+    fn next_form_time(
+        &self,
+        cfg: &ServeConfig,
+        eos: bool,
+        last_arrival: SimTime,
+    ) -> Option<SimTime> {
+        let front = self.queue.front()?;
+        let bs = cfg.batch_size as usize;
+        // The instant the queue first held `n` full batches (the requests
+        // only leave at formation, so it is the n·bs-th arrival).
+        let full_at = |n: u32| self.queue.get(n as usize * bs - 1).map(|r| r.arrival);
+        let ready_at = if eos {
+            Some(front.arrival.max(last_arrival))
+        } else {
+            match cfg.policy {
+                AdmissionPolicy::FixedN { n } => full_at(n),
+                AdmissionPolicy::Deadline { n, deadline } => {
+                    let by_deadline = front.arrival + deadline;
+                    Some(full_at(n).map_or(by_deadline, |t| t.min(by_deadline)))
+                }
+                AdmissionPolicy::CostAware { .. } => Some(front.arrival),
+            }
+        };
+        ready_at.map(|t| t.max(self.t_free))
+    }
+
+    /// Cuts a group at `t_form`, runs it through the engine, and records
+    /// outcomes; returns the completions so closed-loop clients can issue
+    /// their next requests.
+    fn run_group(
+        &mut self,
+        t_form: SimTime,
+        eos: bool,
+        ctx: &EngineCtx<'_>,
+        outcomes: &mut Vec<RequestOutcome>,
+        groups: &mut Vec<GroupRecord>,
+    ) -> Result<Vec<Completion>, EngineError> {
+        let cfg = ctx.cfg;
+        let front = self.queue.front().expect("formation needs a queue");
+        let wait = t_form.saturating_since(front.arrival);
+        // Padded shape of the group actually being cut: only the front of
+        // the queue (up to the policy's cap) is dispatchable, so requests
+        // beyond it must not inflate the estimate.
+        let horizon = (cfg.policy.max_batches() as usize) * cfg.batch_size as usize;
+        let (prompt, gen) = self
+            .queue
+            .iter()
+            .take(horizon)
+            .fold((1, 1), |(p, g), r| (p.max(r.prompt_len), g.max(r.gen_len)));
+        let estimate = |n: u32| estimate_group_service(&ctx.cost, cfg.batch_size, n, prompt, gen);
+        let (count, trigger) =
+            cfg.policy
+                .take(self.queue.len(), wait, eos, cfg.batch_size, &estimate);
+        // A ragged drain beyond one batch cannot be represented by the
+        // padded workload shape; defer the tail to a trailing partial
+        // group instead of silently dropping it from the engine's work.
+        let count = clamp_drain(count, cfg.batch_size as usize);
+        let batch: Vec<Request> = self.queue.drain(..count).collect();
+        let batch_tokens: u64 = batch
+            .iter()
+            .map(|r| u64::from(r.prompt_len) + u64::from(r.gen_len))
+            .sum();
+        self.queued_tokens -= batch_tokens;
+        self.inflight_tokens = batch_tokens;
+        let wl = group_workload(&batch, cfg.batch_size);
+        let seed = self.seed.wrapping_add(3 * self.local_groups);
+        let scenario = Scenario::generate(ctx.spec.clone(), ctx.hw.clone(), wl, seed);
+        let report = ctx.engine.run(&scenario)?;
+        let oom = !report.succeeded();
+
+        let (service, prefill) = if oom {
+            (SimDuration::ZERO, SimDuration::ZERO)
+        } else {
+            (report.total_time, report.prefill_time)
+        };
+        let first_token = t_form + prefill;
+        let group_end = t_form + service;
+        // Decode pace of the padded group; each request stops at its own
+        // gen_len. Integer division truncates, so pace-setting requests
+        // (gen_len == padded) are pinned to the exact engine-free instant
+        // rather than drifting early by the accumulated remainder.
+        let padded_gen = wl.gen_len;
+        let tpot = if padded_gen > 1 {
+            service.saturating_sub(prefill) / (padded_gen - 1) as u64
+        } else {
+            SimDuration::ZERO
+        };
+        let mut done = Vec::with_capacity(batch.len());
+        let mut latest = SimTime::ZERO;
+        for r in &batch {
+            let finished = if oom {
+                t_form
+            } else if r.gen_len == padded_gen {
+                group_end
+            } else {
+                first_token + tpot * (r.gen_len.saturating_sub(1)) as u64
+            };
+            latest = latest.max(finished);
+            outcomes.push(RequestOutcome {
+                id: r.id,
+                arrival: r.arrival,
+                dispatched: t_form,
+                first_token,
+                finished,
+                prompt_len: r.prompt_len,
+                gen_len: r.gen_len,
+                group: groups.len() as u32,
+                replica: self.id,
+                failed: oom,
+            });
+            done.push(Completion {
+                finished,
+                failed: oom,
+            });
+        }
+        assert!(
+            oom || latest == group_end,
+            "finish times must span the engine-busy horizon \
+             (max finished {latest} != group end {group_end})"
+        );
+        groups.push(GroupRecord {
+            index: groups.len() as u32,
+            replica: self.id,
+            dispatched: t_form,
+            workload: wl,
+            n_requests: batch.len() as u32,
+            trigger,
+            service_time: service,
+            prefill_time: prefill,
+            oom,
+        });
+        self.t_free = group_end;
+        self.inflight_service = service;
+        self.local_groups += 1;
+        self.busy += service;
+        self.served += batch.len() as u32;
+        if !oom {
+            self.tokens += batch.iter().map(|r| u64::from(r.gen_len)).sum::<u64>();
+        }
+        Ok(done)
+    }
+
+    fn stats(&self, makespan: SimDuration) -> ReplicaUtilization {
+        ReplicaUtilization {
+            replica: self.id,
+            groups: self.local_groups as u32,
+            requests: self.served,
+            busy: self.busy,
+            tokens: self.tokens,
+            utilization: if makespan.is_zero() {
+                0.0
+            } else {
+                self.busy.as_secs_f64() / makespan.as_secs_f64()
+            },
+        }
+    }
+}
+
+/// Clamps a requested drain to a shape [`group_workload`] represents
+/// exactly: sub-batch drains pass through (one ragged batch), anything
+/// larger rounds down to whole batches so the remainder stays queued for a
+/// trailing partial group instead of being silently dropped.
+pub(crate) fn clamp_drain(count: usize, batch_size: usize) -> usize {
+    if count <= batch_size {
+        count
+    } else {
+        count / batch_size * batch_size
+    }
+}
+
 /// Pads a drained batch into one engine workload: whole batches of
 /// `batch_size` when possible, otherwise a single ragged batch.
+///
+/// # Panics
+///
+/// Panics on a ragged multi-batch drain (`count > batch_size` and not a
+/// whole number of batches): the padded shape cannot represent it, and
+/// truncating `count / batch_size` would silently drop the remainder
+/// requests from the engine's work while still emitting outcomes for them.
 fn group_workload(batch: &[Request], batch_size: u32) -> Workload {
     let count = batch.len() as u32;
     let prompt = batch.iter().map(|r| r.prompt_len).max().expect("non-empty");
@@ -278,15 +607,19 @@ fn group_workload(batch: &[Request], batch_size: u32) -> Workload {
     if count < batch_size {
         Workload::new(count, 1, prompt, gen)
     } else {
-        debug_assert_eq!(count % batch_size, 0, "admission drains whole batches");
+        assert_eq!(
+            count % batch_size,
+            0,
+            "drains beyond one batch must be whole batches"
+        );
         Workload::new(batch_size, count / batch_size, prompt, gen)
     }
 }
 
-/// Queue + arrival bookkeeping shared by open- and closed-loop traffic.
-struct Loop<'a> {
-    cfg: &'a ServeConfig,
-    queue: VecDeque<Request>,
+/// The request stream feeding [`drive`]: pre-generated open-loop arrivals
+/// plus the closed-loop state that issues follow-up requests as
+/// completions happen.
+struct ArrivalSource {
     /// Future arrivals, earliest first.
     future: BinaryHeap<Reverse<(u64, u64, u32, u32)>>, // (nanos, id, prompt, gen)
     /// Closed-loop state: requests still to issue, lengths, think time.
@@ -301,8 +634,8 @@ struct ClosedState {
     next_id: u64,
 }
 
-impl<'a> Loop<'a> {
-    fn new(traffic: &Traffic, cfg: &'a ServeConfig) -> Self {
+impl ArrivalSource {
+    fn new(traffic: &Traffic) -> Self {
         let mut future = BinaryHeap::new();
         let mut closed = None;
         match traffic {
@@ -337,11 +670,25 @@ impl<'a> Loop<'a> {
                 });
             }
         }
-        Loop {
-            cfg,
-            queue: VecDeque::new(),
-            future,
-            closed,
+        ArrivalSource { future, closed }
+    }
+
+    /// The next arrival instant, if any request is already in flight.
+    fn peek(&self) -> Option<SimTime> {
+        self.future
+            .peek()
+            .map(|&Reverse((at, ..))| SimTime::from_nanos(at))
+    }
+
+    /// Pops the earliest pending arrival (ties broken by request id, the
+    /// same order the single-engine queue always ingested them).
+    fn pop(&mut self) -> Request {
+        let Reverse((at, id, prompt, gen)) = self.future.pop().expect("pop on an empty source");
+        Request {
+            id,
+            arrival: SimTime::from_nanos(at),
+            prompt_len: prompt,
+            gen_len: gen,
         }
     }
 
@@ -363,93 +710,6 @@ impl<'a> Loop<'a> {
             .push(Reverse((arrival.as_nanos(), state.next_id, prompt, gen)));
         state.next_id += 1;
     }
-
-    fn ingest_until(&mut self, now: SimTime) {
-        while let Some(&Reverse((at, id, prompt, gen))) = self.future.peek() {
-            if at > now.as_nanos() {
-                break;
-            }
-            self.future.pop();
-            self.queue.push_back(Request {
-                id,
-                arrival: SimTime::from_nanos(at),
-                prompt_len: prompt,
-                gen_len: gen,
-            });
-        }
-    }
-
-    fn oldest_wait(&self, now: SimTime) -> SimDuration {
-        self.queue
-            .front()
-            .map(|r| now.saturating_since(r.arrival))
-            .unwrap_or(SimDuration::ZERO)
-    }
-
-    /// Advances simulated time from `t_free` until the policy cuts a
-    /// group; returns `(formation time, drained requests, trigger)`, or
-    /// `None` when all traffic has been served.
-    fn next_group(
-        &mut self,
-        t_free: SimTime,
-        cost: &klotski_model::cost::CostModel,
-    ) -> Option<(SimTime, Vec<Request>, GroupTrigger)> {
-        let mut now = t_free;
-        loop {
-            self.ingest_until(now);
-            if self.queue.is_empty() {
-                // Idle: jump to the next arrival (or finish).
-                let &Reverse((at, ..)) = self.future.peek()?;
-                now = now.max(SimTime::from_nanos(at));
-                self.ingest_until(now);
-            }
-            let eos = self.future.is_empty();
-            let wait = self.oldest_wait(now);
-            if self
-                .cfg
-                .policy
-                .ready(self.queue.len(), wait, eos, self.cfg.batch_size)
-            {
-                // Padded shape of the group actually being cut: only the
-                // front of the queue (up to the policy's cap) is
-                // dispatchable, so requests beyond it must not inflate the
-                // estimate.
-                let horizon =
-                    (self.cfg.policy.max_batches() as usize) * self.cfg.batch_size as usize;
-                let front = self.queue.iter().take(horizon);
-                let (prompt, gen) =
-                    front.fold((1, 1), |(p, g), r| (p.max(r.prompt_len), g.max(r.gen_len)));
-                let estimate =
-                    |n: u32| estimate_group_service(cost, self.cfg.batch_size, n, prompt, gen);
-                let (count, trigger) = self.cfg.policy.take(
-                    self.queue.len(),
-                    wait,
-                    eos,
-                    self.cfg.batch_size,
-                    &estimate,
-                );
-                let batch: Vec<Request> = self.queue.drain(..count).collect();
-                return Some((now, batch, trigger));
-            }
-            // Not ready: wake at the policy timer or the next arrival,
-            // whichever comes first.
-            let timer = self
-                .cfg
-                .policy
-                .timer(self.queue.len(), wait)
-                .map(|d| now + d);
-            let arrival = self
-                .future
-                .peek()
-                .map(|&Reverse((at, ..))| SimTime::from_nanos(at));
-            now = match (timer, arrival) {
-                (Some(t), Some(a)) => t.min(a).max(now),
-                (Some(t), None) => t.max(now),
-                (None, Some(a)) => a.max(now),
-                (None, None) => unreachable!("eos with a non-empty queue is always ready"),
-            };
-        }
-    }
 }
 
 #[cfg(test)]
@@ -457,6 +717,7 @@ mod tests {
     use super::*;
     use crate::traffic::{generate, Arrivals, LengthDist};
     use klotski_core::report::InferenceReport;
+    use proptest::prelude::*;
 
     /// A stub engine with a fixed per-batch cost: service = base +
     /// per_batch × num_batches, prefill = base. Makes queueing arithmetic
@@ -527,6 +788,10 @@ mod tests {
         assert_eq!(ids, (0..37).collect::<Vec<_>>());
         let grouped: u32 = report.groups.iter().map(|g| g.n_requests).sum();
         assert_eq!(grouped, 37);
+        // One replica served everything.
+        assert_eq!(report.replicas.len(), 1);
+        assert_eq!(report.replicas[0].requests, 37);
+        assert!(report.outcomes.iter().all(|o| o.replica == 0));
     }
 
     #[test]
@@ -662,6 +927,130 @@ mod tests {
         assert_eq!(a.first_token, b.first_token);
     }
 
+    /// Regression (finish-time truncation drift): with a decode span not
+    /// divisible by `padded_gen − 1`, integer tpot used to strand the
+    /// pace-setting request's last token *before* the engine freed,
+    /// under-reporting the makespan and inflating throughput.
+    #[test]
+    fn pace_setting_requests_finish_exactly_when_the_engine_frees() {
+        // decode = service − prefill = 10 s + 7 ns over padded_gen − 1 = 3
+        // steps: truncates to 3_333_333_335 ns per step, 2 ns short over
+        // the full span.
+        struct RaggedStub;
+        impl Engine for RaggedStub {
+            fn name(&self) -> String {
+                "RaggedStub".into()
+            }
+            fn run(&self, sc: &Scenario) -> Result<InferenceReport, EngineError> {
+                let prefill = SimDuration::from_secs(1);
+                let total = prefill + SimDuration::from_nanos(10_000_000_007);
+                Ok(InferenceReport {
+                    engine: self.name(),
+                    model: sc.spec.name.clone(),
+                    total_time: total,
+                    prefill_time: prefill,
+                    decode_time: total - prefill,
+                    generated_tokens: sc.workload.total_generated(),
+                    gpu_busy: total,
+                    gpu_bubble: SimDuration::ZERO,
+                    peak_vram: 0,
+                    peak_dram: 0,
+                    oom: None,
+                    metrics: None,
+                })
+            }
+        }
+        let reqs = vec![
+            Request {
+                id: 0,
+                arrival: SimTime::ZERO,
+                prompt_len: 64,
+                gen_len: 4, // pace-setter: padded_gen
+            },
+            Request {
+                id: 1,
+                arrival: SimTime::ZERO,
+                prompt_len: 64,
+                gen_len: 2,
+            },
+        ];
+        let (spec, hw) = mixtral();
+        let report = serve(
+            &RaggedStub,
+            &spec,
+            &hw,
+            &Traffic::Open(reqs),
+            &ServeConfig {
+                batch_size: 2,
+                policy: AdmissionPolicy::CostAware {
+                    max_n: 4,
+                    slo_e2e: SimDuration::from_secs(3600),
+                },
+                seed: 1,
+            },
+        )
+        .expect("serve");
+        let g = &report.groups[0];
+        let group_end = g.dispatched + g.service_time;
+        // The longest request's last token lands exactly when the engine
+        // frees — no truncation drift.
+        assert_eq!(report.outcomes[0].finished, group_end);
+        // And the makespan covers the whole engine-busy horizon.
+        assert_eq!(
+            report.makespan,
+            group_end.saturating_since(SimTime::ZERO),
+            "makespan must not under-report the engine-busy horizon"
+        );
+        // Shorter requests still pace at truncated tpot, strictly earlier.
+        assert!(report.outcomes[1].finished < group_end);
+    }
+
+    /// Regression (ragged drain): a multi-batch drain that is not a whole
+    /// number of batches must be rejected loudly — in release builds the
+    /// old `debug_assert` let `count / batch_size` silently drop the
+    /// remainder requests from the workload shape.
+    #[test]
+    #[should_panic(expected = "whole batches")]
+    fn ragged_multi_batch_drain_is_rejected() {
+        let reqs: Vec<Request> = (0..7)
+            .map(|id| Request {
+                id,
+                arrival: SimTime::ZERO,
+                prompt_len: 16,
+                gen_len: 2,
+            })
+            .collect();
+        let _ = group_workload(&reqs, 4);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        /// Draining any backlog through `clamp_drain` covers every request
+        /// in finitely many valid groups — no silent truncation for any
+        /// (backlog, batch size) shape, including non-multiple drains.
+        #[test]
+        fn clamp_drain_covers_ragged_backlogs(backlog in 1usize..200, bs in 1usize..9) {
+            let mut remaining = backlog;
+            while remaining > 0 {
+                let take = clamp_drain(remaining, bs);
+                prop_assert!(take >= 1 && take <= remaining);
+                // Only a sub-batch backlog may drain ragged…
+                if take < bs {
+                    prop_assert_eq!(take, remaining, "ragged drains only at the tail");
+                } else {
+                    prop_assert_eq!(take % bs, 0, "larger drains are whole batches");
+                }
+                // …and every drained shape is representable: the padded
+                // workload holds exactly the drained requests.
+                let batch: Vec<Request> = (0..take as u64).map(|id| Request {
+                    id, arrival: SimTime::ZERO, prompt_len: 8, gen_len: 2,
+                }).collect();
+                prop_assert_eq!(group_workload(&batch, bs as u32).total_seqs(), take as u64);
+                remaining -= take;
+            }
+        }
+    }
+
     #[test]
     fn closed_loop_issues_exactly_num_requests() {
         let traffic = Traffic::Closed {
@@ -709,6 +1098,35 @@ mod tests {
         let b = serve_stub(&Traffic::Open(stream), &cfg);
         assert_eq!(a.outcomes, b.outcomes);
         assert_eq!(a.groups, b.groups);
+        assert_eq!(a.replicas, b.replicas);
+    }
+
+    #[test]
+    fn utilization_accounts_engine_busy_time() {
+        let stream = generate(
+            Arrivals::Poisson { rate: 4.0 },
+            &TrafficConfig::fixed(16, 64, 4, 5),
+        );
+        let report = serve_stub(
+            &Traffic::Open(stream),
+            &ServeConfig {
+                batch_size: 4,
+                policy: AdmissionPolicy::FixedN { n: 2 },
+                seed: 1,
+            },
+        );
+        let total_service: SimDuration = report.groups.iter().map(|g| g.service_time).sum();
+        assert_eq!(report.replicas[0].busy, total_service);
+        let expected = total_service.as_secs_f64() / report.makespan.as_secs_f64();
+        assert!((report.replicas[0].utilization - expected).abs() < 1e-12);
+        assert!(report.replicas[0].utilization <= 1.0 + 1e-12);
+        let tokens: u64 = report
+            .outcomes
+            .iter()
+            .filter(|o| !o.failed)
+            .map(|o| o.gen_len as u64)
+            .sum();
+        assert_eq!(report.replicas[0].tokens, tokens);
     }
 
     #[test]

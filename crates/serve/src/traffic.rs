@@ -36,6 +36,20 @@ pub enum LengthDist {
         /// Largest length.
         hi: u32,
     },
+    /// Mostly light with a heavy tail: with probability `heavy_pct`% the
+    /// length is exactly `heavy`, otherwise uniform over `[lo, hi]`. The
+    /// serving-paper shape where per-request cost variance makes blind
+    /// request-count balancing diverge from work balancing.
+    HeavyTail {
+        /// Smallest light length (≥ 1).
+        lo: u32,
+        /// Largest light length.
+        hi: u32,
+        /// The heavy length (typically ≫ `hi`).
+        heavy: u32,
+        /// Percentage of requests drawing the heavy length (0–100).
+        heavy_pct: u32,
+    },
 }
 
 impl LengthDist {
@@ -56,6 +70,21 @@ impl LengthDist {
                 assert!(lo > 0 && lo <= hi, "need 1 <= lo <= hi");
                 rng.gen_range(lo..=hi)
             }
+            LengthDist::HeavyTail {
+                lo,
+                hi,
+                heavy,
+                heavy_pct,
+            } => {
+                assert!(lo > 0 && lo <= hi, "need 1 <= lo <= hi");
+                assert!(heavy > 0, "lengths must be positive");
+                assert!(heavy_pct <= 100, "heavy_pct is a percentage");
+                if rng.gen_range(0..100u32) < heavy_pct {
+                    heavy
+                } else {
+                    rng.gen_range(lo..=hi)
+                }
+            }
         }
     }
 
@@ -64,6 +93,7 @@ impl LengthDist {
         match *self {
             LengthDist::Fixed(v) => v,
             LengthDist::Uniform { hi, .. } => hi,
+            LengthDist::HeavyTail { hi, heavy, .. } => hi.max(heavy),
         }
     }
 }
@@ -80,6 +110,16 @@ pub enum Arrivals {
     Paced {
         /// Arrival rate in requests per second (> 0).
         rate: f64,
+    },
+    /// Bursty: `burst` requests land at the same instant, bursts arriving
+    /// as a Poisson process at `rate / burst` so the long-run request rate
+    /// is still `rate`. The serving-paper regime where dispatch policy —
+    /// not average load — decides SLO attainment.
+    Bursty {
+        /// Mean arrival rate in requests per second (> 0).
+        rate: f64,
+        /// Requests per burst (> 0; `1` degenerates to Poisson).
+        burst: u32,
     },
 }
 
@@ -130,6 +170,17 @@ pub fn generate(arrivals: Arrivals, cfg: &TrafficConfig) -> Vec<Request> {
             Arrivals::Paced { rate } => {
                 assert!(rate > 0.0, "arrival rate must be positive");
                 SimDuration::from_secs_f64(1.0 / rate)
+            }
+            Arrivals::Bursty { rate, burst } => {
+                assert!(rate > 0.0, "arrival rate must be positive");
+                assert!(burst > 0, "burst size must be positive");
+                if id % burst as u64 == 0 {
+                    // Exponential gap between bursts (mean burst/rate).
+                    let u: f64 = rng.gen();
+                    SimDuration::from_secs_f64(-(1.0 - u).ln() * burst as f64 / rate)
+                } else {
+                    SimDuration::ZERO
+                }
             }
         };
         // The first request arrives at t = 0 so every run starts loaded.
@@ -209,6 +260,62 @@ mod tests {
         // Both endpoints are actually hit.
         assert!(reqs.iter().any(|r| r.prompt_len == 10));
         assert!(reqs.iter().any(|r| r.prompt_len == 20));
+    }
+
+    #[test]
+    fn heavy_tail_mixes_two_populations() {
+        let dist = LengthDist::HeavyTail {
+            lo: 16,
+            hi: 32,
+            heavy: 1024,
+            heavy_pct: 20,
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        let samples: Vec<u32> = (0..400).map(|_| dist.sample(&mut rng)).collect();
+        let heavies = samples.iter().filter(|&&v| v == 1024).count();
+        assert!(samples.iter().all(|&v| v == 1024 || (16..=32).contains(&v)));
+        // ~20% ± sampling noise.
+        assert!((40..=160).contains(&heavies), "heavies = {heavies}");
+        assert_eq!(dist.max(), 1024);
+    }
+
+    #[test]
+    fn bursty_arrivals_land_together() {
+        let cfg = TrafficConfig::fixed(40, 128, 8, 9);
+        let reqs = generate(
+            Arrivals::Bursty {
+                rate: 2.0,
+                burst: 8,
+            },
+            &cfg,
+        );
+        // Requests within one burst share an arrival instant…
+        for chunk in reqs.chunks(8) {
+            assert!(chunk.iter().all(|r| r.arrival == chunk[0].arrival));
+        }
+        // …and distinct bursts are separated (an exponential gap is
+        // almost surely nonzero).
+        let mut instants: Vec<_> = reqs.iter().map(|r| r.arrival).collect();
+        instants.dedup();
+        assert_eq!(instants.len(), 5, "five bursts of eight");
+        // Long-run rate matches the Poisson process of the same rate to
+        // within sampling noise: 40 requests at 2 req/s span ~20 s.
+        let span = reqs.last().unwrap().arrival.as_secs_f64();
+        assert!((5.0..80.0).contains(&span), "span = {span}");
+    }
+
+    #[test]
+    fn burst_of_one_is_poisson() {
+        let cfg = TrafficConfig::fixed(30, 128, 8, 4);
+        let a = generate(
+            Arrivals::Bursty {
+                rate: 3.0,
+                burst: 1,
+            },
+            &cfg,
+        );
+        let b = generate(Arrivals::Poisson { rate: 3.0 }, &cfg);
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Smoke tests for the `examples/` directory — every example must compile,
 //! the flagship `mixtral_3090` walkthrough must run to completion — plus
-//! the `serve_sweep` determinism contract.
+//! the `serve_sweep` and `serve_scale` determinism contracts.
 //!
 //! Both tests shell out to the same `cargo` that is running this test
 //! suite (`CARGO` env var), against this workspace. By the time integration
@@ -99,4 +99,48 @@ fn serve_sweep_is_byte_deterministic() {
         stdout.contains("cost-aware beats fixed-n goodput"),
         "missing cost-model comparison line:\n{stdout}"
     );
+}
+
+/// The multi-replica sweep must be byte-identical across two runs under
+/// the same seed — the dispatcher (replica event interleaving, routing,
+/// per-replica utilization) is deterministic end to end. Runs at cheap
+/// settings to stay fast.
+#[test]
+fn serve_scale_is_byte_deterministic() {
+    let run = || {
+        let out = cargo()
+            .args([
+                "run",
+                "-p",
+                "klotski-bench",
+                "--bin",
+                "serve_scale",
+                "--quiet",
+            ])
+            .env("KLOTSKI_CHEAP", "1")
+            .output()
+            .expect("spawning cargo");
+        assert!(
+            out.status.success(),
+            "serve_scale exited nonzero:\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        out.stdout
+    };
+    let first = run();
+    let second = run();
+    assert_eq!(first, second, "serve_scale output differs between runs");
+
+    let stdout = String::from_utf8_lossy(&first);
+    // Both experiments report their cells and both in-bin assertions
+    // passed (the bin exits nonzero otherwise).
+    for needle in [
+        "round_robin",
+        "jsq",
+        "cost_aware",
+        "throughput scales with replica count",
+        "goodput rr",
+    ] {
+        assert!(stdout.contains(needle), "missing {needle:?}:\n{stdout}");
+    }
 }

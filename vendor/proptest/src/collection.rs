@@ -46,12 +46,27 @@ pub struct VecStrategy<S> {
     size: SizeRange,
 }
 
-impl<S: Strategy> Strategy for VecStrategy<S> {
+impl<S: Strategy> Strategy for VecStrategy<S>
+where
+    S::Value: Clone,
+{
     type Value = Vec<S::Value>;
 
     fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
         let len = rng.usize_in(self.size.lo, self.size.hi);
         (0..len).map(|_| self.elem.generate(rng)).collect()
+    }
+
+    /// Shrinks by truncating toward the minimal length: straight to the
+    /// minimum, to half the excess, then by one element.
+    fn shrink(&self, v: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+        let (min, len) = (self.size.lo, v.len());
+        if len <= min {
+            return Vec::new();
+        }
+        let mut lens = vec![min, min + (len - min) / 2, len - 1];
+        lens.dedup();
+        lens.into_iter().map(|l| v[..l].to_vec()).collect()
     }
 }
 

@@ -17,10 +17,16 @@
 //! * **Deterministic cases.** Inputs derive from a hash of the test's module
 //!   path and name plus the case index — every run explores the same cases,
 //!   so a CI failure always reproduces locally.
-//! * **No shrinking.** A failing case panics with its case index; since
-//!   generation is deterministic, re-running reaches the identical inputs.
-//! * `prop_assert*` panics immediately (the real crate routes a rejection
-//!   back to the shrinker, which does not exist here).
+//! * **Minimal shrinking.** A failing case is re-run under
+//!   [`test_runner::minimize`]: integers step toward their range's lower
+//!   bound (bound, halfway, decrement), vec lengths truncate toward their
+//!   minimum, and tuples shrink one component at a time — then the test
+//!   panics with the minimized inputs. There is no value-tree machinery;
+//!   `prop_map`ped values do not shrink (the map cannot be inverted), and
+//!   intermediate panic messages from shrink attempts still reach captured
+//!   test output before the final report.
+//! * `prop_assert*` panics (a failure is caught by the minimizer's
+//!   `catch_unwind` rather than routed through a rejection channel).
 
 pub mod collection;
 pub mod strategy;
@@ -83,11 +89,32 @@ macro_rules! __proptest_impl {
             let __base = $crate::test_runner::case_seed(
                 concat!(module_path!(), "::", stringify!($name)),
             );
+            let __strat = ($(($strat),)+);
+            let mut __fails = $crate::test_runner::checker_for(&__strat, |__candidate| {
+                let ($($arg,)+) = ::std::clone::Clone::clone(__candidate);
+                ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(move || $body),
+                )
+                .is_err()
+            });
             for __case in 0..__cases {
                 let mut __rng = $crate::test_runner::TestRng::new(__base, __case);
-                $(let $arg =
-                    $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
-                $body
+                let __value =
+                    $crate::strategy::Strategy::generate(&__strat, &mut __rng);
+                if __fails(&__value) {
+                    let __minimized = $crate::test_runner::minimize(
+                        &__strat,
+                        __value,
+                        &mut __fails,
+                    );
+                    panic!(
+                        "proptest {} failed on case {}; minimized input {} = {:?}",
+                        stringify!($name),
+                        __case,
+                        stringify!(($($arg),+)),
+                        __minimized,
+                    );
+                }
             }
         }
         $crate::__proptest_impl! { ($cfg) $($rest)* }
@@ -152,6 +179,32 @@ mod tests {
         fn prop_map_transforms(len in crate::collection::vec(-1.0f64..1.0, 3)) {
             prop_assert_eq!(len.len(), 3);
         }
+    }
+
+    #[test]
+    fn minimize_halves_and_decrements_to_the_boundary() {
+        // Failure iff the first component ≥ 10: halving jumps close, the
+        // decrement step lands exactly on the boundary, and the passing
+        // second component shrinks all the way to its lower bound.
+        let strat = (0u32..100, 0u32..100);
+        let mut fails = |v: &(u32, u32)| v.0 >= 10;
+        let min = crate::test_runner::minimize(&strat, (57, 33), &mut fails);
+        assert_eq!(min, (10, 0));
+    }
+
+    #[test]
+    fn minimize_truncates_vec_lengths() {
+        let strat = crate::collection::vec(0u64..100, 1..30);
+        let mut fails = |v: &Vec<u64>| v.len() >= 4;
+        let min = crate::test_runner::minimize(&strat, (0..20).collect(), &mut fails);
+        assert_eq!(min, vec![0, 1, 2, 3], "minimal failing prefix");
+    }
+
+    #[test]
+    fn minimize_keeps_the_original_when_nothing_smaller_fails() {
+        let strat = 5u32..50;
+        let mut fails = |v: &u32| *v == 23;
+        assert_eq!(crate::test_runner::minimize(&strat, 23, &mut fails), 23);
     }
 
     #[test]

@@ -14,6 +14,16 @@ pub trait Strategy {
     /// Generates one value for the current test case.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
 
+    /// Candidate simplifications of `value`, most aggressive first: the
+    /// failure minimizer (see
+    /// [`minimize`](crate::test_runner::minimize)) walks these while the
+    /// failure still reproduces. An empty vector means the value is
+    /// already minimal or the strategy cannot shrink (the default —
+    /// e.g. [`Map`] cannot invert its function).
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+
     /// Maps generated values through `f` (e.g. raw `Vec<f32>` → `Matrix`).
     fn prop_map<O, F>(self, f: F) -> Map<Self, F>
     where
@@ -55,6 +65,30 @@ impl<T: Clone> Strategy for Just<T> {
     }
 }
 
+/// Integer shrink chain toward the range's lower bound: the bound itself
+/// (maximally aggressive), the halfway point, then plain decrement — the
+/// halving covers big jumps quickly, the decrement lets the minimizer land
+/// on the exact boundary a halving chain would step over.
+macro_rules! int_shrink_candidates {
+    ($t:ty, $wide:ty, $lo:expr, $v:expr) => {{
+        let (lo, v) = ($lo, $v);
+        if v <= lo {
+            Vec::new()
+        } else {
+            let mid = (lo as $wide + (v as $wide - lo as $wide) / 2) as $t;
+            let mut out = vec![lo];
+            if mid != lo {
+                out.push(mid);
+            }
+            let dec = v - 1;
+            if dec != mid && dec != lo {
+                out.push(dec);
+            }
+            out
+        }
+    }};
+}
+
 macro_rules! impl_uint_range_strategy {
     ($($t:ty),*) => {$(
         impl Strategy for core::ops::Range<$t> {
@@ -63,6 +97,9 @@ macro_rules! impl_uint_range_strategy {
                 assert!(self.start < self.end, "empty range strategy");
                 let span = (self.end as u128 - self.start as u128) as u64;
                 self.start + (rng.next_u64() % span) as $t
+            }
+            fn shrink(&self, v: &$t) -> Vec<$t> {
+                int_shrink_candidates!($t, u128, self.start, *v)
             }
         }
         impl Strategy for core::ops::RangeInclusive<$t> {
@@ -76,6 +113,9 @@ macro_rules! impl_uint_range_strategy {
                     return rng.next_u64() as $t;
                 }
                 lo + (rng.next_u64() % span as u64) as $t
+            }
+            fn shrink(&self, v: &$t) -> Vec<$t> {
+                int_shrink_candidates!($t, u128, *self.start(), *v)
             }
         }
     )*};
@@ -92,6 +132,9 @@ macro_rules! impl_sint_range_strategy {
                 let span = (self.end as i128 - self.start as i128) as u64;
                 (self.start as i128 + (rng.next_u64() % span) as i128) as $t
             }
+            fn shrink(&self, v: &$t) -> Vec<$t> {
+                int_shrink_candidates!($t, i128, self.start, *v)
+            }
         }
         impl Strategy for core::ops::RangeInclusive<$t> {
             type Value = $t;
@@ -105,11 +148,33 @@ macro_rules! impl_sint_range_strategy {
                 }
                 (lo as i128 + (rng.next_u64() % span as u64) as i128) as $t
             }
+            fn shrink(&self, v: &$t) -> Vec<$t> {
+                int_shrink_candidates!($t, i128, *self.start(), *v)
+            }
         }
     )*};
 }
 
 impl_sint_range_strategy!(i8, i16, i32, i64, isize);
+
+/// Float shrink chain: the lower bound, then halfway toward it (no
+/// decrement — there is no useful "one less" float).
+macro_rules! float_shrink_candidates {
+    ($lo:expr, $v:expr) => {{
+        let (lo, v) = ($lo, $v);
+        if v > lo {
+            let mid = lo + (v - lo) / 2.0;
+            let mut out = vec![lo];
+            if mid != lo && mid != v {
+                out.push(mid);
+            }
+            out
+        } else {
+            // At the bound already (or incomparable, e.g. NaN): minimal.
+            Vec::new()
+        }
+    }};
+}
 
 macro_rules! impl_float_range_strategy {
     ($($t:ty),*) => {$(
@@ -126,6 +191,9 @@ macro_rules! impl_float_range_strategy {
                     x
                 }
             }
+            fn shrink(&self, v: &$t) -> Vec<$t> {
+                float_shrink_candidates!(self.start, *v)
+            }
         }
         impl Strategy for core::ops::RangeInclusive<$t> {
             type Value = $t;
@@ -135,6 +203,9 @@ macro_rules! impl_float_range_strategy {
                 let u = rng.unit_f64() as $t;
                 lo + u * (hi - lo)
             }
+            fn shrink(&self, v: &$t) -> Vec<$t> {
+                float_shrink_candidates!(*self.start(), *v)
+            }
         }
     )*};
 }
@@ -143,10 +214,24 @@ impl_float_range_strategy!(f32, f64);
 
 macro_rules! impl_tuple_strategy {
     ($(($($s:ident . $idx:tt),+)),+ $(,)?) => {$(
-        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+)
+        where
+            $($s::Value: Clone),+
+        {
             type Value = ($($s::Value,)+);
             fn generate(&self, rng: &mut TestRng) -> Self::Value {
                 ($(self.$idx.generate(rng),)+)
+            }
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&value.$idx) {
+                        let mut next = value.clone();
+                        next.$idx = cand;
+                        out.push(next);
+                    }
+                )+
+                out
             }
         }
     )+};
@@ -159,4 +244,6 @@ impl_tuple_strategy!(
     (A.0, B.1, C.2, D.3),
     (A.0, B.1, C.2, D.3, E.4),
     (A.0, B.1, C.2, D.3, E.4, F.5),
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6),
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7),
 );

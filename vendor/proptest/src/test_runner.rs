@@ -1,7 +1,10 @@
-//! Case configuration and the deterministic per-case RNG.
+//! Case configuration, the deterministic per-case RNG, and the failure
+//! minimizer.
 
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
+
+use crate::strategy::Strategy;
 
 /// How many cases a [`crate::proptest!`] block runs.
 #[derive(Debug, Clone, Copy)]
@@ -42,6 +45,47 @@ pub fn case_seed(test_path: &str) -> u64 {
         h = h.wrapping_mul(0x0000_0100_0000_01b3);
     }
     h
+}
+
+/// Type-anchoring helper for the [`proptest!`](crate::proptest) macro:
+/// binds a case-checking closure to `strat`'s value type, so the closure
+/// body type-checks against concrete inputs instead of an inference
+/// variable.
+pub fn checker_for<S: Strategy, F>(_strat: &S, f: F) -> F
+where
+    F: FnMut(&S::Value) -> bool,
+{
+    f
+}
+
+/// Iteratively simplifies a failing input toward a minimal reproducer.
+///
+/// Walks the strategy's [`shrink`](Strategy::shrink) candidates; whenever
+/// one still reproduces the failure (`fails` returns `true`), it becomes
+/// the new value and the walk restarts from it. Stops when no candidate
+/// fails or the attempt budget runs out (so pathological shrink chains
+/// terminate), and returns the smallest failing value found — `value`
+/// itself if nothing simpler still fails.
+pub fn minimize<S: Strategy>(
+    strat: &S,
+    mut value: S::Value,
+    fails: &mut dyn FnMut(&S::Value) -> bool,
+) -> S::Value {
+    let mut attempts = 100usize;
+    'outer: loop {
+        for cand in strat.shrink(&value) {
+            if attempts == 0 {
+                break 'outer;
+            }
+            attempts -= 1;
+            if fails(&cand) {
+                value = cand;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    value
 }
 
 /// Deterministic generator for one test case.
