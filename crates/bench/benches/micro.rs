@@ -134,6 +134,94 @@ fn bench_native_kernels(c: &mut Criterion) {
     });
 }
 
+fn bench_attention_kernels(c: &mut Criterion) {
+    use klotski_tensor::matrix::{
+        matvec_strided_into, matvec_strided_naive, weighted_rows_into, weighted_rows_naive,
+        StridedRows,
+    };
+    // One attention head's slice of a 128-position KV slab (d_model 256,
+    // head_dim 32, head 3) — the scores and AV shapes of batched
+    // attention, blocked kernel vs naive reference.
+    let (d_model, head_dim, off, len) = (256usize, 32usize, 3 * 32usize, 128usize);
+    let slab = xavier_matrix(len, d_model, 11);
+    let q: Vec<f32> = (0..head_dim).map(|i| (i as f32 * 0.17).sin()).collect();
+    let idx: Vec<usize> = (0..len).collect();
+    let weights: Vec<f32> = (0..len).map(|i| 1.0 / (i + 1) as f32).collect();
+    let mut scores = vec![0.0f32; len];
+    let mut av = vec![0.0f32; head_dim];
+    c.bench_function("tensor/matvec_strided_128pos_blocked", |b| {
+        b.iter(|| {
+            let rows = StridedRows::new(slab.as_slice(), d_model, off, head_dim);
+            matvec_strided_into(&q, &rows, &idx, &mut scores);
+            black_box(scores[len - 1])
+        })
+    });
+    c.bench_function("tensor/matvec_strided_128pos_naive", |b| {
+        b.iter(|| {
+            let rows = StridedRows::new(slab.as_slice(), d_model, off, head_dim);
+            matvec_strided_naive(&q, &rows, &idx, &mut scores);
+            black_box(scores[len - 1])
+        })
+    });
+    c.bench_function("tensor/weighted_rows_128pos_blocked", |b| {
+        b.iter(|| {
+            let rows = StridedRows::new(slab.as_slice(), d_model, off, head_dim);
+            weighted_rows_into(&weights, &rows, &idx, &mut av);
+            black_box(av[head_dim - 1])
+        })
+    });
+    c.bench_function("tensor/weighted_rows_128pos_naive", |b| {
+        b.iter(|| {
+            let rows = StridedRows::new(slab.as_slice(), d_model, off, head_dim);
+            weighted_rows_naive(&weights, &rows, &idx, &mut av);
+            black_box(av[head_dim - 1])
+        })
+    });
+    // A whole-group attention step vs the per-token walk (8 sequences).
+    let cfg = MoeConfig::tiny(3);
+    let model = MoeModel::new(cfg);
+    let group: Vec<usize> = (0..8).collect();
+    let hs: Vec<Vec<f32>> = (0..8)
+        .map(|s| {
+            (0..cfg.d_model)
+                .map(|i| ((s * 7 + i) as f32 * 0.1).sin())
+                .collect()
+        })
+        .collect();
+    c.bench_function("moe/attn_block_batch_8seq", |b| {
+        let mut scratch = model.attn_scratch();
+        b.iter(|| {
+            let mut caches: Vec<_> = (0..8).map(|_| model.new_cache()).collect();
+            let mut h = hs.clone();
+            model.attn_block_batch(
+                0,
+                &mut h,
+                &group,
+                &mut caches,
+                klotski_moe::attention::AttnMask::Dense,
+                &mut scratch,
+            );
+            black_box(h[7][0])
+        })
+    });
+    c.bench_function("moe/attn_block_8seq_per_token", |b| {
+        b.iter(|| {
+            let mut caches: Vec<_> = (0..8).map(|_| model.new_cache()).collect();
+            let mut out = 0.0;
+            for s in 0..8 {
+                let h = model.attn_block(
+                    0,
+                    &hs[s],
+                    &mut caches[s],
+                    klotski_moe::attention::AttnMask::Dense,
+                );
+                out = h[0];
+            }
+            black_box(out)
+        })
+    });
+}
+
 fn bench_trace_generation(c: &mut Criterion) {
     let gating = GatingModel::new(&TraceConfig::for_model(&ModelSpec::mixtral_8x7b(), 1));
     c.bench_function("model/generate_trace_64seq_8steps", |b| {
@@ -179,6 +267,7 @@ criterion_group!(
     bench_prefetcher,
     bench_quantizer,
     bench_native_kernels,
+    bench_attention_kernels,
     bench_trace_generation,
     bench_engine_end_to_end,
     bench_native_pipeline,

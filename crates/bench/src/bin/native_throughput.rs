@@ -1,24 +1,39 @@
 //! Native-path throughput: tokens/sec of the really-executed pipeline,
-//! prefill and decode, across batch sizes — the first entry in the repo's
-//! perf trajectory (committed as `BENCH_native.json`).
+//! prefill and decode, across batch sizes — the repo's perf trajectory
+//! (committed as `BENCH_native.json`, extended per PR, never overwritten
+//! blindly).
 //!
-//! Every cell runs the same workload twice through [`run_pipeline`]:
+//! Two sweeps, two axes:
+//!
+//! **Expert-path sweep** (the PR 3 cells, same model and workloads so the
+//! trajectory stays comparable): every cell runs the same workload through
+//! [`run_pipeline`] in four modes —
 //!
 //! * **per-token** — `batch_experts: false`, the retained pre-batching
 //!   fallback that computes each routed token as its own matvec chain;
-//! * **batched** — expert-level batched GEMMs, serial (`1` worker) and
-//!   parallel (the default worker pool).
+//! * **batched serial / parallel** — expert-level batched GEMMs with 1
+//!   worker / the default worker pool, attention still per-token;
+//! * **attn-batched** — batched experts *plus* group-batched attention
+//!   (`batch_attention: true`): Q/K/V/O as per-group GEMMs and blocked
+//!   strided scores/AV kernels in reused scratch.
 //!
-//! The bin asserts the modes produce byte-identical tokens and final
-//! hidden states (the batching is numerics-neutral), and in full mode
-//! asserts the ≥2× decode speedup the batched path exists for. Output
-//! ends with one JSON line per cell; everything in it is deterministic
-//! except the wall-clock-derived `*_tps` / `speedup_*` fields, which are
-//! excluded from any determinism assertion.
+//! **Attention sweep** (`"model":"attn_heavy"` cells): decode-heavy cells
+//! on an attention-dominated shape (wide d_model, modest d_ff, longer
+//! contexts — the regime of real large models, where attention is a
+//! material share of step time), comparing per-token vs batched attention
+//! with the expert path fixed at its best. Full mode gates the ≥1.3×
+//! decode win at 32 sequences.
 //!
-//! `KLOTSKI_CHEAP=1` shrinks the model and sweep to CI-smoke scale (and
-//! only smoke-checks the speedup, since shared CI runners make tight
-//! ratio asserts flaky).
+//! The bin asserts all modes produce byte-identical tokens and final
+//! hidden states (both batching axes are numerics-neutral). Output ends
+//! with one JSON line per cell; everything in it is deterministic except
+//! the wall-clock-derived `*_tps` / `speedup_*` fields, which are excluded
+//! from any determinism assertion.
+//!
+//! `KLOTSKI_CHEAP=1` shrinks the model and sweeps to CI-smoke scale while
+//! still executing **both** attention modes with byte-identity asserted —
+//! the bit-exactness gate runs on every PR — and only smoke-checks the
+//! speedups (shared CI runners make tight ratio asserts flaky).
 
 use std::time::Duration;
 
@@ -27,8 +42,9 @@ use klotski_core::native::{run_pipeline, NativePipelineConfig, NativeRunResult};
 use klotski_moe::config::MoeConfig;
 use klotski_moe::model::MoeModel;
 
-/// The benchmark model. Bigger than the test presets on purpose: each
-/// expert is ~3 MB (full) / ~0.75 MB (cheap), so the per-token path
+/// The expert-sweep benchmark model (identical to the PR 3 entries so the
+/// trajectory stays comparable). Bigger than the test presets on purpose:
+/// each expert is ~3 MB (full) / ~0.75 MB (cheap), so the per-token path
 /// actually re-streams weights out of cache and the batched path's
 /// amortization is measured, not simulated.
 fn bench_model(cheap: bool) -> MoeConfig {
@@ -59,6 +75,37 @@ fn bench_model(cheap: bool) -> MoeConfig {
     }
 }
 
+/// The attention-sweep model: wide attention (d_model 512, 16 heads)
+/// against modest experts, the regime where the attention block is a
+/// material share of decode step time (as it is in real large models).
+fn attn_heavy_model(cheap: bool) -> MoeConfig {
+    if cheap {
+        MoeConfig {
+            n_layers: 2,
+            d_model: 256,
+            d_ff: 128,
+            n_heads: 8,
+            head_dim: 32,
+            n_experts: 6,
+            top_k: 2,
+            vocab: 256,
+            seed: 78,
+        }
+    } else {
+        MoeConfig {
+            n_layers: 2,
+            d_model: 512,
+            d_ff: 512,
+            n_heads: 16,
+            head_dim: 32,
+            n_experts: 8,
+            top_k: 2,
+            vocab: 512,
+            seed: 78,
+        }
+    }
+}
+
 fn prompts(n_seqs: usize, len: usize, vocab: usize) -> Vec<Vec<u32>> {
     (0..n_seqs)
         .map(|s| {
@@ -69,6 +116,14 @@ fn prompts(n_seqs: usize, len: usize, vocab: usize) -> Vec<Vec<u32>> {
         .collect()
 }
 
+fn tps(tokens: usize, d: Duration) -> f64 {
+    tokens as f64 / d.as_secs_f64().max(1e-9)
+}
+
+fn ratio(slow: Duration, fast: Duration) -> f64 {
+    slow.as_secs_f64() / fast.as_secs_f64().max(1e-9)
+}
+
 struct Cell {
     phase: &'static str,
     n_seqs: usize,
@@ -77,20 +132,16 @@ struct Cell {
     per_token: Duration,
     batched_serial: Duration,
     batched_parallel: Duration,
+    attn_batched: Duration,
 }
 
-impl Cell {
-    fn tps(&self, d: Duration) -> f64 {
-        self.tokens as f64 / d.as_secs_f64().max(1e-9)
-    }
-
-    fn speedup_serial(&self) -> f64 {
-        self.per_token.as_secs_f64() / self.batched_serial.as_secs_f64().max(1e-9)
-    }
-
-    fn speedup_parallel(&self) -> f64 {
-        self.per_token.as_secs_f64() / self.batched_parallel.as_secs_f64().max(1e-9)
-    }
+/// One attention-sweep cell: per-token vs batched attention, expert path
+/// fixed at batched + default workers.
+struct AttnCell {
+    n_seqs: usize,
+    tokens: usize,
+    attn_off: Duration,
+    attn_on: Duration,
 }
 
 /// Best-of-2 runs (wall-clock noise) of one pipeline config; asserts the
@@ -120,21 +171,37 @@ fn json_line(mode: &str, c: &Cell) -> String {
     format!(
         "{{\"bench\":\"native_throughput\",\"mode\":\"{}\",\"phase\":\"{}\",\"seqs\":{},\
          \"tokens\":{},\"per_token_tps\":{:.1},\"batched_serial_tps\":{:.1},\
-         \"batched_parallel_tps\":{:.1},\"speedup_serial\":{:.2},\"speedup_parallel\":{:.2}}}",
+         \"batched_parallel_tps\":{:.1},\"attn_batched_tps\":{:.1},\"speedup_serial\":{:.2},\
+         \"speedup_parallel\":{:.2},\"speedup_attn\":{:.2}}}",
         mode,
         c.phase,
         c.n_seqs,
         c.tokens,
-        c.tps(c.per_token),
-        c.tps(c.batched_serial),
-        c.tps(c.batched_parallel),
-        c.speedup_serial(),
-        c.speedup_parallel(),
+        tps(c.tokens, c.per_token),
+        tps(c.tokens, c.batched_serial),
+        tps(c.tokens, c.batched_parallel),
+        tps(c.tokens, c.attn_batched),
+        ratio(c.per_token, c.batched_serial),
+        ratio(c.per_token, c.batched_parallel),
+        ratio(c.batched_parallel, c.attn_batched),
     )
 }
 
-fn main() {
-    let cheap = cheap_mode();
+fn attn_json_line(mode: &str, c: &AttnCell) -> String {
+    format!(
+        "{{\"bench\":\"native_throughput\",\"mode\":\"{}\",\"model\":\"attn_heavy\",\
+         \"phase\":\"decode\",\"seqs\":{},\"tokens\":{},\"attn_off_tps\":{:.1},\
+         \"attn_on_tps\":{:.1},\"speedup_attn\":{:.2}}}",
+        mode,
+        c.n_seqs,
+        c.tokens,
+        tps(c.tokens, c.attn_off),
+        tps(c.tokens, c.attn_on),
+        ratio(c.attn_off, c.attn_on),
+    )
+}
+
+fn expert_sweep(cheap: bool) -> Vec<Cell> {
     let mcfg = bench_model(cheap);
     let model = MoeModel::new(mcfg);
     let batch_sizes: Vec<usize> = if cheap {
@@ -154,17 +221,26 @@ fn main() {
         mcfg.d_ff,
         if cheap { "cheap" } else { "full" },
     );
-    println!("per-token = retained matvec fallback; batched = expert-level GEMMs");
+    println!(
+        "per-token = retained matvec fallback; batched = expert-level GEMMs; \
+         attn-batched = + group-batched attention"
+    );
 
     let per_token_cfg = NativePipelineConfig {
         batch_experts: false,
+        batch_attention: false,
         ..Default::default()
     };
     let serial_cfg = NativePipelineConfig {
         compute_workers: 1,
+        batch_attention: false,
         ..Default::default()
     };
-    let parallel_cfg = NativePipelineConfig::default();
+    let parallel_cfg = NativePipelineConfig {
+        batch_attention: false,
+        ..Default::default()
+    };
+    let attn_cfg = NativePipelineConfig::default();
 
     let mut cells: Vec<Cell> = Vec::new();
     for &n_seqs in &batch_sizes {
@@ -191,6 +267,7 @@ fn main() {
                 &reference,
                 "batched parallel",
             );
+            let attn_batched = timed(&model, &p, gen_len, &attn_cfg, &reference, "attn batched");
             cells.push(Cell {
                 phase,
                 n_seqs,
@@ -198,6 +275,7 @@ fn main() {
                 per_token,
                 batched_serial,
                 batched_parallel,
+                attn_batched,
             });
         }
     }
@@ -209,6 +287,7 @@ fn main() {
         "per-token tok/s",
         "batched tok/s",
         "batched(par) tok/s",
+        "attn-batched tok/s",
         "speedup",
     ]);
     for c in &cells {
@@ -216,31 +295,106 @@ fn main() {
             c.phase.to_owned(),
             c.n_seqs.to_string(),
             c.tokens.to_string(),
-            format!("{:.0}", c.tps(c.per_token)),
-            format!("{:.0}", c.tps(c.batched_serial)),
-            format!("{:.0}", c.tps(c.batched_parallel)),
-            format!("{:.2}x", c.speedup_parallel()),
+            format!("{:.0}", tps(c.tokens, c.per_token)),
+            format!("{:.0}", tps(c.tokens, c.batched_serial)),
+            format!("{:.0}", tps(c.tokens, c.batched_parallel)),
+            format!("{:.0}", tps(c.tokens, c.attn_batched)),
+            format!("{:.2}x", ratio(c.per_token, c.attn_batched)),
         ]);
     }
     table.print();
+    cells
+}
+
+fn attn_sweep(cheap: bool) -> Vec<AttnCell> {
+    let mcfg = attn_heavy_model(cheap);
+    let model = MoeModel::new(mcfg);
+    let batch_sizes: Vec<usize> = if cheap { vec![2, 8] } else { vec![8, 32] };
+    let (prompt_len, gen_len) = if cheap { (8, 8) } else { (24, 24) };
+
+    println!(
+        "\n== attention sweep: {} layers x {} experts (top-{}), d_model {} ({} heads), d_ff {} ==",
+        mcfg.n_layers, mcfg.n_experts, mcfg.top_k, mcfg.d_model, mcfg.n_heads, mcfg.d_ff,
+    );
+    println!("decode, prompt {prompt_len} + gen {gen_len}; expert path fixed at batched");
+
+    let off_cfg = NativePipelineConfig {
+        batch_attention: false,
+        ..Default::default()
+    };
+    let on_cfg = NativePipelineConfig::default();
+
+    let mut cells = Vec::new();
+    for &n_seqs in &batch_sizes {
+        let p = prompts(n_seqs, prompt_len, mcfg.vocab);
+        let reference = run_pipeline(&model, &p, gen_len, &off_cfg);
+        let attn_off = timed(&model, &p, gen_len, &off_cfg, &reference, "attn per-token");
+        let attn_on = timed(&model, &p, gen_len, &on_cfg, &reference, "attn batched");
+        cells.push(AttnCell {
+            n_seqs,
+            tokens: n_seqs * (prompt_len + gen_len),
+            attn_off,
+            attn_on,
+        });
+    }
+
+    let mut table = TextTable::new([
+        "seqs",
+        "tokens",
+        "attn per-token tok/s",
+        "attn batched tok/s",
+        "speedup",
+    ]);
+    for c in &cells {
+        table.row([
+            c.n_seqs.to_string(),
+            c.tokens.to_string(),
+            format!("{:.0}", tps(c.tokens, c.attn_off)),
+            format!("{:.0}", tps(c.tokens, c.attn_on)),
+            format!("{:.2}x", ratio(c.attn_off, c.attn_on)),
+        ]);
+    }
+    table.print();
+    cells
+}
+
+fn main() {
+    let cheap = cheap_mode();
+    let cells = expert_sweep(cheap);
+    let attn_cells = attn_sweep(cheap);
 
     println!("\nall modes byte-identical (tokens + final hidden): confirmed");
 
-    // The acceptance bar: on a >= 8-sequence batch, decode must run >= 2x
-    // faster batched than per-token. Cheap/CI mode only smoke-checks
-    // execution (shared-runner wall clocks are too noisy to gate on).
-    let gate = cells
+    // Expert-path bar (unchanged since PR 3): on a >= 8-sequence batch,
+    // decode must run >= 2x faster batched than per-token. Cheap/CI mode
+    // only smoke-checks execution (shared-runner wall clocks are too
+    // noisy to gate on).
+    let expert_gate = cells
         .iter()
         .filter(|c| c.phase == "decode" && c.n_seqs >= 8)
-        .map(|c| c.speedup_parallel())
+        .map(|c| ratio(c.per_token, c.batched_parallel))
+        .fold(0.0f64, f64::max);
+    // Attention-path bar: at 32 sequences on the attention-heavy shape,
+    // batched attention must win >= 1.3x over the per-token walk.
+    let attn_gate = attn_cells
+        .iter()
+        .filter(|c| c.n_seqs >= 32)
+        .map(|c| ratio(c.attn_off, c.attn_on))
         .fold(0.0f64, f64::max);
     if cheap {
-        println!("decode speedup at >=8 seqs: {gate:.2}x (cheap mode: not gated)");
+        println!("decode speedup at >=8 seqs: {expert_gate:.2}x (cheap mode: not gated)");
+        println!("attention speedup: cheap mode, not gated");
     } else {
-        println!("decode speedup at >=8 seqs: {gate:.2}x (gate: >=2.00x)");
+        println!("decode speedup at >=8 seqs: {expert_gate:.2}x (gate: >=2.00x)");
         assert!(
-            gate >= 2.0,
-            "batched expert path must be >=2x over per-token decode, got {gate:.2}x"
+            expert_gate >= 2.0,
+            "batched expert path must be >=2x over per-token decode, got {expert_gate:.2}x"
+        );
+        println!("batched-attention decode speedup at 32 seqs: {attn_gate:.2}x (gate: >=1.30x)");
+        assert!(
+            attn_gate >= 1.3,
+            "batched attention must be >=1.3x over per-token attention decode at 32 seqs, \
+             got {attn_gate:.2}x"
         );
     }
 
@@ -248,5 +402,8 @@ fn main() {
     let mode = if cheap { "cheap" } else { "full" };
     for c in &cells {
         println!("{}", json_line(mode, c));
+    }
+    for c in &attn_cells {
+        println!("{}", attn_json_line(mode, c));
     }
 }

@@ -15,7 +15,7 @@
 //!   transfer-completion order), with each expert's slot released as soon
 //!   as its tokens are done — "offloaded immediately".
 //!
-//! Two compute-side levers make the path fast (this is the aggregation
+//! Three compute-side levers make the path fast (this is the aggregation
 //! payoff of §5 — many batches' tokens amortize each expert transfer, so
 //! each resident expert should also amortize its *compute*):
 //!
@@ -26,14 +26,25 @@
 //!   [`NativePipelineConfig::batch_experts`] to get the retained
 //!   per-token fallback (the pre-batching behavior, kept in-tree for
 //!   benchmark comparisons).
+//! * **Batched attention** ([`MoeModel::attn_block_batch`]): each step's
+//!   attention runs over the whole group at once — Q/K/V and the output
+//!   projection are single GEMMs (the projection weights are shared by
+//!   every sequence, so they stream once per group instead of once per
+//!   token) and per-sequence scores/AV go through blocked strided kernels
+//!   over the contiguous KV slabs, all in a reused
+//!   [`AttnScratch`](klotski_moe::attention::AttnScratch) — zero heap
+//!   allocations in the attention block at steady state. Disable with
+//!   [`NativePipelineConfig::batch_attention`] for the retained per-token
+//!   walk; the `h2o` policy always attends per token (its heavy-hitter
+//!   state updates are sequential by design).
 //! * **A compute worker pool**: independent arrived experts are computed
 //!   in parallel by `compute_workers` crossbeam workers sharing one task
 //!   queue — a pull model, so load balances itself by token count (an
 //!   expert with many tokens occupies one worker while others drain the
 //!   rest; see He et al., 2025 on imbalanced per-expert loads).
 //!
-//! Neither lever changes a single bit of output: each expert's per-row
-//! accumulation order is identical to the per-token matvec, and expert
+//! No lever changes a single bit of output: every per-element
+//! accumulation order is identical to the per-token reference, and expert
 //! contributions are still combined in fixed expert-index order.
 
 use std::collections::HashSet;
@@ -76,6 +87,14 @@ pub struct NativePipelineConfig {
     /// on the inference thread). Only effective with `batch_experts`;
     /// output is bit-identical at any worker count.
     pub compute_workers: usize,
+    /// Run each step's attention over the whole group at once (`true`,
+    /// the default): Q/K/V/O become per-group GEMMs and scores/AV go
+    /// through the blocked strided kernels, all in reused scratch —
+    /// versus the retained per-token `attend_one` walk (`false`, kept for
+    /// benchmark comparison). Output is bit-identical either way. The
+    /// `h2o` policy always attends per token: its heavy-hitter state
+    /// updates are sequential by design.
+    pub batch_attention: bool,
 }
 
 /// Default worker-pool width: leave a core each for the inference and I/O
@@ -99,6 +118,7 @@ impl Default for NativePipelineConfig {
             h2o: None,
             batch_experts: true,
             compute_workers: default_compute_workers(),
+            batch_attention: true,
         }
     }
 }
@@ -269,7 +289,12 @@ pub fn run_pipeline(
         // engine's CorrelationTable).
         let mut popularity = vec![vec![0u64; mcfg.n_experts]; mcfg.n_layers];
 
-        let mut caches: Vec<KvCache> = (0..n_seqs).map(|_| model.new_cache()).collect();
+        // Per-sequence caches, pre-sized to their full prompt + generation
+        // span so the per-layer KV slabs never reallocate mid-decode.
+        let mut caches: Vec<KvCache> = prompts
+            .iter()
+            .map(|p| model.new_cache_with_capacity(p.len() + gen_len))
+            .collect();
         let mut h2o_states: Vec<Option<H2oState>> = (0..n_seqs)
             .map(|_| cfg.h2o.map(|c| H2oState::new(mcfg.n_layers, c)))
             .collect();
@@ -287,6 +312,7 @@ pub fn run_pipeline(
         let mut active: Vec<usize> = Vec::with_capacity(n_seqs);
         let mut positions: Vec<usize> = vec![0; n_seqs];
         let mut scratch = model.logits_scratch();
+        let mut attn_scratch = model.attn_scratch();
 
         // Steps: every prompt position (prefill), then gen_len decode
         // steps; each step pushes one token of every sequence through all
@@ -295,6 +321,14 @@ pub fn run_pipeline(
         // prompts are handled by per-sequence position.
         let max_prompt = prompts.iter().map(Vec::len).max().unwrap_or(0);
         let total_steps = max_prompt + gen_len;
+        // Pre-size the attention scratch to the run's high-water shapes
+        // (full group, longest possible cache) so the attention block of
+        // every step is allocation-free. Skipped when the batched path is
+        // off (per-token fallback or h2o): the scratch is never touched.
+        let batched_attn = cfg.batch_attention && cfg.h2o.is_none();
+        if batched_attn {
+            attn_scratch.reserve(n_seqs, total_steps);
+        }
 
         for step in 0..total_steps {
             // Which sequences have a token this step, and which token.
@@ -333,12 +367,29 @@ pub fn run_pipeline(
                     requested.insert(e);
                 }
 
-                // (2) Attention for every active sequence (weights shared).
-                for &s in &active {
-                    h[s] = match h2o_states[s].as_mut() {
-                        Some(state) => model.attn_block_h2o(layer, &h[s], &mut caches[s], state),
-                        None => model.attn_block(layer, &h[s], &mut caches[s], cfg.mask),
-                    };
+                // (2) Attention for every active sequence (weights
+                // shared). The batched path runs the whole group through
+                // one set of Q/K/V/O GEMMs; the per-token fallback (and
+                // the inherently sequential h2o policy) walks sequences
+                // one at a time. Both are bit-identical.
+                if batched_attn {
+                    model.attn_block_batch(
+                        layer,
+                        &mut h,
+                        &active,
+                        &mut caches,
+                        cfg.mask,
+                        &mut attn_scratch,
+                    );
+                } else {
+                    for &s in &active {
+                        h[s] = match h2o_states[s].as_mut() {
+                            Some(state) => {
+                                model.attn_block_h2o(layer, &h[s], &mut caches[s], state)
+                            }
+                            None => model.attn_block(layer, &h[s], &mut caches[s], cfg.mask),
+                        };
+                    }
                 }
 
                 // (3) Gate every token; group tokens by expert.
@@ -638,6 +689,52 @@ mod tests {
             assert_eq!(
                 batched.final_hidden, fallback.final_hidden,
                 "workers={workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn attention_paths_are_bit_identical() {
+        // Batched attention (the default) versus the retained per-token
+        // walk: nothing but wall-clock may change, on dense and streaming
+        // masks alike, including a batch of one.
+        let model = MoeModel::new(MoeConfig::tiny(31));
+        for (n_seqs, mask) in [
+            (1usize, AttnMask::Dense),
+            (5, AttnMask::Dense),
+            (
+                3,
+                AttnMask::Streaming {
+                    sinks: 2,
+                    window: 4,
+                },
+            ),
+        ] {
+            let p = prompts(n_seqs, 9, model.config().vocab);
+            let per_token = run_pipeline(
+                &model,
+                &p,
+                4,
+                &NativePipelineConfig {
+                    batch_attention: false,
+                    mask,
+                    ..Default::default()
+                },
+            );
+            let batched = run_pipeline(
+                &model,
+                &p,
+                4,
+                &NativePipelineConfig {
+                    batch_attention: true,
+                    mask,
+                    ..Default::default()
+                },
+            );
+            assert_eq!(batched.tokens, per_token.tokens, "{n_seqs} seqs {mask:?}");
+            assert_eq!(
+                batched.final_hidden, per_token.final_hidden,
+                "{n_seqs} seqs {mask:?}"
             );
         }
     }

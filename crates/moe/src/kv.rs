@@ -23,6 +23,37 @@ impl KvCache {
         }
     }
 
+    /// An empty cache whose per-layer slabs can hold `positions` entries
+    /// without reallocating — the form decode loops that know their
+    /// `prompt_len + gen_len` upfront should use, so appends never move
+    /// the slab mid-run.
+    pub fn with_capacity(n_layers: usize, width: usize, positions: usize) -> Self {
+        let mut cache = KvCache::new(n_layers, width);
+        cache.reserve(positions);
+        cache
+    }
+
+    /// Ensures every layer's key/value slab can hold `positions` entries
+    /// in total without reallocating.
+    pub fn reserve(&mut self, positions: usize) {
+        let want = positions * self.width;
+        for (k, v) in self.keys.iter_mut().zip(&mut self.values) {
+            k.reserve(want.saturating_sub(k.len()));
+            v.reserve(want.saturating_sub(v.len()));
+        }
+    }
+
+    /// Smallest per-layer slab capacity, in positions (how many entries
+    /// every layer is guaranteed to hold without reallocating).
+    pub fn capacity(&self) -> usize {
+        self.keys
+            .iter()
+            .zip(&self.values)
+            .map(|(k, v)| k.capacity().min(v.capacity()) / self.width)
+            .min()
+            .unwrap_or(0)
+    }
+
     /// Cached positions at `layer`.
     pub fn len(&self, layer: usize) -> usize {
         self.keys[layer].len() / self.width
@@ -112,5 +143,34 @@ mod tests {
     fn wrong_width_rejected() {
         let mut c = KvCache::new(1, 4);
         c.append(0, &[0.0; 3], &[0.0; 3]);
+    }
+
+    #[test]
+    fn with_capacity_appends_never_reallocate() {
+        let mut c = KvCache::with_capacity(2, 4, 10);
+        assert!(c.capacity() >= 10);
+        let raw_caps: Vec<usize> = (0..2).map(|l| c.keys[l].capacity()).collect();
+        for t in 0..10 {
+            for layer in 0..2 {
+                c.append(layer, &[t as f32; 4], &[t as f32; 4]);
+            }
+        }
+        for (layer, &cap) in raw_caps.iter().enumerate() {
+            assert_eq!(c.len(layer), 10);
+            assert_eq!(
+                c.keys[layer].capacity(),
+                cap,
+                "layer {layer} slab moved mid-decode"
+            );
+        }
+    }
+
+    #[test]
+    fn reserve_tops_up_a_partially_filled_cache() {
+        let mut c = KvCache::new(1, 4);
+        c.append(0, &[1.0; 4], &[2.0; 4]);
+        c.reserve(8);
+        assert!(c.capacity() >= 8);
+        assert_eq!(c.key_at(0, 0), &[1.0; 4], "reserve must not disturb data");
     }
 }

@@ -10,7 +10,7 @@
 
 use klotski_tensor::ops::{argmax, rmsnorm_inplace};
 
-use crate::attention::{attend_one, AttnMask};
+use crate::attention::{attend_batch, attend_one, AttnMask, AttnScratch};
 use crate::config::MoeConfig;
 use crate::gate::{route, Routing};
 use crate::kv::KvCache;
@@ -168,6 +168,43 @@ impl MoeModel {
         h.iter().zip(&attn_out).map(|(a, b)| a + b).collect()
     }
 
+    /// Fresh reusable buffers for [`MoeModel::attn_block_batch`].
+    pub fn attn_scratch(&self) -> AttnScratch {
+        AttnScratch::new(self.cfg.n_heads, self.cfg.head_dim)
+    }
+
+    /// `h + attention(rmsnorm1(h))` for one token of **every** active
+    /// sequence at once — the batched form of [`MoeModel::attn_block`],
+    /// bit-identical to calling it per sequence (see
+    /// [`attend_batch`]). `active` selects which rows of `hs`/`caches`
+    /// participate; their hidden states are updated in place. All
+    /// intermediate state lives in `scratch`, so the call is
+    /// allocation-free once the scratch has been
+    /// [reserved](AttnScratch::reserve).
+    pub fn attn_block_batch(
+        &self,
+        layer: usize,
+        hs: &mut [Vec<f32>],
+        active: &[usize],
+        caches: &mut [KvCache],
+        mask: AttnMask,
+        scratch: &mut AttnScratch,
+    ) {
+        let lw = &self.weights.layers[layer];
+        let normed = scratch.input_mut(active.len());
+        for (r, &s) in active.iter().enumerate() {
+            let row = normed.row_mut(r);
+            row.copy_from_slice(&hs[s]);
+            rmsnorm_inplace(row, &lw.attn.norm1, NORM_EPS);
+        }
+        attend_batch(&lw.attn, layer, caches, active, mask, scratch);
+        for (r, &s) in active.iter().enumerate() {
+            for (hv, &o) in hs[s].iter_mut().zip(scratch.output().row(r)) {
+                *hv += o;
+            }
+        }
+    }
+
     /// `h + attention(rmsnorm1(h))` under the heavy-hitter KV policy
     /// (see [`crate::h2o`]), updating the per-sequence `state`.
     pub fn attn_block_h2o(
@@ -322,6 +359,13 @@ impl MoeModel {
         KvCache::new(self.cfg.n_layers, self.cfg.d_model)
     }
 
+    /// A fresh KV cache whose per-layer slabs already hold room for
+    /// `positions` entries — decode loops that know `prompt_len + gen_len`
+    /// upfront use this so appends never reallocate mid-run.
+    pub fn new_cache_with_capacity(&self, positions: usize) -> KvCache {
+        KvCache::with_capacity(self.cfg.n_layers, self.cfg.d_model, positions)
+    }
+
     /// Reference generation: prompts processed sequentially, one token at a
     /// time, in canonical (batch-major) order — the numerical ground truth.
     ///
@@ -340,7 +384,7 @@ impl MoeModel {
         let mut scratch = self.logits_scratch();
         for (seq, prompt) in prompts.iter().enumerate() {
             assert!(!prompt.is_empty(), "empty prompt for sequence {seq}");
-            let mut cache = self.new_cache();
+            let mut cache = self.new_cache_with_capacity(prompt.len() + gen_len);
             let mut h = Vec::new();
             for (pos, &tok) in prompt.iter().enumerate() {
                 let ctx = TokenCtx {
@@ -397,7 +441,7 @@ impl MoeModel {
         let mut scratch = self.logits_scratch();
         for (seq, prompt) in prompts.iter().enumerate() {
             assert!(!prompt.is_empty(), "empty prompt for sequence {seq}");
-            let mut cache = self.new_cache();
+            let mut cache = self.new_cache_with_capacity(prompt.len() + gen_len);
             let mut state = crate::h2o::H2oState::new(self.cfg.n_layers, cfg);
             // The H2O path replaces the mask with stateful selection, so
             // `ctx.mask` is unused here; Dense is a placeholder.
@@ -547,6 +591,42 @@ mod tests {
             dense.final_hidden, sparse.final_hidden,
             "long context must be affected by the streaming mask"
         );
+    }
+
+    #[test]
+    fn attn_block_batch_matches_attn_block_bitwise() {
+        let m = model();
+        let cfg = *m.config();
+        let n = 3;
+        let mut ref_caches: Vec<KvCache> = (0..n).map(|_| m.new_cache()).collect();
+        let mut batch_caches = ref_caches.clone();
+        let mut ref_h: Vec<Vec<f32>> = (0..n)
+            .map(|s| {
+                (0..cfg.d_model)
+                    .map(|i| ((s * 7 + i) as f32 * 0.1).sin())
+                    .collect()
+            })
+            .collect();
+        let mut batch_h = ref_h.clone();
+        let active: Vec<usize> = (0..n).collect();
+        let mut scratch = m.attn_scratch();
+        for step in 0..3 {
+            for layer in 0..cfg.n_layers {
+                m.attn_block_batch(
+                    layer,
+                    &mut batch_h,
+                    &active,
+                    &mut batch_caches,
+                    AttnMask::Dense,
+                    &mut scratch,
+                );
+                for s in 0..n {
+                    ref_h[s] = m.attn_block(layer, &ref_h[s], &mut ref_caches[s], AttnMask::Dense);
+                }
+                assert_eq!(ref_h, batch_h, "step {step} layer {layer}");
+            }
+        }
+        assert_eq!(ref_caches, batch_caches);
     }
 
     #[test]

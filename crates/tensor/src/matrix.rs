@@ -507,6 +507,23 @@ impl Matrix {
         self.data.extend_from_slice(&src.data);
     }
 
+    /// Reshapes to `rows × cols`, reusing the existing buffer when its
+    /// capacity allows — the scratch-reuse primitive for hot loops that
+    /// cycle through group sizes (allocation-free once the buffer has
+    /// reached its high-water shape, and a no-op when the shape repeats).
+    ///
+    /// Element values are **not** initialized: shrinking keeps a stale
+    /// prefix and growing zero-fills only the new tail, so treat the
+    /// result as write-only scratch. Every kernel that writes into a
+    /// resized matrix (`matmul*_into`, `weighted_rows_into`, row copies)
+    /// overwrites its full output, which is why the hot loops can skip
+    /// the memset a zeroing reshape would pay per step.
+    pub fn resize(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, 0.0);
+    }
+
     /// Element-wise `self += rhs`.
     ///
     /// # Panics
@@ -559,6 +576,178 @@ impl Matrix {
 impl fmt::Display for Matrix {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "Matrix[{}x{}]", self.rows, self.cols)
+    }
+}
+
+/// A strided view of equally-shaped rows inside a flat slab: row `p` is
+/// `data[p·stride + offset .. p·stride + offset + width]`.
+///
+/// This is exactly the shape of one attention head's keys (or values)
+/// inside a per-sequence KV slab laid out `[positions × d_model]`: stride
+/// `d_model`, column offset `head · head_dim`, width `head_dim`. The
+/// strided kernels below ([`matvec_strided_into`], [`weighted_rows_into`])
+/// read through this view so the slab is never gathered or copied.
+#[derive(Debug, Clone, Copy)]
+pub struct StridedRows<'a> {
+    data: &'a [f32],
+    stride: usize,
+    offset: usize,
+    width: usize,
+}
+
+impl<'a> StridedRows<'a> {
+    /// Views `data` as rows of `width` starting `offset` into each
+    /// `stride`-long record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a row would overrun its record (`offset + width >
+    /// stride`) or `stride` is zero while `data` is not empty.
+    pub fn new(data: &'a [f32], stride: usize, offset: usize, width: usize) -> Self {
+        assert!(
+            offset + width <= stride || (data.is_empty() && width == 0),
+            "strided row overruns its record: offset {offset} + width {width} > stride {stride}"
+        );
+        StridedRows {
+            data,
+            stride,
+            offset,
+            width,
+        }
+    }
+
+    /// Number of complete records in the slab.
+    pub fn len(&self) -> usize {
+        self.data.len().checked_div(self.stride).unwrap_or(0)
+    }
+
+    /// Whether the slab holds no complete record.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Width of each row.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Row `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of bounds.
+    pub fn row(&self, p: usize) -> &'a [f32] {
+        let start = p * self.stride + self.offset;
+        &self.data[start..start + self.width]
+    }
+}
+
+/// Reference for [`matvec_strided_into`]: one sequential ascending-k dot
+/// per selected row — the per-score arithmetic of per-token attention,
+/// kept in-tree so tests can assert the blocked kernel is bit-identical.
+///
+/// # Panics
+///
+/// Panics if `out.len() != idx.len()` or `x.len() != rows.width()`.
+pub fn matvec_strided_naive(x: &[f32], rows: &StridedRows<'_>, idx: &[usize], out: &mut [f32]) {
+    assert_eq!(out.len(), idx.len(), "strided matvec output len mismatch");
+    assert_eq!(x.len(), rows.width(), "strided matvec input width mismatch");
+    for (o, &p) in out.iter_mut().zip(idx) {
+        *o = nt_dot(x, rows.row(p));
+    }
+}
+
+/// `out[i] = x · rows[idx[i]]` — the scores kernel of batched attention:
+/// the query dotted against every visible cached key, through the
+/// [`NT_COLS`]-way register blocking of the `nt` GEMM (each selected row
+/// keeps its own accumulator advancing in strict ascending-k order, so
+/// every score is **bit-identical** to [`matvec_strided_naive`]'s
+/// one-at-a-time dot, while the independent chains hide FMA latency and
+/// each `x` element is loaded once per [`NT_COLS`] scores).
+///
+/// # Panics
+///
+/// Panics if `out.len() != idx.len()` or `x.len() != rows.width()`.
+pub fn matvec_strided_into(x: &[f32], rows: &StridedRows<'_>, idx: &[usize], out: &mut [f32]) {
+    assert_eq!(out.len(), idx.len(), "strided matvec output len mismatch");
+    assert_eq!(x.len(), rows.width(), "strided matvec input width mismatch");
+    let mut i = 0;
+    while i + NT_COLS <= idx.len() {
+        let sel: [&[f32]; NT_COLS] = std::array::from_fn(|u| rows.row(idx[i + u]));
+        let mut acc = [0.0f32; NT_COLS];
+        nt_micro_1xu(x, &sel, &mut acc);
+        out[i..i + NT_COLS].copy_from_slice(&acc);
+        i += NT_COLS;
+    }
+    for (o, &p) in out[i..].iter_mut().zip(&idx[i..]) {
+        *o = nt_dot(x, rows.row(p));
+    }
+}
+
+/// How many weighted rows [`weighted_rows_into`] folds per pass: enough to
+/// amortize the `out` load/store round-trip, few enough to stay in
+/// registers.
+const WR_ROWS: usize = 4;
+
+/// Reference for [`weighted_rows_into`]: `out[j] = Σ_i w[i] ·
+/// rows[idx[i]][j]`, accumulating positions one at a time in ascending-`i`
+/// order — the AXPY loop of per-token attention's AV product.
+///
+/// # Panics
+///
+/// Panics if `w.len() != idx.len()` or `out.len() != rows.width()`.
+pub fn weighted_rows_naive(w: &[f32], rows: &StridedRows<'_>, idx: &[usize], out: &mut [f32]) {
+    assert_eq!(w.len(), idx.len(), "weighted rows weight len mismatch");
+    assert_eq!(
+        out.len(),
+        rows.width(),
+        "weighted rows output width mismatch"
+    );
+    out.fill(0.0);
+    for (&wi, &p) in w.iter().zip(idx) {
+        for (o, &v) in out.iter_mut().zip(rows.row(p)) {
+            *o += wi * v;
+        }
+    }
+}
+
+/// `out[j] = Σ_i w[i] · rows[idx[i]][j]` — the AV kernel of batched
+/// attention: the softmaxed scores folded against the visible cached
+/// values. Rows are consumed [`WR_ROWS`] at a time with each output
+/// element carried in a register across the block, but every element's
+/// adds still happen one position at a time in ascending-`i` order —
+/// **bit-identical** to [`weighted_rows_naive`] (and hence to the
+/// per-token AXPY), just without [`WR_ROWS`]−1 of every load/store
+/// round-trip on `out`.
+///
+/// # Panics
+///
+/// Panics if `w.len() != idx.len()` or `out.len() != rows.width()`.
+pub fn weighted_rows_into(w: &[f32], rows: &StridedRows<'_>, idx: &[usize], out: &mut [f32]) {
+    assert_eq!(w.len(), idx.len(), "weighted rows weight len mismatch");
+    assert_eq!(
+        out.len(),
+        rows.width(),
+        "weighted rows output width mismatch"
+    );
+    out.fill(0.0);
+    let mut i = 0;
+    while i + WR_ROWS <= idx.len() {
+        let sel: [&[f32]; WR_ROWS] = std::array::from_fn(|u| rows.row(idx[i + u]));
+        let wv: [f32; WR_ROWS] = std::array::from_fn(|u| w[i + u]);
+        for (j, o) in out.iter_mut().enumerate() {
+            let mut acc = *o;
+            for u in 0..WR_ROWS {
+                acc += wv[u] * sel[u][j];
+            }
+            *o = acc;
+        }
+        i += WR_ROWS;
+    }
+    for (&wi, &p) in w[i..].iter().zip(&idx[i..]) {
+        for (o, &v) in out.iter_mut().zip(rows.row(p)) {
+            *o += wi * v;
+        }
     }
 }
 
@@ -695,6 +884,91 @@ mod tests {
         assert!(auto_threads(usize::MAX) >= 1);
         assert!(auto_threads(usize::MAX) <= 8);
     }
+
+    #[test]
+    fn resize_reuses_capacity_without_initializing() {
+        let mut m = Matrix::from_fn(4, 8, |r, c| (r * 8 + c) as f32);
+        let cap = m.data.capacity();
+        m.resize(2, 8);
+        assert_eq!((m.rows(), m.cols()), (2, 8));
+        assert_eq!(m.as_slice().len(), 16);
+        assert_eq!(m.data.capacity(), cap, "shrinking resize reallocated");
+        m.resize(4, 8);
+        assert_eq!(m.data.capacity(), cap, "regrow within capacity reallocated");
+        assert_eq!(m.as_slice().len(), 32, "regrow must restore the length");
+    }
+
+    #[test]
+    fn strided_rows_views_the_right_slices() {
+        // 3 records of stride 4; rows are the middle two columns.
+        let slab: Vec<f32> = (0..12).map(|i| i as f32).collect();
+        let rows = StridedRows::new(&slab, 4, 1, 2);
+        assert_eq!(rows.len(), 3);
+        assert!(!rows.is_empty());
+        assert_eq!(rows.width(), 2);
+        assert_eq!(rows.row(0), &[1.0, 2.0]);
+        assert_eq!(rows.row(2), &[9.0, 10.0]);
+        assert!(StridedRows::new(&[], 4, 0, 2).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "overruns")]
+    fn strided_rows_rejects_overrunning_width() {
+        let slab = [0.0f32; 8];
+        let _ = StridedRows::new(&slab, 4, 2, 3);
+    }
+
+    #[test]
+    fn strided_matvec_matches_per_row_dots() {
+        let slab: Vec<f32> = (0..40).map(|i| ((i * 7) as f32 * 0.1).sin()).collect();
+        let rows = StridedRows::new(&slab, 8, 2, 5);
+        let x: Vec<f32> = (0..5).map(|i| (i as f32 * 0.3).cos()).collect();
+        // 5 selected records: crosses the NT_COLS remainder boundary only
+        // when > 8, so also try 10 via duplicated indices.
+        for idx in [vec![0usize, 2, 4], vec![4, 3, 2, 1, 0, 1, 2, 3, 4, 0]] {
+            let mut blocked = vec![0.0f32; idx.len()];
+            let mut naive = vec![0.0f32; idx.len()];
+            matvec_strided_into(&x, &rows, &idx, &mut blocked);
+            matvec_strided_naive(&x, &rows, &idx, &mut naive);
+            assert_eq!(blocked, naive);
+            for (o, &p) in naive.iter().zip(&idx) {
+                assert_eq!(*o, nt_dot(&x, rows.row(p)));
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_rows_matches_sequential_axpy() {
+        let slab: Vec<f32> = (0..48).map(|i| ((i * 3) as f32 * 0.2).cos()).collect();
+        let rows = StridedRows::new(&slab, 6, 0, 6);
+        let idx = [0usize, 3, 1, 7, 2, 5];
+        let w: Vec<f32> = (0..6).map(|i| 0.1 + i as f32 * 0.05).collect();
+        let mut blocked = vec![9.0f32; 6]; // pre-poisoned: kernels overwrite
+        let mut naive = vec![-9.0f32; 6];
+        weighted_rows_into(&w, &rows, &idx, &mut blocked);
+        weighted_rows_naive(&w, &rows, &idx, &mut naive);
+        assert_eq!(blocked, naive);
+        // Hand-rolled ascending-position AXPY.
+        let mut expect = vec![0.0f32; 6];
+        for (&wi, &p) in w.iter().zip(&idx) {
+            for (e, &v) in expect.iter_mut().zip(rows.row(p)) {
+                *e += wi * v;
+            }
+        }
+        assert_eq!(naive, expect);
+    }
+
+    #[test]
+    fn strided_kernels_handle_empty_selections() {
+        let slab = [1.0f32; 8];
+        let rows = StridedRows::new(&slab, 4, 0, 4);
+        let mut out: Vec<f32> = Vec::new();
+        matvec_strided_into(&[0.5; 4], &rows, &[], &mut out);
+        assert!(out.is_empty());
+        let mut av = vec![3.0f32; 4];
+        weighted_rows_into(&[], &rows, &[], &mut av);
+        assert_eq!(av, vec![0.0; 4], "empty selection must zero the output");
+    }
 }
 
 #[cfg(test)]
@@ -750,6 +1024,42 @@ mod proptests {
             let mut out = Matrix::zeros(m, n);
             a.matmul_into_threaded(&b, &mut out, threads);
             prop_assert_eq!(&out, &reference);
+        }
+
+        /// The blocked strided-scores and AV kernels are bit-identical to
+        /// their naive references for arbitrary slab shapes, head offsets,
+        /// and row selections — including empty and single-row selections
+        /// (the group-of-one and first-token attention cases).
+        #[test]
+        fn strided_kernels_match_naive_exactly(
+            n_records in 0usize..20,
+            stride in 1usize..12,
+            n_sel in 0usize..30,
+            sel_seed in 0usize..1000,
+            raw in proptest::collection::vec(-4.0f32..4.0, 20 * 12),
+            x in proptest::collection::vec(-4.0f32..4.0, 12),
+            w in proptest::collection::vec(-2.0f32..2.0, 30),
+        ) {
+            // Derive offset/width consistent with the stride.
+            let offset = sel_seed % stride;
+            let width = (stride - offset).min(1 + sel_seed % 8);
+            let slab = &raw[..n_records * stride];
+            let rows = StridedRows::new(slab, stride, offset, width);
+            let idx: Vec<usize> = if n_records == 0 {
+                Vec::new()
+            } else {
+                (0..n_sel).map(|i| (i * 31 + sel_seed) % n_records).collect()
+            };
+            let mut blocked = vec![0.0f32; idx.len()];
+            let mut naive = vec![0.0f32; idx.len()];
+            matvec_strided_into(&x[..width], &rows, &idx, &mut blocked);
+            matvec_strided_naive(&x[..width], &rows, &idx, &mut naive);
+            prop_assert_eq!(blocked, naive);
+            let mut av_blocked = vec![1.0f32; width];
+            let mut av_naive = vec![-1.0f32; width];
+            weighted_rows_into(&w[..idx.len()], &rows, &idx, &mut av_blocked);
+            weighted_rows_naive(&w[..idx.len()], &rows, &idx, &mut av_naive);
+            prop_assert_eq!(av_blocked, av_naive);
         }
 
         /// Tiled and threaded A·Bᵀ are bit-identical to the naive kernel

@@ -154,6 +154,48 @@ fn batched_experts_and_worker_pool_are_numerics_neutral() {
 }
 
 #[test]
+fn batched_attention_is_numerics_neutral() {
+    // The attention-path axis: group-batched Q/K/V/O GEMMs + strided
+    // scores/AV kernels versus the retained per-token `attend_one` walk —
+    // bit-identical to the sequential reference on ragged prompts, dense
+    // and streaming masks, and in combination with the expert-path axis.
+    let model = MoeModel::new(MoeConfig::small(49));
+    let vocab = model.config().vocab;
+    let p = vec![
+        prompts(1, 5, vocab, 11).remove(0),
+        prompts(1, 9, vocab, 12).remove(0),
+        prompts(1, 7, vocab, 13).remove(0),
+        prompts(1, 12, vocab, 14).remove(0),
+    ];
+    for mask in [
+        AttnMask::Dense,
+        AttnMask::Streaming {
+            sinks: 2,
+            window: 4,
+        },
+    ] {
+        let reference = model.generate(&p, 5, mask);
+        for (batch_attention, batch_experts) in [(false, true), (true, true), (true, false)] {
+            let cfg = NativePipelineConfig {
+                batch_attention,
+                batch_experts,
+                mask,
+                ..Default::default()
+            };
+            let piped = run_pipeline(&model, &p, 5, &cfg);
+            assert_eq!(
+                piped.tokens, reference.tokens,
+                "attn={batch_attention} experts={batch_experts} {mask:?}: tokens"
+            );
+            assert_eq!(
+                piped.final_hidden, reference.final_hidden,
+                "attn={batch_attention} experts={batch_experts} {mask:?}: hidden"
+            );
+        }
+    }
+}
+
+#[test]
 fn routing_is_expert_diverse() {
     // Sanity for the scheduling problem itself: real gates spread tokens
     // over multiple experts per layer (otherwise reordering is trivial).
