@@ -96,6 +96,81 @@ fn bench_quantizer(c: &mut Criterion) {
     c.bench_function("tensor/dequantize_64x1024_4bit", |b| {
         b.iter(|| black_box(q.dequantize()))
     });
+    // Group-at-a-time dequantization (bulk bit-stream refill, one
+    // scale/zero load per group) vs the retained per-element reference.
+    let mut out = klotski_tensor::matrix::Matrix::zeros(64, 1024);
+    c.bench_function("tensor/dequantize_into_64x1024_grouped", |b| {
+        b.iter(|| {
+            q.dequantize_into(&mut out);
+            black_box(out.row(63)[1023])
+        })
+    });
+    c.bench_function("tensor/dequantize_into_64x1024_reference", |b| {
+        b.iter(|| {
+            q.dequantize_reference_into(&mut out);
+            black_box(out.row(63)[1023])
+        })
+    });
+}
+
+fn bench_simd_kernels(c: &mut Criterion) {
+    use klotski_tensor::matrix::Matrix;
+    use klotski_tensor::simd::{detected_backend, KernelBackend};
+    // The 2x8 register-blocked nt kernel at an expert-FFN shape, scalar vs
+    // every backend the CPU (and feature set) offers. All variants are
+    // bit-identical; only the instruction mix differs.
+    let xs = xavier_matrix(16, 256, 3);
+    let w = xavier_matrix(1024, 256, 4);
+    let mut out = Matrix::zeros(16, 1024);
+    let mut backends = vec![KernelBackend::Scalar];
+    for b in [KernelBackend::Sse2, KernelBackend::Avx2] {
+        if b.is_available() {
+            backends.push(b);
+        }
+    }
+    for &backend in &backends {
+        c.bench_function(&format!("tensor/matmul_nt_16x256x1024_{backend}"), |b| {
+            b.iter(|| {
+                xs.matmul_nt_into_with_backend(&w, &mut out, 1, backend);
+                black_box(out.row(15)[1023])
+            })
+        });
+    }
+    let x: Vec<f32> = (0..256).map(|i| (i as f32 * 0.13).sin()).collect();
+    let mut y = vec![0.0f32; 1024];
+    for &backend in &backends {
+        c.bench_function(&format!("tensor/matvec_1024x256_{backend}"), |b| {
+            b.iter(|| {
+                w.matvec_into_with_backend(&x, &mut y, backend);
+                black_box(y[1023])
+            })
+        });
+    }
+    let _ = detected_backend();
+}
+
+fn bench_fused_quant_gemm(c: &mut Criterion) {
+    use klotski_tensor::matrix::Matrix;
+    // Staged dequantize-then-GEMM (what the slot path did before fusion)
+    // vs the fused quantized-domain GEMM, at an expert-FFN shape.
+    let w = xavier_matrix(1024, 256, 6);
+    let q = QuantizedMatrix::quantize(&w, QuantConfig::paper_default());
+    let xs = xavier_matrix(16, 256, 7);
+    let mut dense = Matrix::zeros(1024, 256);
+    let mut out = Matrix::zeros(16, 1024);
+    c.bench_function("tensor/quant_gemm_16x256x1024_staged", |b| {
+        b.iter(|| {
+            q.dequantize_into(&mut dense);
+            xs.matmul_nt_into(&dense, &mut out);
+            black_box(out.row(15)[1023])
+        })
+    });
+    c.bench_function("tensor/quant_gemm_16x256x1024_fused", |b| {
+        b.iter(|| {
+            q.matmul_nt_fused_into(&xs, &mut out);
+            black_box(out.row(15)[1023])
+        })
+    });
 }
 
 fn bench_native_kernels(c: &mut Criterion) {
@@ -266,6 +341,8 @@ criterion_group!(
     bench_planner,
     bench_prefetcher,
     bench_quantizer,
+    bench_simd_kernels,
+    bench_fused_quant_gemm,
     bench_native_kernels,
     bench_attention_kernels,
     bench_trace_generation,

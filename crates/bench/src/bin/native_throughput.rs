@@ -24,6 +24,19 @@
 //! with the expert path fixed at its best. Full mode gates the ≥1.3×
 //! decode win at 32 sequences.
 //!
+//! **Kernel-backend sweep** (`"model":"kernel_backend"` cells): decode
+//! cells with the tensor micro-kernels forced to the scalar reference vs
+//! the detected SIMD backend (`--features simd`; AVX2 or SSE2), everything
+//! else fixed at the default pipeline. Full mode gates the ≥1.5× decode
+//! win at 32 sequences when the AVX2 backend is available.
+//!
+//! **Quantized-GEMM sweep** (`"model":"quant_gemm"` cells): decode cells
+//! with a 4-bit quantized expert store, comparing the staged path
+//! (I/O-thread dequantize into a full-precision slot, then dense GEMMs)
+//! against the fused path (packed bytes in the slot, dequantization fused
+//! into the GEMM panel loop). Full mode gates fused > staged at the
+//! largest batch.
+//!
 //! The bin asserts all modes produce byte-identical tokens and final
 //! hidden states (both batching axes are numerics-neutral). Output ends
 //! with one JSON line per cell; everything in it is deterministic except
@@ -41,6 +54,8 @@ use klotski_bench::{cheap_mode, TextTable};
 use klotski_core::native::{run_pipeline, NativePipelineConfig, NativeRunResult};
 use klotski_moe::config::MoeConfig;
 use klotski_moe::model::MoeModel;
+use klotski_tensor::quant::QuantConfig;
+use klotski_tensor::simd::{cpu_features, detected_backend, KernelBackend};
 
 /// The expert-sweep benchmark model (identical to the PR 3 entries so the
 /// trajectory stays comparable). Bigger than the test presets on purpose:
@@ -144,6 +159,34 @@ struct AttnCell {
     attn_on: Duration,
 }
 
+/// One kernel-backend cell: scalar-forced vs detected-SIMD micro-kernels,
+/// pipeline otherwise at its default best.
+struct KernelCell {
+    n_seqs: usize,
+    tokens: usize,
+    scalar: Duration,
+    simd: Duration,
+}
+
+/// One quantized-GEMM cell: staged (dequantize-then-GEMM) vs fused
+/// (GEMM straight off the packed codes) on a 4-bit expert store.
+struct QuantCell {
+    n_seqs: usize,
+    tokens: usize,
+    staged: Duration,
+    fused: Duration,
+}
+
+/// The environment fields recorded in every JSON entry: what the CPU
+/// offers and which micro-kernel backend the run actually used.
+fn env_json() -> String {
+    format!(
+        "\"kernel_backend\":\"{}\",\"cpu_features\":\"{}\"",
+        detected_backend().name(),
+        cpu_features()
+    )
+}
+
 /// Best-of-2 runs (wall-clock noise) of one pipeline config; asserts the
 /// result matches `reference` bit-for-bit before timing counts.
 fn timed(
@@ -172,7 +215,7 @@ fn json_line(mode: &str, c: &Cell) -> String {
         "{{\"bench\":\"native_throughput\",\"mode\":\"{}\",\"phase\":\"{}\",\"seqs\":{},\
          \"tokens\":{},\"per_token_tps\":{:.1},\"batched_serial_tps\":{:.1},\
          \"batched_parallel_tps\":{:.1},\"attn_batched_tps\":{:.1},\"speedup_serial\":{:.2},\
-         \"speedup_parallel\":{:.2},\"speedup_attn\":{:.2}}}",
+         \"speedup_parallel\":{:.2},\"speedup_attn\":{:.2},{}}}",
         mode,
         c.phase,
         c.n_seqs,
@@ -184,6 +227,7 @@ fn json_line(mode: &str, c: &Cell) -> String {
         ratio(c.per_token, c.batched_serial),
         ratio(c.per_token, c.batched_parallel),
         ratio(c.batched_parallel, c.attn_batched),
+        env_json(),
     )
 }
 
@@ -191,13 +235,44 @@ fn attn_json_line(mode: &str, c: &AttnCell) -> String {
     format!(
         "{{\"bench\":\"native_throughput\",\"mode\":\"{}\",\"model\":\"attn_heavy\",\
          \"phase\":\"decode\",\"seqs\":{},\"tokens\":{},\"attn_off_tps\":{:.1},\
-         \"attn_on_tps\":{:.1},\"speedup_attn\":{:.2}}}",
+         \"attn_on_tps\":{:.1},\"speedup_attn\":{:.2},{}}}",
         mode,
         c.n_seqs,
         c.tokens,
         tps(c.tokens, c.attn_off),
         tps(c.tokens, c.attn_on),
         ratio(c.attn_off, c.attn_on),
+        env_json(),
+    )
+}
+
+fn kernel_json_line(mode: &str, c: &KernelCell) -> String {
+    format!(
+        "{{\"bench\":\"native_throughput\",\"mode\":\"{}\",\"model\":\"kernel_backend\",\
+         \"phase\":\"decode\",\"seqs\":{},\"tokens\":{},\"scalar_tps\":{:.1},\
+         \"simd_tps\":{:.1},\"speedup_simd\":{:.2},{}}}",
+        mode,
+        c.n_seqs,
+        c.tokens,
+        tps(c.tokens, c.scalar),
+        tps(c.tokens, c.simd),
+        ratio(c.scalar, c.simd),
+        env_json(),
+    )
+}
+
+fn quant_json_line(mode: &str, c: &QuantCell) -> String {
+    format!(
+        "{{\"bench\":\"native_throughput\",\"mode\":\"{}\",\"model\":\"quant_gemm\",\
+         \"phase\":\"decode\",\"seqs\":{},\"tokens\":{},\"staged_tps\":{:.1},\
+         \"fused_tps\":{:.1},\"speedup_fused\":{:.2},{}}}",
+        mode,
+        c.n_seqs,
+        c.tokens,
+        tps(c.tokens, c.staged),
+        tps(c.tokens, c.fused),
+        ratio(c.staged, c.fused),
+        env_json(),
     )
 }
 
@@ -358,10 +433,121 @@ fn attn_sweep(cheap: bool) -> Vec<AttnCell> {
     cells
 }
 
+fn kernel_sweep(cheap: bool) -> Vec<KernelCell> {
+    let mcfg = bench_model(cheap);
+    let model = MoeModel::new(mcfg);
+    let batch_sizes: Vec<usize> = if cheap { vec![2] } else { vec![8, 32] };
+    let (prompt_len, gen_len) = if cheap { (2, 6) } else { (4, 12) };
+
+    println!(
+        "\n== kernel-backend sweep: scalar vs {} micro-kernels (decode, cpu: {}) ==",
+        detected_backend(),
+        cpu_features(),
+    );
+    println!("same pipeline config both sides; only the tensor micro-kernels switch");
+
+    let scalar_cfg = NativePipelineConfig {
+        kernel_backend: Some(KernelBackend::Scalar),
+        ..Default::default()
+    };
+    let simd_cfg = NativePipelineConfig {
+        kernel_backend: Some(detected_backend()),
+        ..Default::default()
+    };
+
+    let mut cells = Vec::new();
+    for &n_seqs in &batch_sizes {
+        let p = prompts(n_seqs, prompt_len, mcfg.vocab);
+        let reference = run_pipeline(&model, &p, gen_len, &scalar_cfg);
+        let scalar = timed(
+            &model,
+            &p,
+            gen_len,
+            &scalar_cfg,
+            &reference,
+            "scalar kernels",
+        );
+        let simd = timed(&model, &p, gen_len, &simd_cfg, &reference, "simd kernels");
+        cells.push(KernelCell {
+            n_seqs,
+            tokens: n_seqs * (prompt_len + gen_len),
+            scalar,
+            simd,
+        });
+    }
+
+    let mut table = TextTable::new(["seqs", "tokens", "scalar tok/s", "simd tok/s", "speedup"]);
+    for c in &cells {
+        table.row([
+            c.n_seqs.to_string(),
+            c.tokens.to_string(),
+            format!("{:.0}", tps(c.tokens, c.scalar)),
+            format!("{:.0}", tps(c.tokens, c.simd)),
+            format!("{:.2}x", ratio(c.scalar, c.simd)),
+        ]);
+    }
+    table.print();
+    cells
+}
+
+fn quant_sweep(cheap: bool) -> Vec<QuantCell> {
+    let mcfg = bench_model(cheap);
+    let model = MoeModel::new(mcfg);
+    let batch_sizes: Vec<usize> = if cheap { vec![2] } else { vec![8, 32] };
+    let (prompt_len, gen_len) = if cheap { (2, 6) } else { (4, 12) };
+    let qcfg = QuantConfig::paper_default();
+
+    println!(
+        "\n== quantized-GEMM sweep: staged dequant-then-GEMM vs fused ({}-bit experts) ==",
+        qcfg.bits,
+    );
+    println!("staged = I/O thread dequantizes into a dense slot; fused = GEMM off packed codes");
+
+    let staged_cfg = NativePipelineConfig {
+        quant: Some(qcfg),
+        fused_quant: false,
+        ..Default::default()
+    };
+    let fused_cfg = NativePipelineConfig {
+        quant: Some(qcfg),
+        fused_quant: true,
+        ..Default::default()
+    };
+
+    let mut cells = Vec::new();
+    for &n_seqs in &batch_sizes {
+        let p = prompts(n_seqs, prompt_len, mcfg.vocab);
+        let reference = run_pipeline(&model, &p, gen_len, &staged_cfg);
+        let staged = timed(&model, &p, gen_len, &staged_cfg, &reference, "staged quant");
+        let fused = timed(&model, &p, gen_len, &fused_cfg, &reference, "fused quant");
+        cells.push(QuantCell {
+            n_seqs,
+            tokens: n_seqs * (prompt_len + gen_len),
+            staged,
+            fused,
+        });
+    }
+
+    let mut table = TextTable::new(["seqs", "tokens", "staged tok/s", "fused tok/s", "speedup"]);
+    for c in &cells {
+        table.row([
+            c.n_seqs.to_string(),
+            c.tokens.to_string(),
+            format!("{:.0}", tps(c.tokens, c.staged)),
+            format!("{:.0}", tps(c.tokens, c.fused)),
+            format!("{:.2}x", ratio(c.staged, c.fused)),
+        ]);
+    }
+    table.print();
+    cells
+}
+
 fn main() {
     let cheap = cheap_mode();
     let cells = expert_sweep(cheap);
     let attn_cells = attn_sweep(cheap);
+    let kernel_cells = kernel_sweep(cheap);
+    let quant_cells = quant_sweep(cheap);
 
     println!("\nall modes byte-identical (tokens + final hidden): confirmed");
 
@@ -381,9 +567,26 @@ fn main() {
         .filter(|c| c.n_seqs >= 32)
         .map(|c| ratio(c.attn_off, c.attn_on))
         .fold(0.0f64, f64::max);
+    // Kernel-backend bar: at 32 sequences, the SIMD micro-kernels must
+    // decode >= 1.5x faster than the scalar reference — gated only when
+    // the AVX2 backend is actually available (the `simd` feature is on
+    // and the CPU has AVX2).
+    let simd_gate = kernel_cells
+        .iter()
+        .filter(|c| c.n_seqs >= 32)
+        .map(|c| ratio(c.scalar, c.simd))
+        .fold(0.0f64, f64::max);
+    // Quantized-GEMM bar: at the largest batch, the fused path must beat
+    // staged dequantize-then-GEMM.
+    let quant_gate = quant_cells
+        .iter()
+        .map(|c| (c.n_seqs, ratio(c.staged, c.fused)))
+        .max_by_key(|&(n, _)| n)
+        .map_or(0.0, |(_, r)| r);
     if cheap {
         println!("decode speedup at >=8 seqs: {expert_gate:.2}x (cheap mode: not gated)");
         println!("attention speedup: cheap mode, not gated");
+        println!("kernel-backend and quantized-GEMM speedups: cheap mode, not gated");
     } else {
         println!("decode speedup at >=8 seqs: {expert_gate:.2}x (gate: >=2.00x)");
         assert!(
@@ -396,6 +599,25 @@ fn main() {
             "batched attention must be >=1.3x over per-token attention decode at 32 seqs, \
              got {attn_gate:.2}x"
         );
+        if KernelBackend::Avx2.is_available() {
+            println!("SIMD kernel decode speedup at 32 seqs: {simd_gate:.2}x (gate: >=1.50x)");
+            assert!(
+                simd_gate >= 1.5,
+                "AVX2 kernels must be >=1.5x over scalar decode at 32 seqs, got {simd_gate:.2}x"
+            );
+        } else {
+            println!(
+                "SIMD kernel decode speedup at 32 seqs: {simd_gate:.2}x \
+                 (not gated: AVX2 backend unavailable, detected {})",
+                detected_backend()
+            );
+        }
+        println!("fused quantized-GEMM decode speedup at 32 seqs: {quant_gate:.2}x (gate: >1.00x)");
+        assert!(
+            quant_gate > 1.0,
+            "fused quantized GEMM must beat staged dequantize-then-GEMM at the largest batch, \
+             got {quant_gate:.2}x"
+        );
     }
 
     println!("\n-- JSON --");
@@ -405,5 +627,11 @@ fn main() {
     }
     for c in &attn_cells {
         println!("{}", attn_json_line(mode, c));
+    }
+    for c in &kernel_cells {
+        println!("{}", kernel_json_line(mode, c));
+    }
+    for c in &quant_cells {
+        println!("{}", quant_json_line(mode, c));
     }
 }

@@ -55,9 +55,10 @@ use klotski_moe::attention::AttnMask;
 use klotski_moe::h2o::{H2oConfig, H2oState};
 use klotski_moe::kv::KvCache;
 use klotski_moe::model::MoeModel;
-use klotski_moe::weights::ExpertWeights;
+use klotski_moe::weights::{ExpertWeights, QuantizedExpertWeights};
 use klotski_tensor::matrix::Matrix;
 use klotski_tensor::quant::QuantConfig;
+use klotski_tensor::simd::{BackendGuard, KernelBackend};
 
 use super::store::ExpertStore;
 
@@ -95,6 +96,22 @@ pub struct NativePipelineConfig {
     /// `h2o` policy always attends per token: its heavy-hitter state
     /// updates are sequential by design.
     pub batch_attention: bool,
+    /// Kernel backend to force for the run (`None` uses the detected
+    /// best). All backends are bit-identical, so this axis only moves
+    /// wall-clock — it exists for scalar-vs-SIMD benchmarking. The force
+    /// is process-global for the duration of the run (a scoped guard
+    /// restores the previous setting afterwards); concurrent pipelines in
+    /// one process would share it harmlessly, because outputs don't
+    /// depend on the backend.
+    pub kernel_backend: Option<KernelBackend>,
+    /// With `quant` set and `batch_experts` on: keep experts **packed**
+    /// in the VRAM slots and compute through the fused quantized GEMM
+    /// (`true`, the default) — no full-precision slab ever exists on the
+    /// fetch path — versus staging a dequantized copy into the slot and
+    /// running dense GEMMs (`false`, the pre-fusion path kept for
+    /// benchmark comparison). Output is bit-identical either way; the
+    /// axis only changes where dequantization happens.
+    pub fused_quant: bool,
 }
 
 /// Default worker-pool width: leave a core each for the inference and I/O
@@ -119,6 +136,8 @@ impl Default for NativePipelineConfig {
             batch_experts: true,
             compute_workers: default_compute_workers(),
             batch_attention: true,
+            kernel_backend: None,
+            fused_quant: true,
         }
     }
 }
@@ -147,10 +166,57 @@ struct FetchRequest {
     expert: usize,
 }
 
+/// One VRAM slot buffer: a dense expert, or — on the fused quantized
+/// path — the packed codes themselves, `bits/8 + metadata` bytes per
+/// parameter instead of 4. The slot's form is fixed when the pool is
+/// built; buffers circulate unchanged so every fetch stays allocation-free
+/// after first use.
+#[derive(Debug)]
+enum VramExpert {
+    /// Full-precision weights (copied or dequantized into the slot).
+    Dense(ExpertWeights),
+    /// Packed quantized weights; compute runs the fused quantized GEMM.
+    Packed(QuantizedExpertWeights),
+}
+
+impl VramExpert {
+    /// Batched SwiGLU forward. `threads` only applies to the dense GEMMs;
+    /// the fused quantized path is single-threaded per expert (the worker
+    /// pool parallelizes across experts instead). Bit-identical across
+    /// forms when the packed codes decode to the dense weights.
+    fn forward_batch_threaded(&self, xs: &Matrix, threads: usize) -> Matrix {
+        match self {
+            VramExpert::Dense(w) => w.forward_batch_threaded(xs, threads),
+            VramExpert::Packed(q) => q.forward_batch(xs),
+        }
+    }
+
+    /// Batched forward with an automatic thread count (inline compute on
+    /// the inference thread, where no worker pool competes for cores).
+    fn forward_batch(&self, xs: &Matrix) -> Matrix {
+        match self {
+            VramExpert::Dense(w) => w.forward_batch(xs),
+            VramExpert::Packed(q) => q.forward_batch(xs),
+        }
+    }
+
+    /// The dense weights, for the retained per-token fallback — which
+    /// never runs with packed slots (the pool is only packed when
+    /// `batch_experts` is on).
+    fn as_dense(&self) -> &ExpertWeights {
+        match self {
+            VramExpert::Dense(w) => w,
+            VramExpert::Packed(_) => {
+                unreachable!("per-token fallback requires dense slots")
+            }
+        }
+    }
+}
+
 #[derive(Debug)]
 struct FetchedExpert {
     expert: usize,
-    weights: ExpertWeights,
+    weights: VramExpert,
 }
 
 /// What the inference thread multiplexes on: expert arrivals from the I/O
@@ -164,14 +230,14 @@ enum Event {
         expert: usize,
         rows: Matrix,
         /// The slot buffer travels with the task and returns to the pool.
-        weights: ExpertWeights,
+        weights: VramExpert,
     },
 }
 
 /// One expert's batched forward, shipped to the worker pool.
 struct ComputeTask {
     expert: usize,
-    weights: ExpertWeights,
+    weights: VramExpert,
     /// The routed tokens' normalized hidden states, one per row.
     xs: Matrix,
 }
@@ -198,6 +264,10 @@ pub fn run_pipeline(
     assert!(!prompts.is_empty(), "no prompts");
     let mcfg = *model.config();
     let n_seqs = prompts.len();
+    // Pin the kernel backend for the run if the config asks for one. The
+    // force is process-global, but every backend is bit-identical, so a
+    // concurrent pipeline sharing it can only change in wall-clock.
+    let _backend_guard = cfg.kernel_backend.map(BackendGuard::force);
     let store = ExpertStore::from_model(model, cfg.quant);
     // Time the pipeline itself; store construction is model loading.
     let start = Instant::now();
@@ -208,12 +278,18 @@ pub fn run_pipeline(
     // expert and stages the fetch into it; the inference thread returns
     // the buffer when the expert is offloaded. Because the buffers
     // circulate, every fetch after each buffer's first use is a pure copy
-    // with no allocation (all experts share one shape).
-    let (slot_tx, slot_rx) = bounded::<ExpertWeights>(cfg.vram_slots);
+    // with no allocation (all experts share one shape). With quantization
+    // and the fused GEMM on, the slots hold the packed codes themselves —
+    // the fetch copies `bits/8 + metadata` bytes per parameter and no
+    // full-precision slab ever exists on the path.
+    let packed_slots = cfg.batch_experts && cfg.fused_quant && cfg.quant.is_some();
+    let (slot_tx, slot_rx) = bounded::<VramExpert>(cfg.vram_slots);
     for _ in 0..cfg.vram_slots {
-        slot_tx
-            .send(ExpertWeights::placeholder())
-            .expect("filling fresh slot pool");
+        let slot = match (packed_slots, cfg.quant) {
+            (true, Some(qcfg)) => VramExpert::Packed(QuantizedExpertWeights::placeholder(qcfg)),
+            _ => VramExpert::Dense(ExpertWeights::placeholder()),
+        };
+        slot_tx.send(slot).expect("filling fresh slot pool");
     }
 
     let mut result = NativeRunResult {
@@ -237,7 +313,10 @@ pub fn run_pipeline(
                 let Ok(mut weights) = slot_rx.recv() else {
                     break;
                 };
-                io_store.fetch_into(req.layer, req.expert, &mut weights);
+                match &mut weights {
+                    VramExpert::Dense(w) => io_store.fetch_into(req.layer, req.expert, w),
+                    VramExpert::Packed(q) => io_store.fetch_packed_into(req.layer, req.expert, q),
+                }
                 served += 1;
                 if io_event_tx
                     .send(Event::Fetched(FetchedExpert {
@@ -446,7 +525,7 @@ pub fn run_pipeline(
                                 // every time (the pre-batching path).
                                 let mut rows = Matrix::zeros(tokens_of[e].len(), mcfg.d_model);
                                 for (r, &(s, _)) in tokens_of[e].iter().enumerate() {
-                                    let out = fetched.weights.forward(&normed[s]);
+                                    let out = fetched.weights.as_dense().forward(&normed[s]);
                                     rows.row_mut(r).copy_from_slice(&out);
                                 }
                                 expert_rows[e] = Some(rows);
@@ -617,6 +696,62 @@ mod tests {
             .map(|(a, b)| (a - b).abs())
             .fold(0.0, f32::max);
         assert!(max_diff < 1.0, "quantized drift too large: {max_diff}");
+    }
+
+    #[test]
+    fn fused_and_staged_quantized_runs_are_bit_identical() {
+        // The fused quantized GEMM changes where dequantization happens,
+        // not a single output bit: packed slots + in-register dequant must
+        // equal dequantize-into-slot + dense GEMMs exactly, with and
+        // without the worker pool.
+        let model = MoeModel::new(MoeConfig::tiny(11));
+        let p = prompts(4, 6, model.config().vocab);
+        let staged = run_pipeline(
+            &model,
+            &p,
+            4,
+            &NativePipelineConfig {
+                quant: Some(QuantConfig::paper_default()),
+                fused_quant: false,
+                ..Default::default()
+            },
+        );
+        for workers in [1usize, 3] {
+            let fused = run_pipeline(
+                &model,
+                &p,
+                4,
+                &NativePipelineConfig {
+                    quant: Some(QuantConfig::paper_default()),
+                    fused_quant: true,
+                    compute_workers: workers,
+                    ..Default::default()
+                },
+            );
+            assert_eq!(fused.tokens, staged.tokens, "workers={workers}");
+            assert_eq!(fused.final_hidden, staged.final_hidden, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn kernel_backends_are_bit_identical_end_to_end() {
+        // Forcing the scalar backend versus the detected best must not
+        // change a bit of any output — the whole-pipeline form of the
+        // kernel-level byte-identity proptests.
+        let model = MoeModel::new(MoeConfig::tiny(27));
+        let p = prompts(3, 6, model.config().vocab);
+        let scalar = run_pipeline(
+            &model,
+            &p,
+            4,
+            &NativePipelineConfig {
+                kernel_backend: Some(KernelBackend::Scalar),
+                ..Default::default()
+            },
+        );
+        let detected = run_pipeline(&model, &p, 4, &NativePipelineConfig::default());
+        assert_eq!(scalar.tokens, detected.tokens);
+        assert_eq!(scalar.final_hidden, detected.final_hidden);
     }
 
     #[test]

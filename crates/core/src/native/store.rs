@@ -2,28 +2,24 @@
 //!
 //! Experts are the offloaded tensor class (they dominate MoE parameter
 //! counts); attention, gate and norm weights stay resident. The store can
-//! hold experts quantized — fetching then performs the dequantization the
-//! paper does "before computation" (§7), on the I/O thread, so the compute
-//! thread only ever sees full-precision weights.
+//! hold experts quantized — fetching then either performs the
+//! dequantization the paper does "before computation" (§7) on the I/O
+//! thread ([`ExpertStore::fetch_into`]), or hands over the packed bytes
+//! themselves ([`ExpertStore::fetch_packed_into`]) for the fused
+//! quantized-GEMM path, where compute runs straight off the codes and no
+//! full-precision slab ever exists in the slot buffer.
 
 use klotski_moe::model::MoeModel;
-use klotski_moe::weights::ExpertWeights;
-use klotski_tensor::quant::{QuantConfig, QuantizedMatrix};
+use klotski_moe::weights::{ExpertWeights, QuantizedExpertWeights};
+use klotski_tensor::quant::QuantConfig;
 
 /// One expert as stored in the DRAM tier.
 #[derive(Debug, Clone)]
 pub enum StoredExpert {
     /// Full precision (fetch is a copy).
     Full(ExpertWeights),
-    /// Group-quantized (fetch dequantizes).
-    Quantized {
-        /// Quantized gate projection.
-        w1: QuantizedMatrix,
-        /// Quantized down projection.
-        w2: QuantizedMatrix,
-        /// Quantized up projection.
-        w3: QuantizedMatrix,
-    },
+    /// Group-quantized (fetch dequantizes, or copies the packed bytes).
+    Quantized(QuantizedExpertWeights),
 }
 
 /// The expert weights of a whole model, held in the slow tier.
@@ -45,11 +41,9 @@ impl ExpertStore {
                     .iter()
                     .map(|e| match quant {
                         None => StoredExpert::Full(e.clone()),
-                        Some(cfg) => StoredExpert::Quantized {
-                            w1: QuantizedMatrix::quantize(&e.w1, cfg),
-                            w2: QuantizedMatrix::quantize(&e.w2, cfg),
-                            w3: QuantizedMatrix::quantize(&e.w3, cfg),
-                        },
+                        Some(cfg) => {
+                            StoredExpert::Quantized(QuantizedExpertWeights::quantize(e, cfg))
+                        }
                     })
                     .collect()
             })
@@ -95,11 +89,33 @@ impl ExpertStore {
                 out.w2.copy_from(&w.w2);
                 out.w3.copy_from(&w.w3);
             }
-            StoredExpert::Quantized { w1, w2, w3 } => {
-                w1.dequantize_into(&mut out.w1);
-                w2.dequantize_into(&mut out.w2);
-                w3.dequantize_into(&mut out.w3);
+            StoredExpert::Quantized(q) => q.dequantize_into(out),
+        }
+    }
+
+    /// Whether the store holds experts in quantized form.
+    pub fn is_quantized(&self) -> bool {
+        matches!(
+            self.experts.first().and_then(|l| l.first()),
+            Some(StoredExpert::Quantized(_))
+        )
+    }
+
+    /// Fetches the **packed** form of (`layer`, `expert`) into a reused
+    /// slot: a copy of `bits/8 + metadata` bytes per parameter instead of
+    /// a 4-byte-per-parameter dequantized slab — the transfer the fused
+    /// quantized-GEMM compute path runs from.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range or the store is not
+    /// quantized.
+    pub fn fetch_packed_into(&self, layer: usize, expert: usize, out: &mut QuantizedExpertWeights) {
+        match &self.experts[layer][expert] {
+            StoredExpert::Full(_) => {
+                panic!("fetch_packed_into on a full-precision store")
             }
+            StoredExpert::Quantized(q) => out.copy_from(q),
         }
     }
 }
@@ -123,10 +139,35 @@ mod tests {
     fn quantized_store_fetches_close_weights() {
         let model = MoeModel::new(MoeConfig::tiny(7));
         let store = ExpertStore::from_model(&model, Some(QuantConfig::paper_default()));
+        assert!(store.is_quantized());
         let fetched = store.fetch(1, 2);
         let original = &model.weights().layers[1].experts[2];
         let err = fetched.w1.max_abs_diff(&original.w1);
         assert!(err > 0.0, "quantization must not be lossless here");
         assert!(err < 0.05, "4-bit error too large: {err}");
+    }
+
+    #[test]
+    fn packed_fetch_matches_dequantized_fetch_bitwise() {
+        use klotski_moe::weights::QuantizedExpertWeights;
+        let model = MoeModel::new(MoeConfig::tiny(7));
+        let qcfg = QuantConfig::paper_default();
+        let store = ExpertStore::from_model(&model, Some(qcfg));
+        let mut packed = QuantizedExpertWeights::placeholder(qcfg);
+        store.fetch_packed_into(2, 1, &mut packed);
+        let mut via_packed = ExpertWeights::placeholder();
+        packed.dequantize_into(&mut via_packed);
+        assert_eq!(via_packed, store.fetch(2, 1));
+        assert!(!ExpertStore::from_model(&model, None).is_quantized());
+    }
+
+    #[test]
+    #[should_panic(expected = "full-precision store")]
+    fn packed_fetch_rejects_full_store() {
+        use klotski_moe::weights::QuantizedExpertWeights;
+        let model = MoeModel::new(MoeConfig::tiny(7));
+        let store = ExpertStore::from_model(&model, None);
+        let mut packed = QuantizedExpertWeights::placeholder(QuantConfig::paper_default());
+        store.fetch_packed_into(0, 0, &mut packed);
     }
 }

@@ -41,5 +41,7 @@ pub mod prelude {
     pub use crate::gate::Routing;
     pub use crate::kv::KvCache;
     pub use crate::model::{GenerationResult, MoeModel, Phase, RoutingEvent};
-    pub use crate::weights::{AttnWeights, ExpertWeights, LayerWeights, MoeWeights};
+    pub use crate::weights::{
+        AttnWeights, ExpertWeights, LayerWeights, MoeWeights, QuantizedExpertWeights,
+    };
 }

@@ -8,6 +8,7 @@
 use klotski_tensor::init::{norm_weight, sub_seed, xavier_matrix};
 use klotski_tensor::matrix::{auto_threads, Matrix};
 use klotski_tensor::ops::silu;
+use klotski_tensor::quant::{QuantConfig, QuantizedMatrix};
 
 use crate::config::MoeConfig;
 
@@ -146,6 +147,91 @@ impl ExpertWeights {
         self.w1.rows() * self.w1.cols()
             + self.w2.rows() * self.w2.cols()
             + self.w3.rows() * self.w3.cols()
+    }
+}
+
+/// One expert kept in its packed quantized form — the three SwiGLU
+/// matrices as [`QuantizedMatrix`] — with a batched forward that computes
+/// straight off the packed codes via the fused quantized GEMM. No
+/// full-precision staging matrix exists on this path: a VRAM slot holding
+/// one of these is `bits/8 + metadata` bytes per parameter instead of 4.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedExpertWeights {
+    /// Gate projection, packed.
+    pub w1: QuantizedMatrix,
+    /// Down projection, packed.
+    pub w2: QuantizedMatrix,
+    /// Up projection, packed.
+    pub w3: QuantizedMatrix,
+}
+
+impl QuantizedExpertWeights {
+    /// Quantizes a full-precision expert.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` is invalid (see [`QuantConfig`]).
+    pub fn quantize(expert: &ExpertWeights, config: QuantConfig) -> Self {
+        QuantizedExpertWeights {
+            w1: QuantizedMatrix::quantize(&expert.w1, config),
+            w2: QuantizedMatrix::quantize(&expert.w2, config),
+            w3: QuantizedMatrix::quantize(&expert.w3, config),
+        }
+    }
+
+    /// An empty packed expert — a placeholder buffer for slot pools that
+    /// fill it via [`QuantizedExpertWeights::copy_from`].
+    pub fn placeholder(config: QuantConfig) -> Self {
+        QuantizedExpertWeights::quantize(&ExpertWeights::placeholder(), config)
+    }
+
+    /// Reconstructs the full-precision expert into reused buffers — the
+    /// staging path this type exists to avoid, kept for tests and for
+    /// callers that need dense weights.
+    pub fn dequantize_into(&self, out: &mut ExpertWeights) {
+        self.w1.dequantize_into(&mut out.w1);
+        self.w2.dequantize_into(&mut out.w2);
+        self.w3.dequantize_into(&mut out.w3);
+    }
+
+    /// Becomes a copy of `src`, reusing the packed buffers when capacity
+    /// allows — the transfer-into-a-resident-slot primitive.
+    pub fn copy_from(&mut self, src: &QuantizedExpertWeights) {
+        self.w1.copy_from(&src.w1);
+        self.w2.copy_from(&src.w2);
+        self.w3.copy_from(&src.w3);
+    }
+
+    /// Batched SwiGLU forward straight off the packed codes: both GEMM
+    /// pairs run through [`QuantizedMatrix::matmul_nt_fused_into`], so
+    /// dequantization happens a 64-code panel at a time in registers.
+    /// Output is **bit-identical** to dequantizing this expert and calling
+    /// [`ExpertWeights::forward_batch`] (the fused GEMM preserves both the
+    /// dequant expression and every accumulation chain).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs.cols()` does not match `d_model`.
+    pub fn forward_batch(&self, xs: &Matrix) -> Matrix {
+        assert_eq!(xs.cols(), self.w1.cols(), "expert input width mismatch");
+        let n_tokens = xs.rows();
+        let d_ff = self.w1.rows();
+        let d_model = self.w2.rows();
+        let mut gate = Matrix::zeros(n_tokens, d_ff);
+        self.w1.matmul_nt_fused_into(xs, &mut gate);
+        let mut up = Matrix::zeros(n_tokens, d_ff);
+        self.w3.matmul_nt_fused_into(xs, &mut up);
+        for (g, &u) in gate.as_mut_slice().iter_mut().zip(up.as_slice()) {
+            *g = silu(*g) * u;
+        }
+        let mut out = Matrix::zeros(n_tokens, d_model);
+        self.w2.matmul_nt_fused_into(&gate, &mut out);
+        out
+    }
+
+    /// Actual stored bytes across the three matrices (codes + metadata).
+    pub fn stored_bytes(&self) -> usize {
+        self.w1.stored_bytes() + self.w2.stored_bytes() + self.w3.stored_bytes()
     }
 }
 
@@ -331,6 +417,33 @@ mod tests {
         let cfg = MoeConfig::tiny(5);
         let e = ExpertWeights::seeded(&cfg, 0, 0);
         let _ = e.forward_batch(&Matrix::zeros(2, 3));
+    }
+
+    #[test]
+    fn quantized_expert_fused_forward_matches_staged_bitwise() {
+        let cfg = MoeConfig::tiny(5);
+        let e = ExpertWeights::seeded(&cfg, 1, 0);
+        let q = QuantizedExpertWeights::quantize(&e, QuantConfig::paper_default());
+        let mut staged = ExpertWeights::placeholder();
+        q.dequantize_into(&mut staged);
+        let xs = Matrix::from_fn(9, cfg.d_model, |r, c| {
+            ((r * 17 + c * 3) as f32 * 0.07).sin()
+        });
+        assert_eq!(q.forward_batch(&xs), staged.forward_batch(&xs));
+        // And the packed form really is smaller than dense f32.
+        assert!(q.stored_bytes() < 4 * e.n_params());
+    }
+
+    #[test]
+    fn quantized_expert_copy_from_round_trips() {
+        let cfg = MoeConfig::tiny(5);
+        let qcfg = QuantConfig::paper_default();
+        let src = QuantizedExpertWeights::quantize(&ExpertWeights::seeded(&cfg, 0, 2), qcfg);
+        let mut slot = QuantizedExpertWeights::placeholder(qcfg);
+        slot.copy_from(&src);
+        assert_eq!(slot, src);
+        let xs = Matrix::from_fn(2, cfg.d_model, |_, c| (c as f32 * 0.2).cos());
+        assert_eq!(slot.forward_batch(&xs), src.forward_batch(&xs));
     }
 }
 

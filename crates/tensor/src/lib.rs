@@ -22,6 +22,7 @@ pub mod init;
 pub mod matrix;
 pub mod ops;
 pub mod quant;
+pub mod simd;
 
 /// Convenience re-exports of the most used types.
 pub mod prelude {
@@ -29,4 +30,5 @@ pub mod prelude {
     pub use crate::matrix::Matrix;
     pub use crate::ops::{argmax, relu, rmsnorm_inplace, silu, softmax_inplace, top_k};
     pub use crate::quant::{QuantConfig, QuantizedMatrix};
+    pub use crate::simd::{active_backend, detected_backend, KernelBackend};
 }

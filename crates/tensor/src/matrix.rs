@@ -15,7 +15,15 @@
 //! The bit-exactness invariant is what lets the native MoE pipeline swap
 //! per-token matvecs for batched GEMMs without perturbing the
 //! pipeline-vs-reference comparisons.
+//!
+//! With the `simd` cargo feature the register micro-kernels additionally
+//! dispatch to explicit x86-64 intrinsic implementations (see
+//! [`crate::simd`]); those are bit-identical too — each vector lane is one
+//! output's ascending-k scalar chain — so backend choice only moves
+//! wall-clock. The `*_with_backend` entry points pin a backend explicitly;
+//! everything else uses [`active_backend`](crate::simd::active_backend).
 
+use crate::simd::{active_backend, KernelBackend};
 use std::fmt;
 
 /// A-row block: output rows processed together so their slices of `rhs`
@@ -51,7 +59,15 @@ pub fn auto_threads(madds: usize) -> usize {
 /// Tiled `out = A · B` over `m` rows of `a` (row-major, inner dim `k`,
 /// `b` is `k × n`). Per output element the k-accumulation order is the
 /// naive ikj order, so results are bit-identical to [`mm_naive_rows`].
-fn mm_rows(a: &[f32], m: usize, k: usize, b: &[f32], n: usize, out: &mut [f32]) {
+fn mm_rows(
+    a: &[f32],
+    m: usize,
+    k: usize,
+    b: &[f32],
+    n: usize,
+    out: &mut [f32],
+    backend: KernelBackend,
+) {
     out.fill(0.0);
     for ib in (0..m).step_by(TILE_I) {
         let ie = (ib + TILE_I).min(m);
@@ -65,14 +81,38 @@ fn mm_rows(a: &[f32], m: usize, k: usize, b: &[f32], n: usize, out: &mut [f32]) 
                     for kk in kb..ke {
                         let av = a_row[kk];
                         let b_row = &b[kk * n + jb..kk * n + je];
-                        for (o, &bv) in o_row.iter_mut().zip(b_row) {
-                            *o += av * bv;
-                        }
+                        axpy_b(backend, av, b_row, o_row);
                     }
                 }
             }
         }
     }
+}
+
+/// `out[j] += a · x[j]` — the axpy inner step of the nn kernel, with one
+/// product rounded before each add (the per-element order every backend
+/// preserves).
+#[inline]
+fn axpy_scalar(a: f32, x: &[f32], out: &mut [f32]) {
+    for (o, &bv) in out.iter_mut().zip(x) {
+        *o += a * bv;
+    }
+}
+
+/// Backend dispatch for the axpy step. All arms are bit-identical; the
+/// SIMD arms only exist when the `simd` feature compiles them in.
+#[inline]
+pub(crate) fn axpy_b(backend: KernelBackend, a: f32, x: &[f32], out: &mut [f32]) {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    match backend {
+        // SAFETY: availability was checked when `backend` was selected
+        // (detection or `force_backend`), and `x` covers `out`.
+        KernelBackend::Avx2 => return unsafe { crate::simd::x86::axpy_avx2(a, x, out) },
+        KernelBackend::Sse2 => return unsafe { crate::simd::x86::axpy_sse2(a, x, out) },
+        KernelBackend::Scalar => {}
+    }
+    let _ = backend;
+    axpy_scalar(a, x, out);
 }
 
 /// How many output columns the `nt` kernel carries per pass over k. Each
@@ -81,7 +121,7 @@ fn mm_rows(a: &[f32], m: usize, k: usize, b: &[f32], n: usize, out: &mut [f32]) 
 /// dependency chains hide FMA latency — a single sequential chain caps a
 /// scalar dot at ~1 mul-add per FMA-latency, several× below machine
 /// throughput — and each `a` element is loaded once per 8 outputs.
-const NT_COLS: usize = 8;
+pub(crate) const NT_COLS: usize = 8;
 
 /// `NT_COLS` dots of one `a` row against consecutive `b` rows, sharing the
 /// `a` loads across all column accumulators.
@@ -113,10 +153,62 @@ fn nt_micro_2xu(
     }
 }
 
+/// Backend dispatch for the 1×[`NT_COLS`] micro-kernel. Callers must
+/// ensure every `rows[u]` has at least `a_row.len()` elements.
+#[inline]
+pub(crate) fn nt_micro_1xu_b(
+    backend: KernelBackend,
+    a_row: &[f32],
+    rows: &[&[f32]; NT_COLS],
+    acc: &mut [f32; NT_COLS],
+) {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    match backend {
+        // SAFETY: availability was checked when `backend` was selected,
+        // and the caller guarantees the row lengths.
+        KernelBackend::Avx2 => {
+            return unsafe { crate::simd::x86::nt_micro_1x8_avx2(a_row, rows, acc) }
+        }
+        KernelBackend::Sse2 => {
+            return unsafe { crate::simd::x86::nt_micro_1x8_sse2(a_row, rows, acc) }
+        }
+        KernelBackend::Scalar => {}
+    }
+    let _ = backend;
+    nt_micro_1xu(a_row, rows, acc);
+}
+
+/// Backend dispatch for the 2×[`NT_COLS`] micro-kernel. Callers must
+/// ensure `a0.len() == a1.len()` and every `rows[u]` has at least
+/// `a0.len()` elements.
+#[inline]
+pub(crate) fn nt_micro_2xu_b(
+    backend: KernelBackend,
+    a0: &[f32],
+    a1: &[f32],
+    rows: &[&[f32]; NT_COLS],
+    acc0: &mut [f32; NT_COLS],
+    acc1: &mut [f32; NT_COLS],
+) {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    match backend {
+        // SAFETY: as in `nt_micro_1xu_b`.
+        KernelBackend::Avx2 => {
+            return unsafe { crate::simd::x86::nt_micro_2x8_avx2(a0, a1, rows, acc0, acc1) }
+        }
+        KernelBackend::Sse2 => {
+            return unsafe { crate::simd::x86::nt_micro_2x8_sse2(a0, a1, rows, acc0, acc1) }
+        }
+        KernelBackend::Scalar => {}
+    }
+    let _ = backend;
+    nt_micro_2xu(a0, a1, rows, acc0, acc1);
+}
+
 /// One dot product, sequential accumulator — the remainder path and the
 /// per-element definition the micro-kernels replicate exactly.
 #[inline]
-fn nt_dot(a_row: &[f32], b_row: &[f32]) -> f32 {
+pub(crate) fn nt_dot(a_row: &[f32], b_row: &[f32]) -> f32 {
     let mut acc = 0.0f32;
     for (&x, &y) in a_row.iter().zip(b_row) {
         acc += x * y;
@@ -132,7 +224,15 @@ fn nt_dot(a_row: &[f32], b_row: &[f32]) -> f32 {
 /// register block matters because one sequential chain is FMA-latency
 /// bound: 16 independent accumulators hide the latency, and sharing each
 /// `b` load across two rows halves the loads per mul-add.
-fn mm_nt_rows(a: &[f32], m: usize, k: usize, b: &[f32], n: usize, out: &mut [f32]) {
+fn mm_nt_rows(
+    a: &[f32],
+    m: usize,
+    k: usize,
+    b: &[f32],
+    n: usize,
+    out: &mut [f32],
+    backend: KernelBackend,
+) {
     for ib in (0..m).step_by(TILE_I) {
         let ie = (ib + TILE_I).min(m);
         for jb in (0..n).step_by(TILE_J) {
@@ -146,14 +246,14 @@ fn mm_nt_rows(a: &[f32], m: usize, k: usize, b: &[f32], n: usize, out: &mut [f32
                     let (a0, a1) = (&a[i * k..(i + 1) * k], &a[(i + 1) * k..(i + 2) * k]);
                     let mut acc0 = [0.0f32; NT_COLS];
                     let mut acc1 = [0.0f32; NT_COLS];
-                    nt_micro_2xu(a0, a1, &rows, &mut acc0, &mut acc1);
+                    nt_micro_2xu_b(backend, a0, a1, &rows, &mut acc0, &mut acc1);
                     out[i * n + j..i * n + j + NT_COLS].copy_from_slice(&acc0);
                     out[(i + 1) * n + j..(i + 1) * n + j + NT_COLS].copy_from_slice(&acc1);
                     i += 2;
                 }
                 if i < ie {
                     let mut acc = [0.0f32; NT_COLS];
-                    nt_micro_1xu(&a[i * k..(i + 1) * k], &rows, &mut acc);
+                    nt_micro_1xu_b(backend, &a[i * k..(i + 1) * k], &rows, &mut acc);
                     out[i * n + j..i * n + j + NT_COLS].copy_from_slice(&acc);
                 }
                 j += NT_COLS;
@@ -368,6 +468,24 @@ impl Matrix {
     ///
     /// Panics on any shape mismatch.
     pub fn matmul_into_threaded(&self, rhs: &Matrix, out: &mut Matrix, threads: usize) {
+        self.matmul_into_with_backend(rhs, out, threads, active_backend());
+    }
+
+    /// [`Matrix::matmul_into_threaded`] with the kernel backend pinned
+    /// explicitly rather than read from the process-global setting —
+    /// race-free for A/B tests and benchmarks. Bit-identical at any
+    /// backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any shape mismatch.
+    pub fn matmul_into_with_backend(
+        &self,
+        rhs: &Matrix,
+        out: &mut Matrix,
+        threads: usize,
+        backend: KernelBackend,
+    ) {
         assert_eq!(self.cols, rhs.rows, "inner dimension mismatch");
         assert_eq!(out.rows, self.rows, "output rows mismatch");
         assert_eq!(out.cols, rhs.cols, "output cols mismatch");
@@ -380,7 +498,7 @@ impl Matrix {
             n,
             &mut out.data,
             threads,
-            |a, m, k, o| mm_rows(a, m, k, b, n, o),
+            move |a, m, k, o| mm_rows(a, m, k, b, n, o, backend),
         );
     }
 
@@ -437,6 +555,24 @@ impl Matrix {
     ///
     /// Panics on any shape mismatch.
     pub fn matmul_nt_into_threaded(&self, rhs: &Matrix, out: &mut Matrix, threads: usize) {
+        self.matmul_nt_into_with_backend(rhs, out, threads, active_backend());
+    }
+
+    /// [`Matrix::matmul_nt_into_threaded`] with the kernel backend pinned
+    /// explicitly rather than read from the process-global setting —
+    /// race-free for A/B tests and benchmarks. Bit-identical at any
+    /// backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any shape mismatch.
+    pub fn matmul_nt_into_with_backend(
+        &self,
+        rhs: &Matrix,
+        out: &mut Matrix,
+        threads: usize,
+        backend: KernelBackend,
+    ) {
         assert_eq!(self.cols, rhs.cols, "inner dimension mismatch");
         assert_eq!(out.rows, self.rows, "output rows mismatch");
         assert_eq!(out.cols, rhs.rows, "output cols mismatch");
@@ -449,7 +585,7 @@ impl Matrix {
             n,
             &mut out.data,
             threads,
-            |a, m, k, o| mm_nt_rows(a, m, k, b, n, o),
+            move |a, m, k, o| mm_nt_rows(a, m, k, b, n, o, backend),
         );
     }
 
@@ -463,9 +599,19 @@ impl Matrix {
     ///
     /// Panics if `x.len() != self.cols` or `out.len() != self.rows`.
     pub fn matvec_into(&self, x: &[f32], out: &mut [f32]) {
+        self.matvec_into_with_backend(x, out, active_backend());
+    }
+
+    /// [`Matrix::matvec_into`] with the kernel backend pinned explicitly.
+    /// Bit-identical at any backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols` or `out.len() != self.rows`.
+    pub fn matvec_into_with_backend(&self, x: &[f32], out: &mut [f32], backend: KernelBackend) {
         assert_eq!(x.len(), self.cols, "matvec input width mismatch");
         assert_eq!(out.len(), self.rows, "matvec output width mismatch");
-        mm_nt_rows(x, 1, self.cols, &self.data, self.rows, out);
+        mm_nt_rows(x, 1, self.cols, &self.data, self.rows, out, backend);
     }
 
     /// Reference `self · rhsᵀ`: the naive per-element dot product, kept so
@@ -669,13 +815,29 @@ pub fn matvec_strided_naive(x: &[f32], rows: &StridedRows<'_>, idx: &[usize], ou
 ///
 /// Panics if `out.len() != idx.len()` or `x.len() != rows.width()`.
 pub fn matvec_strided_into(x: &[f32], rows: &StridedRows<'_>, idx: &[usize], out: &mut [f32]) {
+    matvec_strided_into_with_backend(x, rows, idx, out, active_backend());
+}
+
+/// [`matvec_strided_into`] with the kernel backend pinned explicitly.
+/// Bit-identical at any backend.
+///
+/// # Panics
+///
+/// Panics if `out.len() != idx.len()` or `x.len() != rows.width()`.
+pub fn matvec_strided_into_with_backend(
+    x: &[f32],
+    rows: &StridedRows<'_>,
+    idx: &[usize],
+    out: &mut [f32],
+    backend: KernelBackend,
+) {
     assert_eq!(out.len(), idx.len(), "strided matvec output len mismatch");
     assert_eq!(x.len(), rows.width(), "strided matvec input width mismatch");
     let mut i = 0;
     while i + NT_COLS <= idx.len() {
         let sel: [&[f32]; NT_COLS] = std::array::from_fn(|u| rows.row(idx[i + u]));
         let mut acc = [0.0f32; NT_COLS];
-        nt_micro_1xu(x, &sel, &mut acc);
+        nt_micro_1xu_b(backend, x, &sel, &mut acc);
         out[i..i + NT_COLS].copy_from_slice(&acc);
         i += NT_COLS;
     }
@@ -687,7 +849,34 @@ pub fn matvec_strided_into(x: &[f32], rows: &StridedRows<'_>, idx: &[usize], out
 /// How many weighted rows [`weighted_rows_into`] folds per pass: enough to
 /// amortize the `out` load/store round-trip, few enough to stay in
 /// registers.
-const WR_ROWS: usize = 4;
+pub(crate) const WR_ROWS: usize = 4;
+
+/// Backend dispatch for the [`WR_ROWS`]-row weighted-accumulate block.
+/// Callers must ensure every `sel[u]` has at least `out.len()` elements.
+#[inline]
+fn wr_block_b(
+    backend: KernelBackend,
+    wv: &[f32; WR_ROWS],
+    sel: &[&[f32]; WR_ROWS],
+    out: &mut [f32],
+) {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    match backend {
+        // SAFETY: availability was checked when `backend` was selected,
+        // and the caller guarantees the row lengths.
+        KernelBackend::Avx2 => return unsafe { crate::simd::x86::wr_block_avx2(wv, sel, out) },
+        KernelBackend::Sse2 => return unsafe { crate::simd::x86::wr_block_sse2(wv, sel, out) },
+        KernelBackend::Scalar => {}
+    }
+    let _ = backend;
+    for (j, o) in out.iter_mut().enumerate() {
+        let mut acc = *o;
+        for u in 0..WR_ROWS {
+            acc += wv[u] * sel[u][j];
+        }
+        *o = acc;
+    }
+}
 
 /// Reference for [`weighted_rows_into`]: `out[j] = Σ_i w[i] ·
 /// rows[idx[i]][j]`, accumulating positions one at a time in ascending-`i`
@@ -724,6 +913,22 @@ pub fn weighted_rows_naive(w: &[f32], rows: &StridedRows<'_>, idx: &[usize], out
 ///
 /// Panics if `w.len() != idx.len()` or `out.len() != rows.width()`.
 pub fn weighted_rows_into(w: &[f32], rows: &StridedRows<'_>, idx: &[usize], out: &mut [f32]) {
+    weighted_rows_into_with_backend(w, rows, idx, out, active_backend());
+}
+
+/// [`weighted_rows_into`] with the kernel backend pinned explicitly.
+/// Bit-identical at any backend.
+///
+/// # Panics
+///
+/// Panics if `w.len() != idx.len()` or `out.len() != rows.width()`.
+pub fn weighted_rows_into_with_backend(
+    w: &[f32],
+    rows: &StridedRows<'_>,
+    idx: &[usize],
+    out: &mut [f32],
+    backend: KernelBackend,
+) {
     assert_eq!(w.len(), idx.len(), "weighted rows weight len mismatch");
     assert_eq!(
         out.len(),
@@ -735,19 +940,11 @@ pub fn weighted_rows_into(w: &[f32], rows: &StridedRows<'_>, idx: &[usize], out:
     while i + WR_ROWS <= idx.len() {
         let sel: [&[f32]; WR_ROWS] = std::array::from_fn(|u| rows.row(idx[i + u]));
         let wv: [f32; WR_ROWS] = std::array::from_fn(|u| w[i + u]);
-        for (j, o) in out.iter_mut().enumerate() {
-            let mut acc = *o;
-            for u in 0..WR_ROWS {
-                acc += wv[u] * sel[u][j];
-            }
-            *o = acc;
-        }
+        wr_block_b(backend, &wv, &sel, out);
         i += WR_ROWS;
     }
     for (&wi, &p) in w[i..].iter().zip(&idx[i..]) {
-        for (o, &v) in out.iter_mut().zip(rows.row(p)) {
-            *o += wi * v;
-        }
+        axpy_b(backend, wi, rows.row(p), out);
     }
 }
 
@@ -1060,6 +1257,89 @@ mod proptests {
             weighted_rows_into(&w[..idx.len()], &rows, &idx, &mut av_blocked);
             weighted_rows_naive(&w[..idx.len()], &rows, &idx, &mut av_naive);
             prop_assert_eq!(av_blocked, av_naive);
+        }
+
+        /// Every available SIMD backend is byte-identical to the scalar
+        /// backend for both GEMM orientations and the matvec, on arbitrary
+        /// shapes including empty, 1-row, and non-multiple-of-8 k/n tails.
+        /// (The scalar backend is the reference; the tiled-vs-naive
+        /// proptests pin scalar itself.)
+        #[test]
+        fn simd_backends_match_scalar_exactly(
+            m in 0usize..35,
+            k in 0usize..70,
+            n in 0usize..70,
+            raw_a in proptest::collection::vec(-10.0f32..10.0, 35 * 70),
+            raw_b in proptest::collection::vec(-10.0f32..10.0, 70 * 70),
+        ) {
+            let a = Matrix::from_vec(m, k, raw_a[..m * k].to_vec());
+            let bt = Matrix::from_vec(n, k, raw_b[..n * k].to_vec());
+            let b = Matrix::from_vec(k, n, raw_b[..k * n].to_vec());
+            let mut nt_ref = Matrix::zeros(m, n);
+            a.matmul_nt_into_with_backend(&bt, &mut nt_ref, 1, KernelBackend::Scalar);
+            let mut nn_ref = Matrix::zeros(m, n);
+            a.matmul_into_with_backend(&b, &mut nn_ref, 1, KernelBackend::Scalar);
+            let mut mv_ref = vec![0.0f32; n];
+            if m > 0 {
+                bt.matvec_into_with_backend(a.row(0), &mut mv_ref, KernelBackend::Scalar);
+            }
+            for backend in [KernelBackend::Sse2, KernelBackend::Avx2] {
+                if !backend.is_available() {
+                    continue;
+                }
+                let mut out = Matrix::zeros(m, n);
+                a.matmul_nt_into_with_backend(&bt, &mut out, 1, backend);
+                prop_assert_eq!(&out, &nt_ref, "nt {}", backend);
+                a.matmul_into_with_backend(&b, &mut out, 1, backend);
+                prop_assert_eq!(&out, &nn_ref, "nn {}", backend);
+                if m > 0 {
+                    let mut mv = vec![0.0f32; n];
+                    bt.matvec_into_with_backend(a.row(0), &mut mv, backend);
+                    prop_assert_eq!(&mv, &mv_ref, "matvec {}", backend);
+                }
+            }
+        }
+
+        /// The strided attention kernels are byte-identical across
+        /// backends too, for arbitrary slab shapes and selections.
+        #[test]
+        fn simd_strided_kernels_match_scalar_exactly(
+            n_records in 0usize..20,
+            stride in 1usize..12,
+            n_sel in 0usize..30,
+            sel_seed in 0usize..1000,
+            raw in proptest::collection::vec(-4.0f32..4.0, 20 * 12),
+            x in proptest::collection::vec(-4.0f32..4.0, 12),
+            w in proptest::collection::vec(-2.0f32..2.0, 30),
+        ) {
+            let offset = sel_seed % stride;
+            let width = (stride - offset).min(1 + sel_seed % 8);
+            let slab = &raw[..n_records * stride];
+            let rows = StridedRows::new(slab, stride, offset, width);
+            let idx: Vec<usize> = if n_records == 0 {
+                Vec::new()
+            } else {
+                (0..n_sel).map(|i| (i * 31 + sel_seed) % n_records).collect()
+            };
+            let mut mv_ref = vec![0.0f32; idx.len()];
+            matvec_strided_into_with_backend(
+                &x[..width], &rows, &idx, &mut mv_ref, KernelBackend::Scalar,
+            );
+            let mut av_ref = vec![0.0f32; width];
+            weighted_rows_into_with_backend(
+                &w[..idx.len()], &rows, &idx, &mut av_ref, KernelBackend::Scalar,
+            );
+            for backend in [KernelBackend::Sse2, KernelBackend::Avx2] {
+                if !backend.is_available() {
+                    continue;
+                }
+                let mut mv = vec![1.0f32; idx.len()];
+                matvec_strided_into_with_backend(&x[..width], &rows, &idx, &mut mv, backend);
+                prop_assert_eq!(&mv, &mv_ref, "scores {}", backend);
+                let mut av = vec![-1.0f32; width];
+                weighted_rows_into_with_backend(&w[..idx.len()], &rows, &idx, &mut av, backend);
+                prop_assert_eq!(&av, &av_ref, "av {}", backend);
+            }
         }
 
         /// Tiled and threaded A·Bᵀ are bit-identical to the naive kernel

@@ -6,8 +6,22 @@
 //! module implements exactly that storage format: per-group scales, shared
 //! zero points, and weights bit-packed into a byte stream; plus the HQQ-ish
 //! refinement step that shrinks the zero/scale toward the robust optimum.
+//!
+//! Two compute paths read the packed stream:
+//!
+//! * [`QuantizedMatrix::dequantize_into`] reconstructs full precision a
+//!   scale group at a time (zero/scale hoisted, bytes decoded in bulk);
+//! * [`QuantizedMatrix::matmul_nt_fused_into`] fuses that dequantization
+//!   into the `A · selfᵀ` GEMM — a 64-code panel of each weight row is
+//!   unpacked into a stack buffer and fed straight to the register
+//!   micro-kernels, so expert compute runs off the packed bytes with no
+//!   full-precision staging matrix. Both are **bit-identical** to
+//!   dequantize-then-GEMM: the dequant expression and every per-element
+//!   accumulation chain are unchanged (`f32` accumulators spill/reload
+//!   exactly across panels).
 
-use crate::matrix::Matrix;
+use crate::matrix::{Matrix, NT_COLS};
+use crate::simd::{active_backend, KernelBackend};
 
 /// Parameters of a group-wise affine quantizer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -166,7 +180,37 @@ impl QuantizedMatrix {
     /// [`QuantizedMatrix::dequantize`] into a reused matrix, reshaping it
     /// as needed — the allocation-free form the native pipeline's I/O
     /// thread uses when staging into a resident slot buffer.
+    ///
+    /// Decodes a scale group at a time: the group's zero and scale are
+    /// hoisted out of the inner loop and the packed bytes are drained in
+    /// bulk (64-bit refills), instead of two integer divisions and a
+    /// bit-stream state-machine call per element. Bit-identical to
+    /// [`QuantizedMatrix::dequantize_reference_into`], the retained
+    /// per-element formulation.
     pub fn dequantize_into(&self, out: &mut Matrix) {
+        let g = self.config.group_size as usize;
+        let zg = self.config.zero_group_size as usize;
+        let n = self.rows * self.cols;
+        let mut buf = std::mem::replace(out, Matrix::zeros(0, 0)).into_vec();
+        buf.clear();
+        buf.resize(n, 0.0);
+        let mut unpacker = BitUnpacker::new(self.config.bits, &self.packed);
+        for (gi, &scale) in self.scales.iter().enumerate() {
+            let lo = gi * g;
+            let hi = (lo + g).min(n);
+            // zero_group_size is a multiple of group_size, so one zero
+            // covers the whole scale group.
+            let zero = self.zeros[lo / zg];
+            unpacker.dequant_span(zero, scale, &mut buf[lo..hi]);
+        }
+        *out = Matrix::from_vec(self.rows, self.cols, buf);
+    }
+
+    /// The original per-element dequantization loop (two index divisions
+    /// and a bit-stream call per value), kept so tests and the micro bench
+    /// can pin [`QuantizedMatrix::dequantize_into`] bit-identical to the
+    /// definition.
+    pub fn dequantize_reference_into(&self, out: &mut Matrix) {
         let g = self.config.group_size as usize;
         let zg = self.config.zero_group_size as usize;
         let n = self.rows * self.cols;
@@ -181,6 +225,146 @@ impl QuantizedMatrix {
             buf.push((code - self.zeros[zi]) * self.scales[gi]);
         }
         *out = Matrix::from_vec(self.rows, self.cols, buf);
+    }
+
+    /// Dequantizes columns `c0..c1` of weight row `row` into `out`
+    /// (`out.len() == c1 - c0`), walking the scale-group segments the
+    /// range crosses with zero/scale hoisted per segment. Groups are
+    /// flat-indexed, so a range may straddle group boundaries when `cols`
+    /// is not a multiple of the group size.
+    fn unpack_dequant_row_range(&self, row: usize, c0: usize, c1: usize, out: &mut [f32]) {
+        debug_assert_eq!(out.len(), c1 - c0);
+        let g = self.config.group_size as usize;
+        let zg = self.config.zero_group_size as usize;
+        let start = row * self.cols + c0;
+        let end = row * self.cols + c1;
+        let mut unpacker = BitUnpacker::at(self.config.bits, &self.packed, start);
+        let mut i = start;
+        let mut o = 0usize;
+        while i < end {
+            let gi = i / g;
+            let seg_end = ((gi + 1) * g).min(end);
+            let len = seg_end - i;
+            unpacker.dequant_span(self.zeros[i / zg], self.scales[gi], &mut out[o..o + len]);
+            i = seg_end;
+            o += len;
+        }
+    }
+
+    /// `out = a · selfᵀ` with dequantization fused into the GEMM: 64-code
+    /// panels of each weight row are unpacked into a stack buffer and fed
+    /// straight to the register micro-kernels — no full-precision staging
+    /// matrix. **Bit-identical** to `a.matmul_nt(&self.dequantize())`:
+    /// the dequant expression is unchanged and each output element is the
+    /// same ascending-k chain (`f32` accumulators spill/reload exactly
+    /// across panels).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.cols() != self.cols()`, or `out` is not
+    /// `a.rows() × self.rows()`.
+    pub fn matmul_nt_fused_into(&self, a: &Matrix, out: &mut Matrix) {
+        self.matmul_nt_fused_with_backend(a, out, active_backend());
+    }
+
+    /// [`QuantizedMatrix::matmul_nt_fused_into`] with the kernel backend
+    /// pinned explicitly. Bit-identical at any backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any shape mismatch.
+    pub fn matmul_nt_fused_with_backend(
+        &self,
+        a: &Matrix,
+        out: &mut Matrix,
+        backend: KernelBackend,
+    ) {
+        assert_eq!(a.cols(), self.cols, "inner dimension mismatch");
+        assert_eq!(out.rows(), a.rows(), "output rows mismatch");
+        assert_eq!(out.cols(), self.rows, "output cols mismatch");
+        /// Panel width in codes: one paper-default scale group, and a
+        /// multiple of every vector width — 2 KiB of stack per 8-row block.
+        const FUSED_PANEL: usize = 64;
+        let (m, k, n) = (a.rows(), self.cols, self.rows);
+        let mut panels = [[0.0f32; FUSED_PANEL]; NT_COLS];
+        let mut acc: Vec<[f32; NT_COLS]> = vec![[0.0; NT_COLS]; m];
+        let mut j = 0usize;
+        while j + NT_COLS <= n {
+            for block in acc.iter_mut() {
+                *block = [0.0; NT_COLS];
+            }
+            let mut k0 = 0usize;
+            while k0 < k {
+                let k1 = (k0 + FUSED_PANEL).min(k);
+                let plen = k1 - k0;
+                for (u, panel) in panels.iter_mut().enumerate() {
+                    self.unpack_dequant_row_range(j + u, k0, k1, &mut panel[..plen]);
+                }
+                let rows: [&[f32]; NT_COLS] = std::array::from_fn(|u| &panels[u][..plen]);
+                let mut i = 0usize;
+                while i + 2 <= m {
+                    let (lo, hi) = acc.split_at_mut(i + 1);
+                    crate::matrix::nt_micro_2xu_b(
+                        backend,
+                        &a.row(i)[k0..k1],
+                        &a.row(i + 1)[k0..k1],
+                        &rows,
+                        &mut lo[i],
+                        &mut hi[0],
+                    );
+                    i += 2;
+                }
+                if i < m {
+                    crate::matrix::nt_micro_1xu_b(backend, &a.row(i)[k0..k1], &rows, &mut acc[i]);
+                }
+                k0 = k1;
+            }
+            for (i, block) in acc.iter().enumerate() {
+                out.row_mut(i)[j..j + NT_COLS].copy_from_slice(block);
+            }
+            j += NT_COLS;
+        }
+        // Weight-row tail (< NT_COLS rows left): one row at a time, each
+        // output element a plain sequential chain across the same panels.
+        if j < n {
+            let mut panel = [0.0f32; FUSED_PANEL];
+            let mut tail_acc = vec![0.0f32; m];
+            for jj in j..n {
+                tail_acc.fill(0.0);
+                let mut k0 = 0usize;
+                while k0 < k {
+                    let k1 = (k0 + FUSED_PANEL).min(k);
+                    let plen = k1 - k0;
+                    self.unpack_dequant_row_range(jj, k0, k1, &mut panel[..plen]);
+                    for (i, t) in tail_acc.iter_mut().enumerate() {
+                        let mut s = *t;
+                        for (&x, &y) in a.row(i)[k0..k1].iter().zip(&panel[..plen]) {
+                            s += x * y;
+                        }
+                        *t = s;
+                    }
+                    k0 = k1;
+                }
+                for (i, &t) in tail_acc.iter().enumerate() {
+                    out.row_mut(i)[jj] = t;
+                }
+            }
+        }
+    }
+
+    /// Becomes a copy of `src`, reusing the existing buffers when capacity
+    /// allows — the packed-bytes analogue of [`Matrix::copy_from`], used
+    /// when transferring a quantized expert into a resident slot.
+    pub fn copy_from(&mut self, src: &QuantizedMatrix) {
+        self.rows = src.rows;
+        self.cols = src.cols;
+        self.config = src.config;
+        self.packed.clear();
+        self.packed.extend_from_slice(&src.packed);
+        self.scales.clear();
+        self.scales.extend_from_slice(&src.scales);
+        self.zeros.clear();
+        self.zeros.extend_from_slice(&src.zeros);
     }
 
     /// Rows of the original matrix.
@@ -269,6 +453,29 @@ impl<'a> BitUnpacker<'a> {
         }
     }
 
+    /// Seeks straight to `value_index` in the stream — random access for
+    /// kernels that start mid-row. The accumulator is seeded from the
+    /// containing byte with the leading bits shifted off, so subsequent
+    /// reads are identical to having streamed from the start.
+    fn at(bits: u32, bytes: &'a [u8], value_index: usize) -> Self {
+        let bit_offset = value_index * bits as usize;
+        let mut u = BitUnpacker {
+            bits,
+            bytes,
+            pos: bit_offset / 8,
+            acc: 0,
+            acc_bits: 0,
+        };
+        let skip = (bit_offset % 8) as u32;
+        if skip > 0 {
+            let byte = u.bytes.get(u.pos).copied().unwrap_or(0);
+            u.acc = (byte as u64) >> skip;
+            u.acc_bits = 8 - skip;
+            u.pos += 1;
+        }
+        u
+    }
+
     fn next(&mut self) -> u32 {
         while self.acc_bits < self.bits {
             let byte = self.bytes.get(self.pos).copied().unwrap_or(0);
@@ -281,6 +488,43 @@ impl<'a> BitUnpacker<'a> {
         self.acc >>= self.bits;
         self.acc_bits -= self.bits;
         code
+    }
+
+    /// Decodes `out.len()` consecutive codes as `(code − zero) · scale` —
+    /// the dequant expression with the group constants hoisted — refilling
+    /// the accumulator in bulk (one 64-bit load when it runs empty inside
+    /// the stream) instead of byte-at-a-time per value. Produces exactly
+    /// the codes repeated [`BitUnpacker::next`] calls would, including the
+    /// zero padding past the end of the stream.
+    fn dequant_span(&mut self, zero: f32, scale: f32, out: &mut [f32]) {
+        let mask = (1u64 << self.bits) - 1;
+        let mut i = 0usize;
+        while i < out.len() {
+            if self.acc_bits < self.bits {
+                if self.acc_bits == 0 && self.pos + 8 <= self.bytes.len() {
+                    let word = &self.bytes[self.pos..self.pos + 8];
+                    self.acc = u64::from_le_bytes(word.try_into().unwrap());
+                    self.acc_bits = 64;
+                    self.pos += 8;
+                } else {
+                    while self.acc_bits <= 56 {
+                        let byte = self.bytes.get(self.pos).copied().unwrap_or(0);
+                        self.acc |= (byte as u64) << self.acc_bits;
+                        self.acc_bits += 8;
+                        self.pos += 1;
+                    }
+                }
+            }
+            let avail = (self.acc_bits / self.bits) as usize;
+            let take = avail.min(out.len() - i);
+            for o in &mut out[i..i + take] {
+                let code = (self.acc & mask) as u32;
+                self.acc >>= self.bits;
+                self.acc_bits -= self.bits;
+                *o = (code as f32 - zero) * scale;
+            }
+            i += take;
+        }
     }
 }
 
@@ -365,6 +609,78 @@ mod tests {
     }
 
     #[test]
+    fn grouped_dequantize_matches_reference_bitwise() {
+        for (rows, cols) in [(32usize, 128usize), (3, 100), (1, 1), (0, 7), (5, 63)] {
+            let m = seeded_matrix(rows, cols, 11, 1.5);
+            let q = QuantizedMatrix::quantize(&m, QuantConfig::paper_default());
+            let mut fast = Matrix::zeros(0, 0);
+            let mut reference = Matrix::zeros(0, 0);
+            q.dequantize_into(&mut fast);
+            q.dequantize_reference_into(&mut reference);
+            assert_eq!(fast, reference, "{rows}x{cols}");
+        }
+    }
+
+    #[test]
+    fn unpacker_at_matches_streaming() {
+        for bits in 2..=8u32 {
+            let codes: Vec<u32> = (0..200).map(|i| (i * 37 + 11) % (1 << bits)).collect();
+            let mut p = BitPacker::new(bits, codes.len());
+            for &c in &codes {
+                p.push(c);
+            }
+            let bytes = p.into_bytes();
+            for start in [0usize, 1, 7, 63, 64, 65, 199] {
+                let mut u = BitUnpacker::at(bits, &bytes, start);
+                for (off, &c) in codes[start..].iter().enumerate() {
+                    assert_eq!(u.next(), c, "bits {bits} start {start} off {off}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_gemm_matches_dequantize_then_gemm() {
+        let w = seeded_matrix(24, 96, 9, 1.0);
+        let q = QuantizedMatrix::quantize(&w, QuantConfig::paper_default());
+        let a = seeded_matrix(5, 96, 4, 1.0);
+        let staged = a.matmul_nt(&q.dequantize());
+        let mut fused = Matrix::zeros(5, 24);
+        q.matmul_nt_fused_into(&a, &mut fused);
+        assert_eq!(fused, staged);
+    }
+
+    #[test]
+    fn fused_gemm_handles_empty_shapes() {
+        let cfg = QuantConfig::paper_default();
+        // Zero a-rows.
+        let q = QuantizedMatrix::quantize(&seeded_matrix(8, 16, 1, 1.0), cfg);
+        let mut out = Matrix::zeros(0, 8);
+        q.matmul_nt_fused_into(&Matrix::zeros(0, 16), &mut out);
+        assert_eq!(out, Matrix::zeros(0, 8));
+        // Zero weight rows.
+        let q = QuantizedMatrix::quantize(&Matrix::zeros(0, 16), cfg);
+        let mut out = Matrix::zeros(3, 0);
+        q.matmul_nt_fused_into(&seeded_matrix(3, 16, 2, 1.0), &mut out);
+        assert_eq!(out.rows(), 3);
+        // Zero inner dimension: output must still be written (zeros).
+        let q = QuantizedMatrix::quantize(&Matrix::zeros(4, 0), cfg);
+        let mut out = Matrix::from_fn(2, 4, |_, _| 9.0);
+        q.matmul_nt_fused_into(&Matrix::zeros(2, 0), &mut out);
+        assert_eq!(out, Matrix::zeros(2, 4));
+    }
+
+    #[test]
+    fn quantized_copy_from_round_trips() {
+        let cfg = QuantConfig::paper_default();
+        let src = QuantizedMatrix::quantize(&seeded_matrix(8, 64, 3, 1.0), cfg);
+        let mut dst = QuantizedMatrix::quantize(&Matrix::zeros(0, 0), cfg);
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
+        assert_eq!(dst.dequantize(), src.dequantize());
+    }
+
+    #[test]
     fn bit_packer_round_trips_all_widths() {
         for bits in 2..=8u32 {
             let codes: Vec<u32> = (0..100).map(|i| i % (1 << bits)).collect();
@@ -403,6 +719,54 @@ mod proptests {
             let q = QuantizedMatrix::quantize(&m, cfg);
             let d = q.dequantize();
             prop_assert!(m.max_abs_diff(&d) <= q.error_bound() * 1.001);
+        }
+
+        /// The grouped bulk dequantizer is byte-identical to the retained
+        /// per-element reference for every bit width and ragged tail.
+        #[test]
+        fn grouped_dequantize_matches_reference(
+            rows in 0usize..6,
+            cols in 0usize..150,
+            bits in 2u32..=8,
+            seed in 0u64..50,
+        ) {
+            let m = crate::init::seeded_matrix(rows, cols, seed, 1.0);
+            let cfg = QuantConfig { bits, group_size: 32, zero_group_size: 64 };
+            let q = QuantizedMatrix::quantize(&m, cfg);
+            let mut fast = Matrix::zeros(0, 0);
+            let mut reference = Matrix::zeros(0, 0);
+            q.dequantize_into(&mut fast);
+            q.dequantize_reference_into(&mut reference);
+            prop_assert_eq!(fast, reference);
+        }
+
+        /// The fused quantized GEMM is byte-identical to dequantize +
+        /// `matmul_nt` for every bit width 2–8, ragged tail groups (cols
+        /// not a multiple of the group size), weight-row tails (< 8 rows
+        /// left), and every available kernel backend.
+        #[test]
+        fn fused_gemm_matches_staged_exactly(
+            m in 0usize..7,
+            k in 0usize..100,
+            n in 0usize..20,
+            bits in 2u32..=8,
+            seed in 0u64..50,
+        ) {
+            let w = crate::init::seeded_matrix(n, k, seed, 1.0);
+            let cfg = QuantConfig { bits, group_size: 32, zero_group_size: 64 };
+            let q = QuantizedMatrix::quantize(&w, cfg);
+            let a = crate::init::seeded_matrix(m, k, seed.wrapping_add(17), 1.0);
+            let deq = q.dequantize();
+            for backend in [KernelBackend::Scalar, KernelBackend::Sse2, KernelBackend::Avx2] {
+                if !backend.is_available() {
+                    continue;
+                }
+                let mut staged = Matrix::zeros(m, n);
+                a.matmul_nt_into_with_backend(&deq, &mut staged, 1, backend);
+                let mut fused = Matrix::from_fn(m, n, |_, _| -7.0);
+                q.matmul_nt_fused_with_backend(&a, &mut fused, backend);
+                prop_assert_eq!(&fused, &staged, "backend {}", backend);
+            }
         }
 
         /// Bit-packing round-trips arbitrary code streams.
