@@ -1,0 +1,424 @@
+//! Cluster-scale serving: autoscaling policy × traffic pattern → SLO
+//! attainment vs replica-hours, for Mixtral-8×7B in Env 1 served by the
+//! full Klotski engine behind a dynamic fleet.
+//!
+//! The fleet-level complement of `serve_scale`: there the fleet size is an
+//! axis you sweep by hand; here an [`AutoscalePolicy`] moves it at run
+//! time, paying a weight-streaming cold start (derived from the calibrated
+//! cost model) for every mid-run spawn. Three traffic patterns:
+//!
+//! * **diurnal** — a Poisson stream warped by a day-like sinusoidal rate
+//!   cycle: the canonical autoscaling workload, where a peak-sized static
+//!   fleet idles through every trough;
+//! * **flash_crowd** — a sudden multiplicative spike on steady load:
+//!   stresses reaction time and cold-start cost;
+//! * **replay** — the diurnal stream recorded to a `(t, prompt, gen)`
+//!   trace, round-tripped through the text format, and replayed: gated
+//!   byte-identical to the live diurnal cell, pinning that recorded
+//!   workloads reproduce simulations exactly.
+//!
+//! Each pattern runs under four fleet policies: static at the cap
+//! (over-provisioned baseline), static at the floor (under-provisioned),
+//! queue-depth-reactive, and SLO-attainment-reactive. The headline gate
+//! (full mode, diurnal): the queue-reactive autoscaler must hold SLO
+//! attainment within 5 points of the peak-sized static fleet while
+//! spending measurably fewer replica-hours.
+//!
+//! Output is deterministic under the fixed seed (the examples smoke test
+//! asserts byte-identical reruns) and ends with one JSON line per cell
+//! (committed as `BENCH_serve_cluster.json` for the perf trajectory).
+//!
+//! `KLOTSKI_CHEAP=1` shrinks the sweep to CI-smoke scale.
+
+use klotski_bench::{cheap_mode, TextTable, SEED};
+use klotski_core::engine::{KlotskiConfig, KlotskiEngine};
+use klotski_core::scenario::Engine;
+use klotski_model::hardware::HardwareSpec;
+use klotski_model::spec::ModelSpec;
+use klotski_model::trace::RequestTrace;
+use klotski_serve::admission::AdmissionPolicy;
+use klotski_serve::cluster::{
+    serve_cluster, AutoscalePolicy, ClusterConfig, ClusterReport, ColdStartModel,
+    QueueDepthReactive, SloReactive, StaticFleet,
+};
+use klotski_serve::dispatcher::DispatchPolicy;
+use klotski_serve::metrics::{summarize, SloSpec, SloSummary};
+use klotski_serve::server::{ServeConfig, Traffic};
+use klotski_serve::traffic::{
+    generate_with_profile, replay, to_trace, Arrivals, LengthDist, RateProfile, Request,
+    TrafficConfig,
+};
+use klotski_sim::time::{SimDuration, SimTime};
+
+/// Sweep parameters resolved once for cheap/full mode.
+struct Sweep {
+    batch_size: u32,
+    n_max: u32,
+    floor: u32,
+    cap: u32,
+    num_requests: u32,
+    /// Base Poisson rate before profile warping.
+    base_rate: f64,
+    /// Diurnal cycle period.
+    period: SimDuration,
+    /// Flash-crowd spike instant, width, and magnitude.
+    flash_at: SimTime,
+    flash_width: SimDuration,
+    flash_magnitude: f64,
+    prompt: LengthDist,
+    gen: LengthDist,
+    tick: SimDuration,
+    slo: SloSpec,
+    admission: AdmissionPolicy,
+    coldstart: ColdStartModel,
+    /// Queue-reactive watermarks (backlog tokens per provisioned replica).
+    high: u64,
+    low: u64,
+    patience: u32,
+    /// SLO-reactive attainment target.
+    slo_target: f64,
+}
+
+fn sweep_params(cheap: bool) -> Sweep {
+    let n_max = if cheap { 4 } else { 8 };
+    let slo_ttft = SimDuration::from_secs(if cheap { 60 } else { 120 });
+    Sweep {
+        batch_size: if cheap { 4 } else { 8 },
+        n_max,
+        floor: 1,
+        cap: if cheap { 2 } else { 4 },
+        num_requests: if cheap { 48 } else { 420 },
+        base_rate: if cheap { 1.0 } else { 0.7 },
+        period: SimDuration::from_secs(if cheap { 120 } else { 300 }),
+        flash_at: SimTime::ZERO + SimDuration::from_secs(if cheap { 20 } else { 150 }),
+        flash_width: SimDuration::from_secs(if cheap { 20 } else { 60 }),
+        flash_magnitude: if cheap { 3.0 } else { 5.0 },
+        prompt: LengthDist::Uniform {
+            lo: if cheap { 32 } else { 64 },
+            hi: if cheap { 64 } else { 192 },
+        },
+        gen: LengthDist::Uniform { lo: 2, hi: 8 },
+        tick: SimDuration::from_secs(if cheap { 5 } else { 20 }),
+        slo: SloSpec {
+            ttft: slo_ttft,
+            tpot: SimDuration::from_secs(8),
+        },
+        admission: AdmissionPolicy::Deadline {
+            n: n_max,
+            deadline: slo_ttft / 4,
+        },
+        // Every mid-run spawn streams its resident weights through the
+        // calibrated H2D model — elasticity is not free.
+        coldstart: ColdStartModel::WeightStreaming {
+            provision: SimDuration::from_secs(2),
+            resident_experts_per_layer: 2,
+        },
+        high: if cheap { 600 } else { 1600 },
+        low: if cheap { 100 } else { 400 },
+        patience: if cheap { 3 } else { 2 },
+        slo_target: 0.95,
+    }
+}
+
+/// The autoscaler roster, in presentation order.
+const SCALERS: [&str; 4] = [
+    "static_peak",
+    "static_floor",
+    "queue_reactive",
+    "slo_reactive",
+];
+
+fn make_policy(name: &str, sweep: &Sweep) -> Box<dyn AutoscalePolicy> {
+    match name {
+        "static_peak" => Box::new(StaticFleet {
+            replicas: sweep.cap,
+        }),
+        "static_floor" => Box::new(StaticFleet {
+            replicas: sweep.floor,
+        }),
+        "queue_reactive" => Box::new(QueueDepthReactive::new(
+            sweep.floor,
+            sweep.cap,
+            sweep.high,
+            sweep.low,
+            sweep.patience,
+        )),
+        "slo_reactive" => Box::new(SloReactive::new(
+            sweep.floor,
+            sweep.cap,
+            sweep.slo_target,
+            sweep.patience,
+        )),
+        other => panic!("unknown autoscaler {other}"),
+    }
+}
+
+struct Cell {
+    traffic: &'static str,
+    scaler: &'static str,
+    report: ClusterReport,
+    summary: SloSummary,
+}
+
+impl Cell {
+    fn attainment(&self) -> f64 {
+        if self.summary.requests == 0 {
+            1.0
+        } else {
+            self.summary.slo_met as f64 / self.summary.requests as f64
+        }
+    }
+}
+
+fn run_cell(
+    engine: &dyn Engine,
+    sweep: &Sweep,
+    traffic_name: &'static str,
+    stream: Vec<Request>,
+    scaler: &'static str,
+) -> Cell {
+    let spec = ModelSpec::mixtral_8x7b();
+    let hw = HardwareSpec::env1_rtx3090();
+    let cfg = ClusterConfig {
+        serve: ServeConfig {
+            batch_size: sweep.batch_size,
+            policy: sweep.admission,
+            seed: SEED,
+        },
+        dispatch: DispatchPolicy::JoinShortestQueue,
+        coldstart: sweep.coldstart,
+        tick: sweep.tick,
+        slo: sweep.slo,
+    };
+    let mut policy = make_policy(scaler, sweep);
+    let report = serve_cluster(
+        engine,
+        &spec,
+        &hw,
+        &Traffic::Open(stream),
+        &cfg,
+        policy.as_mut(),
+    )
+    .expect("serve_cluster run");
+    let summary = summarize(&report.serve, &sweep.slo);
+    Cell {
+        traffic: traffic_name,
+        scaler,
+        report,
+        summary,
+    }
+}
+
+fn json_line(c: &Cell, sweep: &Sweep, mode: &str) -> String {
+    let s = &c.summary;
+    let r = &c.report;
+    format!(
+        "{{\"bench\":\"serve_cluster\",\"mode\":\"{}\",\"traffic\":\"{}\",\"autoscaler\":\"{}\",\
+         \"floor\":{},\"cap\":{},\"coldstart\":\"{}\",\"warmup_s\":{:.3},\
+         \"dispatch\":\"jsq\",\"policy\":\"{}\",\"seed\":{},\
+         \"requests\":{},\"slo_met\":{},\"attainment\":{:.4},\"replica_hours\":{:.4},\
+         \"peak_provisioned\":{},\"spawned_total\":{},\"scale_events\":{},\
+         \"ttft_p50_s\":{:.3},\"ttft_p99_s\":{:.3},\"throughput_tps\":{:.3},\"makespan_s\":{:.1}}}",
+        mode,
+        c.traffic,
+        c.scaler,
+        sweep.floor,
+        sweep.cap,
+        sweep.coldstart.label(),
+        r.warmup.as_secs_f64(),
+        sweep.admission.label(),
+        SEED,
+        s.requests,
+        s.slo_met,
+        c.attainment(),
+        r.serve.replica_hours(),
+        r.peak_provisioned,
+        r.spawned_total,
+        r.scale_events.len(),
+        s.ttft.p50.as_secs_f64(),
+        s.ttft.p99.as_secs_f64(),
+        s.throughput_tps,
+        r.serve.makespan.as_secs_f64(),
+    )
+}
+
+fn print_panel(cells: &[Cell]) {
+    let mut table = TextTable::new([
+        "autoscaler",
+        "SLO met",
+        "attain",
+        "rep-hours",
+        "peak",
+        "spawned",
+        "events",
+        "TTFT p99",
+        "tok/s",
+    ]);
+    for c in cells {
+        table.row([
+            c.scaler.to_owned(),
+            format!("{}/{}", c.summary.slo_met, c.summary.requests),
+            format!("{:.3}", c.attainment()),
+            format!("{:.3}", c.report.serve.replica_hours()),
+            format!("{}", c.report.peak_provisioned),
+            format!("{}", c.report.spawned_total),
+            format!("{}", c.report.scale_events.len()),
+            format!("{:.2}s", c.summary.ttft.p99.as_secs_f64()),
+            format!("{:.2}", c.summary.throughput_tps),
+        ]);
+    }
+    table.print();
+}
+
+fn find<'a>(cells: &'a [Cell], traffic: &str, scaler: &str) -> &'a Cell {
+    cells
+        .iter()
+        .find(|c| c.traffic == traffic && c.scaler == scaler)
+        .expect("swept cell")
+}
+
+fn main() {
+    let cheap = cheap_mode();
+    let sweep = sweep_params(cheap);
+    let engine = KlotskiEngine::new(KlotskiConfig::full());
+    let mut cells: Vec<Cell> = Vec::new();
+
+    println!(
+        "== serve_cluster: Mixtral-8x7B Env 1, Klotski engine, dynamic fleet {}..{}, \
+         bs {}, n <= {}, deadline admission, jsq dispatch, tick {} ==",
+        sweep.floor, sweep.cap, sweep.batch_size, sweep.n_max, sweep.tick
+    );
+    println!(
+        "(SLO: TTFT <= {}, TPOT <= {}; cold start: {} — every mid-run spawn pays it)",
+        sweep.slo.ttft,
+        sweep.slo.tpot,
+        sweep.coldstart.label(),
+    );
+
+    let traffic_cfg = TrafficConfig {
+        num_requests: sweep.num_requests,
+        prompt: sweep.prompt,
+        gen: sweep.gen,
+        seed: SEED,
+    };
+    // Trough well under one replica's capacity, peak well over it: a
+    // floor-sized fleet drowns at the crest, a peak-sized one idles in
+    // the trough — elasticity has something real to win.
+    let diurnal_profile = RateProfile::Diurnal {
+        period: sweep.period,
+        trough: 0.2,
+        peak: 2.2,
+    };
+    let diurnal = generate_with_profile(
+        Arrivals::Poisson {
+            rate: sweep.base_rate,
+        },
+        &traffic_cfg,
+        &[diurnal_profile],
+    );
+    let flash = generate_with_profile(
+        Arrivals::Poisson {
+            rate: sweep.base_rate,
+        },
+        &traffic_cfg,
+        &[RateProfile::FlashCrowd {
+            at: sweep.flash_at,
+            width: sweep.flash_width,
+            magnitude: sweep.flash_magnitude,
+        }],
+    );
+    // Record the diurnal stream and round-trip it through the on-disk text
+    // format: the replayed workload must drive identical simulations.
+    let trace_text = to_trace(&diurnal).to_text();
+    let replayed = replay(&RequestTrace::parse(&trace_text).expect("trace round-trip"));
+
+    for (name, stream) in [
+        ("diurnal", &diurnal),
+        ("flash_crowd", &flash),
+        ("replay", &replayed),
+    ] {
+        println!("\n==== {name}: {} requests ====", stream.len());
+        let panel: Vec<Cell> = SCALERS
+            .into_iter()
+            .map(|scaler| run_cell(&engine, &sweep, name, stream.clone(), scaler))
+            .collect();
+        print_panel(&panel);
+        cells.extend(panel);
+    }
+
+    // ---- Gate 1 (always): trace replay is byte-exact ------------------
+    // The replayed stream must reproduce the live diurnal cells exactly —
+    // same outcomes, groups, replica lifetimes, and scale decisions.
+    for scaler in SCALERS {
+        let live = find(&cells, "diurnal", scaler);
+        let rep = find(&cells, "replay", scaler);
+        assert_eq!(
+            live.report.serve.outcomes, rep.report.serve.outcomes,
+            "{scaler}: replayed outcomes must be byte-identical"
+        );
+        assert_eq!(
+            live.report.serve.groups, rep.report.serve.groups,
+            "{scaler}: replayed groups must be byte-identical"
+        );
+        assert_eq!(
+            live.report.serve.replicas, rep.report.serve.replicas,
+            "{scaler}: replayed replica lifetimes must be byte-identical"
+        );
+        assert_eq!(
+            live.report.scale_events, rep.report.scale_events,
+            "{scaler}: replayed scale decisions must be byte-identical"
+        );
+    }
+    println!("\ntrace replay reproduces the live diurnal run byte-for-byte: confirmed");
+
+    // ---- Gate 2 (always): every cell serves the whole stream ----------
+    for c in &cells {
+        assert_eq!(
+            c.summary.requests as u32, sweep.num_requests,
+            "{}/{}: request conservation",
+            c.traffic, c.scaler
+        );
+        assert!(
+            c.report.peak_provisioned <= sweep.cap,
+            "{}/{}: fleet exceeded cap",
+            c.traffic,
+            c.scaler
+        );
+    }
+    println!("all cells serve the full stream within the fleet cap: confirmed");
+
+    // ---- Gate 3 (full mode): elasticity pays on the diurnal cycle -----
+    // The reactive autoscaler must hold attainment within 5 points of the
+    // peak-sized static fleet while spending measurably (>= 10%) fewer
+    // replica-hours.
+    if !cheap {
+        let peak = find(&cells, "diurnal", "static_peak");
+        let reactive = find(&cells, "diurnal", "queue_reactive");
+        let (a_peak, a_reactive) = (peak.attainment(), reactive.attainment());
+        assert!(
+            a_reactive >= a_peak - 0.05,
+            "queue_reactive attainment {a_reactive:.3} must be within 5pp of \
+             static_peak {a_peak:.3} on the diurnal cycle"
+        );
+        let (h_peak, h_reactive) = (
+            peak.report.serve.replica_hours(),
+            reactive.report.serve.replica_hours(),
+        );
+        assert!(
+            h_reactive <= 0.9 * h_peak,
+            "queue_reactive must spend measurably fewer replica-hours than \
+             static_peak: {h_reactive:.3} vs {h_peak:.3}"
+        );
+        println!(
+            "diurnal: queue_reactive holds {a_reactive:.3} attainment (static_peak {a_peak:.3}) \
+             at {h_reactive:.2} replica-hours vs {h_peak:.2} ({:.0}% saved): confirmed",
+            (1.0 - h_reactive / h_peak) * 100.0
+        );
+    }
+
+    let mode = if cheap { "cheap" } else { "full" };
+    println!("\n-- JSON --");
+    for c in &cells {
+        println!("{}", json_line(c, &sweep, mode));
+    }
+}

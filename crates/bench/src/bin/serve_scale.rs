@@ -45,12 +45,13 @@ struct Cell {
     utilization: Vec<f64>,
 }
 
-fn json_line(c: &Cell, mode: &str) -> String {
+fn json_line(c: &Cell, mode: &str, admission: &str) -> String {
     let s = &c.summary;
     let util: Vec<String> = c.utilization.iter().map(|u| format!("{u:.3}")).collect();
     format!(
         "{{\"bench\":\"serve_scale\",\"mode\":\"{}\",\"experiment\":\"{}\",\"replicas\":{},\
-         \"rate_rps\":{:.2},\"dispatch\":\"{}\",\"requests\":{},\"slo_met\":{},\
+         \"rate_rps\":{:.2},\"dispatch\":\"{}\",\"policy\":\"{}\",\"seed\":{},\
+         \"traffic\":\"bursty\",\"requests\":{},\"slo_met\":{},\
          \"ttft_p50_s\":{:.3},\"ttft_p99_s\":{:.3},\"e2e_p99_s\":{:.3},\"goodput_tps\":{:.3},\
          \"throughput_tps\":{:.3},\"utilization\":[{}]}}",
         mode,
@@ -58,6 +59,8 @@ fn json_line(c: &Cell, mode: &str) -> String {
         c.replicas,
         c.rate,
         c.dispatch.label(),
+        admission,
+        SEED,
         s.requests,
         s.slo_met,
         s.ttft.p50.as_secs_f64(),
@@ -344,6 +347,6 @@ fn main() {
     let mode = if cheap { "cheap" } else { "full" };
     println!("\n-- JSON --");
     for c in &cells {
-        println!("{}", json_line(c, mode));
+        println!("{}", json_line(c, mode, sweep.admission.label()));
     }
 }

@@ -16,7 +16,13 @@
 //! layers, and a per-task multiplicative drift. [`GatingTrace`] is a
 //! materialized sample: aggregated token counts for the prefill plus
 //! per-sequence top-k choices for every decode step.
+//!
+//! [`RequestTrace`] records the *request* level instead: a replayable
+//! `(t, prompt_len, gen_len)` stream with a plain-text round-trip format,
+//! so serving experiments can run recorded load (diurnal cycles, flash
+//! crowds) rather than only synthetic arrival processes.
 
+use klotski_sim::time::SimTime;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -495,6 +501,132 @@ fn apportion(weights: &[f64], total: u64) -> Vec<u64> {
     counts
 }
 
+/// One recorded request in a [`RequestTrace`]: when it arrived and its
+/// token shape. The serving layer replays these verbatim (ids assigned in
+/// row order), so a recorded production stream — diurnal cycles, flash
+/// crowds and all — can be re-served under any policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRow {
+    /// Arrival instant.
+    pub at: SimTime,
+    /// Prompt length in tokens (≥ 1).
+    pub prompt_len: u32,
+    /// Tokens to generate (≥ 1).
+    pub gen_len: u32,
+}
+
+/// A recorded `(t, prompt_len, gen_len)` request trace.
+///
+/// The text format is one row per line — `arrival_nanos prompt_len
+/// gen_len`, whitespace-separated — with `#`-prefixed comment lines
+/// ignored, so traces can be versioned, diffed, and hand-edited.
+/// [`to_text`](RequestTrace::to_text) / [`parse`](RequestTrace::parse)
+/// round-trip exactly.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RequestTrace {
+    /// The recorded rows, in arrival order.
+    pub rows: Vec<TraceRow>,
+}
+
+impl RequestTrace {
+    /// Records a trace from `(arrival, prompt_len, gen_len)` tuples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows are not in non-decreasing arrival order or any
+    /// length is zero — a trace that cannot have been observed.
+    pub fn record(rows: impl IntoIterator<Item = (SimTime, u32, u32)>) -> Self {
+        let rows: Vec<TraceRow> = rows
+            .into_iter()
+            .map(|(at, prompt_len, gen_len)| {
+                assert!(
+                    prompt_len > 0 && gen_len > 0,
+                    "trace rows need positive lengths"
+                );
+                TraceRow {
+                    at,
+                    prompt_len,
+                    gen_len,
+                }
+            })
+            .collect();
+        assert!(
+            rows.windows(2).all(|w| w[0].at <= w[1].at),
+            "trace rows must be in arrival order"
+        );
+        RequestTrace { rows }
+    }
+
+    /// Serializes to the line-per-row text format.
+    pub fn to_text(&self) -> String {
+        let mut out = String::from("# klotski request trace: arrival_nanos prompt_len gen_len\n");
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{} {} {}\n",
+                r.at.as_nanos(),
+                r.prompt_len,
+                r.gen_len
+            ));
+        }
+        out
+    }
+
+    /// Parses the text format produced by [`to_text`](RequestTrace::to_text).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed line: wrong field
+    /// count, unparsable number, zero length, or out-of-order arrival.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut rows = Vec::new();
+        let mut last = SimTime::ZERO;
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let fields: Vec<&str> = line.split_whitespace().collect();
+            let [at, prompt, gen] = fields[..] else {
+                return Err(format!(
+                    "line {}: expected 3 fields, got {}",
+                    lineno + 1,
+                    fields.len()
+                ));
+            };
+            let parse_u64 = |s: &str, what: &str| {
+                s.parse::<u64>()
+                    .map_err(|e| format!("line {}: bad {what} {s:?}: {e}", lineno + 1))
+            };
+            let at = SimTime::from_nanos(parse_u64(at, "arrival")?);
+            let prompt_len = parse_u64(prompt, "prompt_len")? as u32;
+            let gen_len = parse_u64(gen, "gen_len")? as u32;
+            if prompt_len == 0 || gen_len == 0 {
+                return Err(format!("line {}: lengths must be positive", lineno + 1));
+            }
+            if at < last {
+                return Err(format!("line {}: arrivals out of order", lineno + 1));
+            }
+            last = at;
+            rows.push(TraceRow {
+                at,
+                prompt_len,
+                gen_len,
+            });
+        }
+        Ok(RequestTrace { rows })
+    }
+
+    /// Number of recorded requests.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -726,5 +858,66 @@ mod proptests {
                 }
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod request_trace_tests {
+    use super::*;
+
+    fn t(n: u64) -> SimTime {
+        SimTime::from_nanos(n)
+    }
+
+    #[test]
+    fn text_round_trip_is_exact() {
+        let trace =
+            RequestTrace::record([(t(0), 64, 8), (t(1_500_000), 128, 4), (t(1_500_000), 16, 2)]);
+        let text = trace.to_text();
+        let back = RequestTrace::parse(&text).expect("parse");
+        assert_eq!(back, trace);
+        // And a second round trip is byte-identical text.
+        assert_eq!(back.to_text(), text);
+    }
+
+    #[test]
+    fn parse_skips_comments_and_blank_lines() {
+        let text = "# header\n\n  0 64 8\n# mid comment\n10 32 4\n";
+        let trace = RequestTrace::parse(text).expect("parse");
+        assert_eq!(trace.len(), 2);
+        assert_eq!(
+            trace.rows[1],
+            TraceRow {
+                at: t(10),
+                prompt_len: 32,
+                gen_len: 4
+            }
+        );
+        assert!(!trace.is_empty());
+        assert!(RequestTrace::parse("# only comments\n")
+            .expect("parse")
+            .is_empty());
+    }
+
+    #[test]
+    fn parse_rejects_malformed_rows() {
+        assert!(RequestTrace::parse("1 2\n")
+            .unwrap_err()
+            .contains("3 fields"));
+        assert!(RequestTrace::parse("x 2 3\n")
+            .unwrap_err()
+            .contains("arrival"));
+        assert!(RequestTrace::parse("5 0 3\n")
+            .unwrap_err()
+            .contains("positive"));
+        assert!(RequestTrace::parse("9 2 3\n5 2 3\n")
+            .unwrap_err()
+            .contains("order"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arrival order")]
+    fn record_rejects_unsorted_rows() {
+        let _ = RequestTrace::record([(t(9), 1, 1), (t(5), 1, 1)]);
     }
 }

@@ -1,0 +1,321 @@
+//! Pluggable autoscaling policies for the cluster loop.
+//!
+//! At every evaluation tick the cluster builds a [`FleetObservation`] —
+//! fleet composition, queue backlog, and the SLO attainment of requests
+//! that finished since the previous tick — and asks the policy for a
+//! desired replica count. The loop clamps the answer into
+//! `[floor, cap]` and spawns (paying the cold start) or drains/cancels to
+//! match. Policies are deliberately memoryless beyond their own fields:
+//! everything they may react to is in the observation, which keeps runs
+//! byte-deterministic.
+
+use klotski_sim::time::SimTime;
+
+/// What an [`AutoscalePolicy`] sees at an evaluation tick.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetObservation {
+    /// The tick instant.
+    pub now: SimTime,
+    /// Replicas currently routable.
+    pub warm: u32,
+    /// Replicas still paying their cold start.
+    pub warming: u32,
+    /// Replicas draining toward retirement (still serving their queues,
+    /// no longer routable).
+    pub draining: u32,
+    /// Requests queued on warm replicas.
+    pub queued_requests: u32,
+    /// Token backlog (queued + prorated in-flight) across warm replicas.
+    pub backlog_tokens: u64,
+    /// Requests that finished since the previous tick.
+    pub window_finished: u32,
+    /// Of those, how many met the SLO.
+    pub window_slo_met: u32,
+}
+
+impl FleetObservation {
+    /// Replicas the fleet is paying for that will (eventually) serve:
+    /// warm plus warming. Draining replicas are on their way out and do
+    /// not count toward the target.
+    pub fn provisioned(&self) -> u32 {
+        self.warm + self.warming
+    }
+
+    /// SLO attainment over the window, `1.0` when nothing finished (an
+    /// idle window is not evidence of trouble).
+    pub fn attainment(&self) -> f64 {
+        if self.window_finished == 0 {
+            1.0
+        } else {
+            f64::from(self.window_slo_met) / f64::from(self.window_finished)
+        }
+    }
+}
+
+/// Decides the fleet size at every evaluation tick.
+///
+/// `desired` returns the target provisioned count (warm + warming); the
+/// cluster loop clamps it into `[floor().max(1), cap()]`, so policies can
+/// return raw signals without worrying about bounds.
+pub trait AutoscalePolicy {
+    /// Short stable name for tables and JSON output.
+    fn name(&self) -> &'static str;
+
+    /// Minimum provisioned replicas (clamped to at least 1 by the loop).
+    fn floor(&self) -> u32;
+
+    /// Maximum provisioned replicas.
+    fn cap(&self) -> u32;
+
+    /// Target provisioned count given the current observation.
+    fn desired(&mut self, obs: &FleetObservation) -> u32;
+
+    /// Fleet size at t = 0, warm from the start (the floor by default).
+    fn initial(&self) -> u32 {
+        self.floor()
+    }
+}
+
+/// A fixed-size fleet: the autoscaling no-op. With `replicas = R` and a
+/// [`Prewarmed`](super::ColdStartModel::Prewarmed) cold start the cluster
+/// loop reproduces [`serve_scaled`](crate::dispatcher::serve_scaled) byte
+/// for byte — the equivalence the crate's proptests pin.
+#[derive(Debug, Clone, Copy)]
+pub struct StaticFleet {
+    /// The fleet size, start to finish.
+    pub replicas: u32,
+}
+
+impl AutoscalePolicy for StaticFleet {
+    fn name(&self) -> &'static str {
+        "static"
+    }
+
+    fn floor(&self) -> u32 {
+        self.replicas
+    }
+
+    fn cap(&self) -> u32 {
+        self.replicas
+    }
+
+    fn desired(&mut self, _obs: &FleetObservation) -> u32 {
+        self.replicas
+    }
+}
+
+/// Scale on queue pressure: grow when the token backlog per provisioned
+/// replica exceeds `high`, shrink one replica after `patience` consecutive
+/// calm ticks below `low`. The asymmetry (instant growth, damped shrink)
+/// is the classic reactive-autoscaler shape: queues build in seconds but
+/// confidence that load is gone takes sustained quiet.
+#[derive(Debug, Clone, Copy)]
+pub struct QueueDepthReactive {
+    /// Minimum provisioned replicas.
+    pub floor: u32,
+    /// Maximum provisioned replicas.
+    pub cap: u32,
+    /// Backlog tokens per provisioned replica that trigger growth.
+    pub high: u64,
+    /// Backlog tokens per provisioned replica considered calm.
+    pub low: u64,
+    /// Consecutive calm ticks before shrinking by one.
+    pub patience: u32,
+    calm: u32,
+}
+
+impl QueueDepthReactive {
+    /// A reactive policy scaling between `floor` and `cap` on per-replica
+    /// backlog thresholds `high`/`low` (tokens), shrinking only after
+    /// `patience` calm ticks.
+    pub fn new(floor: u32, cap: u32, high: u64, low: u64, patience: u32) -> Self {
+        assert!(high > 0, "high watermark must be positive");
+        assert!(low <= high, "low watermark must not exceed high");
+        QueueDepthReactive {
+            floor,
+            cap,
+            high,
+            low,
+            patience,
+            calm: 0,
+        }
+    }
+}
+
+impl AutoscalePolicy for QueueDepthReactive {
+    fn name(&self) -> &'static str {
+        "queue_reactive"
+    }
+
+    fn floor(&self) -> u32 {
+        self.floor
+    }
+
+    fn cap(&self) -> u32 {
+        self.cap
+    }
+
+    fn desired(&mut self, obs: &FleetObservation) -> u32 {
+        let provisioned = obs.provisioned().max(1);
+        let per_replica = obs.backlog_tokens / u64::from(provisioned);
+        if per_replica >= self.high {
+            self.calm = 0;
+            // Proportional growth: enough replicas that the backlog would
+            // sit at the high watermark, at least one more than now.
+            let target = obs.backlog_tokens.div_ceil(self.high);
+            u32::try_from(target)
+                .unwrap_or(u32::MAX)
+                .max(provisioned + 1)
+        } else if per_replica <= self.low {
+            self.calm += 1;
+            if self.calm >= self.patience {
+                self.calm = 0;
+                provisioned.saturating_sub(1)
+            } else {
+                provisioned
+            }
+        } else {
+            self.calm = 0;
+            provisioned
+        }
+    }
+}
+
+/// Scale on the SLO itself: grow when windowed attainment drops below
+/// `target`, shrink one replica after `patience` consecutive ticks at
+/// full attainment with a calm backlog. Reacts to what operators actually
+/// promise — latency — at the price of reacting *after* violations start,
+/// one tick behind the queue-depth signal.
+#[derive(Debug, Clone, Copy)]
+pub struct SloReactive {
+    /// Minimum provisioned replicas.
+    pub floor: u32,
+    /// Maximum provisioned replicas.
+    pub cap: u32,
+    /// Minimum acceptable windowed SLO attainment (e.g. `0.95`).
+    pub target: f64,
+    /// Consecutive fully-attaining ticks before shrinking by one.
+    pub patience: u32,
+    calm: u32,
+}
+
+impl SloReactive {
+    /// An SLO-attainment policy scaling between `floor` and `cap` around
+    /// attainment `target`, shrinking only after `patience` clean ticks.
+    pub fn new(floor: u32, cap: u32, target: f64, patience: u32) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&target),
+            "attainment target must be in [0, 1]"
+        );
+        SloReactive {
+            floor,
+            cap,
+            target,
+            patience,
+            calm: 0,
+        }
+    }
+}
+
+impl AutoscalePolicy for SloReactive {
+    fn name(&self) -> &'static str {
+        "slo_reactive"
+    }
+
+    fn floor(&self) -> u32 {
+        self.floor
+    }
+
+    fn cap(&self) -> u32 {
+        self.cap
+    }
+
+    fn desired(&mut self, obs: &FleetObservation) -> u32 {
+        let provisioned = obs.provisioned().max(1);
+        if obs.window_finished > 0 && obs.attainment() < self.target {
+            self.calm = 0;
+            // Grow proportionally to how far attainment missed: a bad miss
+            // (half the window violating) adds replicas faster than a
+            // marginal one.
+            let miss = (self.target - obs.attainment()).max(0.0);
+            let step = 1 + (miss * f64::from(provisioned)).floor() as u32;
+            provisioned + step
+        } else if obs.attainment() >= 1.0 && obs.queued_requests == 0 {
+            self.calm += 1;
+            if self.calm >= self.patience {
+                self.calm = 0;
+                provisioned.saturating_sub(1)
+            } else {
+                provisioned
+            }
+        } else {
+            self.calm = 0;
+            provisioned
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(warm: u32, backlog: u64, finished: u32, met: u32) -> FleetObservation {
+        FleetObservation {
+            now: SimTime::ZERO,
+            warm,
+            warming: 0,
+            draining: 0,
+            queued_requests: if backlog > 0 { 1 } else { 0 },
+            backlog_tokens: backlog,
+            window_finished: finished,
+            window_slo_met: met,
+        }
+    }
+
+    #[test]
+    fn static_fleet_never_moves() {
+        let mut p = StaticFleet { replicas: 3 };
+        assert_eq!(p.desired(&obs(3, 1_000_000, 10, 0)), 3);
+        assert_eq!(p.desired(&obs(3, 0, 0, 0)), 3);
+        assert_eq!((p.floor(), p.cap(), p.initial()), (3, 3, 3));
+    }
+
+    #[test]
+    fn queue_reactive_grows_proportionally_and_shrinks_with_patience() {
+        let mut p = QueueDepthReactive::new(1, 8, 1000, 100, 2);
+        // 2 replicas, 5000 backlog tokens ⇒ 2500/replica ≫ high ⇒ grow to
+        // ceil(5000/1000) = 5.
+        assert_eq!(p.desired(&obs(2, 5000, 0, 0)), 5);
+        // Calm ticks: hold, hold, then shrink on the second calm tick.
+        assert_eq!(p.desired(&obs(5, 0, 0, 0)), 5);
+        assert_eq!(p.desired(&obs(5, 0, 0, 0)), 4);
+        // A busy tick resets patience.
+        assert_eq!(p.desired(&obs(4, 500 * 4, 0, 0)), 4); // between low and high
+        assert_eq!(p.desired(&obs(4, 0, 0, 0)), 4);
+        assert_eq!(p.desired(&obs(4, 0, 0, 0)), 3);
+    }
+
+    #[test]
+    fn slo_reactive_reacts_to_attainment() {
+        let mut p = SloReactive::new(1, 8, 0.9, 2);
+        // 10 finished, 4 violations: attainment 0.6 < 0.9 ⇒ grow; miss 0.3
+        // over 2 provisioned ⇒ step 1.
+        assert_eq!(p.desired(&obs(2, 0, 10, 6)), 3);
+        // Empty window is not evidence: hold (and start calm counting with
+        // an empty queue).
+        assert_eq!(p.desired(&obs(3, 0, 0, 0)), 3);
+        assert_eq!(p.desired(&obs(3, 0, 0, 0)), 2);
+        // Full attainment but queued work: hold, reset calm.
+        let busy = FleetObservation {
+            queued_requests: 3,
+            ..obs(2, 0, 5, 5)
+        };
+        assert_eq!(p.desired(&busy), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "low watermark")]
+    fn inverted_watermarks_rejected() {
+        let _ = QueueDepthReactive::new(1, 4, 10, 20, 1);
+    }
+}

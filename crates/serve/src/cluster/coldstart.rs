@@ -1,0 +1,128 @@
+//! Replica cold-start cost: how long a freshly provisioned replica takes
+//! before it can serve.
+//!
+//! The interesting model is [`ColdStartModel::WeightStreaming`]: a replica
+//! is not usable until its weights have streamed onto the device through
+//! the *same* calibrated transfer model the engine's prefetcher uses
+//! ([`CostModel::h2d_time`] and friends), so cold-start time scales with
+//! the model's actual byte footprint and the hardware's H2D bandwidth —
+//! not a free constant. [`Prewarmed`](ColdStartModel::Prewarmed) and
+//! [`Fixed`](ColdStartModel::Fixed) are the limiting cases baselines and
+//! tests need.
+
+use klotski_model::cost::CostModel;
+use klotski_model::spec::ModelSpec;
+use klotski_sim::time::SimDuration;
+
+/// How long a newly spawned replica warms up before it is routable.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ColdStartModel {
+    /// Replicas are instantly usable (the classic simulator shortcut —
+    /// useful as an upper-bound baseline and for byte-identity tests).
+    Prewarmed,
+    /// A flat provisioning delay, independent of the model being loaded.
+    Fixed(SimDuration),
+    /// Weights stream in through the calibrated cost model: a flat
+    /// `provision` overhead (container/process start) plus the H2D time of
+    /// the embeddings, every layer's attention weights, every MoE layer's
+    /// gate, and `resident_experts_per_layer` experts per MoE layer — the
+    /// working set a Klotski replica keeps resident, smaller than the full
+    /// expert complement because cold experts stream on demand.
+    WeightStreaming {
+        /// Flat provisioning overhead before any transfer starts.
+        provision: SimDuration,
+        /// Experts per MoE layer pre-loaded during warm-up (clamped to the
+        /// model's expert count).
+        resident_experts_per_layer: u32,
+    },
+}
+
+impl ColdStartModel {
+    /// The warm-up delay between spawning a replica and it becoming
+    /// routable.
+    pub fn warmup(&self, cost: &CostModel, spec: &ModelSpec) -> SimDuration {
+        match *self {
+            ColdStartModel::Prewarmed => SimDuration::ZERO,
+            ColdStartModel::Fixed(d) => d,
+            ColdStartModel::WeightStreaming {
+                provision,
+                resident_experts_per_layer,
+            } => {
+                let resident = resident_experts_per_layer.min(spec.n_experts) as u64;
+                let moe_layers = spec.n_moe_layers() as u64;
+                provision
+                    + cost.h2d_time(spec.embed_bytes())
+                    + cost.attn_h2d_time(1.0) * spec.n_layers as u64
+                    + (cost.gate_h2d_time() + cost.expert_h2d_time(1.0) * resident) * moe_layers
+            }
+        }
+    }
+
+    /// Short stable name for tables and JSON output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ColdStartModel::Prewarmed => "prewarmed",
+            ColdStartModel::Fixed(_) => "fixed",
+            ColdStartModel::WeightStreaming { .. } => "weight_streaming",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use klotski_model::hardware::HardwareSpec;
+
+    fn cost() -> (CostModel, ModelSpec) {
+        let spec = ModelSpec::mixtral_8x7b();
+        (
+            CostModel::new(spec.clone(), HardwareSpec::env1_rtx3090()),
+            spec,
+        )
+    }
+
+    #[test]
+    fn prewarmed_is_free_and_fixed_is_flat() {
+        let (cost, spec) = cost();
+        assert!(ColdStartModel::Prewarmed.warmup(&cost, &spec).is_zero());
+        let d = SimDuration::from_secs(7);
+        assert_eq!(ColdStartModel::Fixed(d).warmup(&cost, &spec), d);
+    }
+
+    #[test]
+    fn weight_streaming_scales_with_resident_experts() {
+        let (cost, spec) = cost();
+        let warm = |resident| {
+            ColdStartModel::WeightStreaming {
+                provision: SimDuration::from_secs(1),
+                resident_experts_per_layer: resident,
+            }
+            .warmup(&cost, &spec)
+        };
+        // More resident experts ⇒ strictly longer warm-up, by exactly the
+        // per-expert transfer per MoE layer.
+        let delta = warm(3).saturating_sub(warm(2));
+        let expected = cost.expert_h2d_time(1.0) * spec.n_moe_layers() as u64;
+        assert_eq!(delta, expected);
+        // Clamped at the model's expert count.
+        assert_eq!(warm(spec.n_experts), warm(spec.n_experts + 50));
+        // And the floor is the dense skeleton: embeddings + attention +
+        // gates, beyond the flat provision time.
+        assert!(warm(0) > SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn mixtral_warmup_is_seconds_not_hours() {
+        // Sanity anchor: streaming a Mixtral-8×7B working set over the
+        // RTX-3090 link must land in single-digit-to-tens of seconds —
+        // comparable to real weight-loading, far below a diurnal period.
+        let (cost, spec) = cost();
+        let w = ColdStartModel::WeightStreaming {
+            provision: SimDuration::from_secs(2),
+            resident_experts_per_layer: 2,
+        }
+        .warmup(&cost, &spec);
+        let secs = w.as_secs_f64();
+        assert!((2.0..120.0).contains(&secs), "warmup = {secs} s");
+    }
+}

@@ -1,0 +1,845 @@
+//! Cluster-scale serving: a dynamic fleet under an autoscaling policy.
+//!
+//! The static dispatcher ([`serve_scaled`](crate::dispatcher::serve_scaled))
+//! answers "how does a fleet of `R` replicas behave?"; this module answers
+//! the operator's question one level up: *how many replicas should exist,
+//! when, and what does elasticity cost?* A [`serve_cluster`] run drives the
+//! same per-replica serving state the whole crate shares ([`Replica`]),
+//! but the fleet itself changes over time:
+//!
+//! * an [`AutoscalePolicy`] is evaluated every `tick` against a
+//!   [`FleetObservation`] (fleet composition, token backlog, windowed SLO
+//!   attainment) and returns a desired replica count;
+//! * scale-up spawns replicas that pay a [`ColdStartModel`] warm-up —
+//!   derived from the calibrated [`CostModel`](klotski_model::cost::CostModel)
+//!   transfer times and the model's real weight bytes — before they are
+//!   routable;
+//! * scale-down cancels still-warming replicas first, then drains warm
+//!   ones newest-first: a draining replica takes no new requests but
+//!   flushes its queue, then retires.
+//!
+//! Arrivals route through the same [`DispatchPolicy`] axis as the static
+//! dispatcher, restricted to warm replicas. Every event — arrival,
+//! formation, warm-up completion, autoscaler tick — executes in global
+//! simulated-time order with fixed tie rules, so runs are byte-
+//! deterministic; with a [`StaticFleet`] policy and a
+//! [`Prewarmed`](ColdStartModel::Prewarmed) cold start the loop reproduces
+//! [`serve_scaled`](crate::dispatcher::serve_scaled) byte for byte (the
+//! crate's proptests pin this).
+//!
+//! The cost of elasticity shows up in
+//! [`ServeReport::replica_hours`](crate::server::ServeReport::replica_hours):
+//! replica lifetimes span birth to retirement, so an autoscaled fleet that
+//! tracks a diurnal load pays for far fewer replica-hours than a
+//! peak-sized static fleet — the trade the `serve_cluster` bench sweeps.
+
+pub mod autoscale;
+pub mod coldstart;
+
+pub use autoscale::{
+    AutoscalePolicy, FleetObservation, QueueDepthReactive, SloReactive, StaticFleet,
+};
+pub use coldstart::ColdStartModel;
+
+use klotski_core::scenario::{Engine, EngineError};
+use klotski_model::hardware::HardwareSpec;
+use klotski_model::spec::ModelSpec;
+use klotski_sim::event::EventQueue;
+use klotski_sim::time::{SimDuration, SimTime};
+
+use crate::dispatcher::{route_pick, DispatchPolicy, RouterState};
+use crate::metrics::SloSpec;
+use crate::server::{
+    formation_precedes, ArrivalSource, EngineCtx, Replica, ServeConfig, ServeReport, Traffic,
+};
+
+/// Cluster serving configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterConfig {
+    /// Per-replica serving configuration (batch size, admission policy,
+    /// seed).
+    pub serve: ServeConfig,
+    /// How arrivals are routed over the *warm* fleet.
+    pub dispatch: DispatchPolicy,
+    /// What a freshly spawned replica pays before it is routable.
+    pub coldstart: ColdStartModel,
+    /// Autoscaler evaluation period (> 0).
+    pub tick: SimDuration,
+    /// The SLO that windowed attainment (and the report's attainment
+    /// metrics) are measured against.
+    pub slo: SloSpec,
+}
+
+/// One autoscaling decision that changed the fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScaleEvent {
+    /// The tick instant.
+    pub at: SimTime,
+    /// Provisioned replicas (warm + warming) before the decision.
+    pub from: u32,
+    /// Provisioned replicas after (clamped into `[floor, cap]`).
+    pub to: u32,
+    /// Warm replicas at decision time.
+    pub warm: u32,
+    /// Token backlog across warm replicas at decision time.
+    pub backlog_tokens: u64,
+}
+
+/// Everything a cluster run produced.
+#[derive(Debug, Clone)]
+pub struct ClusterReport {
+    /// The merged serving report (outcomes, groups, per-replica lifetimes).
+    pub serve: ServeReport,
+    /// Fleet-size changes, in tick order (empty for a static fleet).
+    pub scale_events: Vec<ScaleEvent>,
+    /// Fleet size at t = 0 (warm from the start).
+    pub initial_replicas: u32,
+    /// Peak provisioned (warm + warming) count over the run.
+    pub peak_provisioned: u32,
+    /// Total replicas that ever existed (initial + spawned).
+    pub spawned_total: u32,
+    /// The cold-start delay every mid-run spawn paid.
+    pub warmup: SimDuration,
+}
+
+/// A fleet slot's lifecycle. Slots are append-only and replica ids are
+/// never reused, so scenario seed streams stay stable across scale events.
+enum SlotState {
+    /// Paying the cold start; not routable. Cancelled (never-warmed)
+    /// replicas retire straight from this state.
+    Warming { ready_at: SimTime },
+    /// Routable.
+    Warm,
+    /// No longer routable; flushes its queue as if at end-of-stream, then
+    /// retires.
+    Draining { since: SimTime },
+    /// Done; excluded from every fleet computation.
+    Retired,
+}
+
+struct Slot {
+    rep: Replica,
+    state: SlotState,
+}
+
+/// Retires a draining slot once its queue is flushed; the retirement
+/// instant is drain-mark or engine-free, whichever is later, independent
+/// of when the sweep runs.
+fn sweep_slot(s: &mut Slot) {
+    if let SlotState::Draining { since } = s.state {
+        if s.rep.queue_len() == 0 {
+            s.rep.retire(since.max(s.rep.t_free()));
+            s.state = SlotState::Retired;
+        }
+    }
+}
+
+/// Snapshots the fleet for the autoscaler.
+fn observe(now: SimTime, fleet: &[Slot], window: (u32, u32)) -> FleetObservation {
+    let (mut warm, mut warming, mut draining) = (0, 0, 0);
+    let mut queued_requests = 0u32;
+    let mut backlog_tokens = 0u64;
+    for s in fleet {
+        match s.state {
+            SlotState::Warm => {
+                warm += 1;
+                queued_requests += s.rep.queue_len() as u32;
+                backlog_tokens += s.rep.backlog_tokens(now);
+            }
+            SlotState::Warming { .. } => warming += 1,
+            SlotState::Draining { .. } => draining += 1,
+            SlotState::Retired => {}
+        }
+    }
+    FleetObservation {
+        now,
+        warm,
+        warming,
+        draining,
+        queued_requests,
+        backlog_tokens,
+        window_finished: window.0,
+        window_slo_met: window.1,
+    }
+}
+
+/// Serves `traffic` over a dynamic fleet sized by `policy`.
+///
+/// The initial fleet ([`AutoscalePolicy::initial`], the floor by default)
+/// is warm at t = 0 — the steady-state fleet an operator would already be
+/// running; only mid-run spawns pay `cfg.coldstart`. Scale-down never
+/// aborts work: draining replicas flush their queues before retiring, so
+/// every request is served exactly once regardless of scale events.
+///
+/// # Errors
+///
+/// Returns [`EngineError`] if the engine rejects a scenario as invalid
+/// (configuration errors — OOM is a per-group *result*, not an error).
+///
+/// # Panics
+///
+/// Panics if `cfg.tick` is zero, the policy's bounds are inverted
+/// (`cap < floor.max(1)`), plus the same configuration panics as
+/// [`serve`](crate::server::serve).
+pub fn serve_cluster(
+    engine: &dyn Engine,
+    spec: &ModelSpec,
+    hw: &HardwareSpec,
+    traffic: &Traffic,
+    cfg: &ClusterConfig,
+    policy: &mut dyn AutoscalePolicy,
+) -> Result<ClusterReport, EngineError> {
+    assert!(cfg.serve.batch_size > 0, "batch_size must be positive");
+    assert!(
+        cfg.serve.policy.max_batches() > 0,
+        "group size must be positive"
+    );
+    assert!(!cfg.tick.is_zero(), "autoscaler tick must be positive");
+    let floor = policy.floor().max(1);
+    let cap = policy.cap();
+    assert!(cap >= floor, "autoscaler cap ({cap}) below floor ({floor})");
+    if let Traffic::Closed {
+        clients, cfg: tc, ..
+    } = traffic
+    {
+        assert!(
+            *clients > 0 || tc.num_requests == 0,
+            "closed-loop traffic needs at least one client"
+        );
+    }
+
+    let ctx = EngineCtx::new(engine, spec, hw, &cfg.serve);
+    let warmup = cfg.coldstart.warmup(ctx.cost(), ctx.spec());
+    let mut source = ArrivalSource::new(traffic);
+    let initial = policy.initial().clamp(floor, cap);
+    let mut fleet: Vec<Slot> = (0..initial)
+        .map(|id| Slot {
+            rep: Replica::new(id, cfg.serve.seed),
+            state: SlotState::Warm,
+        })
+        .collect();
+    let mut rr = RouterState::new();
+    let mut warmups: EventQueue<usize> = EventQueue::new();
+    // Per-request SLO verdicts keyed by finish time, drained into the
+    // policy's attainment window at each tick.
+    let mut finishes: EventQueue<bool> = EventQueue::new();
+    let mut window = (0u32, 0u32);
+    let mut next_tick = SimTime::ZERO + cfg.tick;
+    let mut outcomes = Vec::new();
+    let mut groups = Vec::new();
+    let mut last_arrival = SimTime::ZERO;
+    let mut scale_events: Vec<ScaleEvent> = Vec::new();
+    let mut peak = initial;
+
+    loop {
+        let next_arrival = source.peek();
+        let eos = next_arrival.is_none();
+        // Warm replicas form groups under the admission policy; draining
+        // replicas flush as if at end-of-stream (no more work is coming
+        // *to them*), never backdated before the drain mark.
+        let next_form = fleet
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| {
+                match s.state {
+                    SlotState::Warm => s.rep.next_form_time(&cfg.serve, eos, last_arrival),
+                    SlotState::Draining { since } => {
+                        s.rep
+                            .next_form_time(&cfg.serve, true, last_arrival.max(since))
+                    }
+                    _ => None,
+                }
+                .map(|t| (t, i))
+            })
+            .min();
+        let Some(form_first) = formation_precedes(next_arrival, next_form.map(|(t, _)| t)) else {
+            break;
+        };
+        let real_t = if form_first {
+            next_form.expect("formation event").0
+        } else {
+            next_arrival.expect("arrival event")
+        };
+
+        // Control events run before the serving event at the same instant:
+        // warm-up completions first (so a tick at the same tick sees the
+        // replica warm), then the autoscaler tick (so it sees the fleet
+        // *before* the arrival or formation lands).
+        if let Some(tw) = warmups.peek_time() {
+            if tw <= next_tick && tw <= real_t {
+                let (t, i) = warmups.pop().expect("peeked warm-up");
+                if let SlotState::Warming { ready_at } = fleet[i].state {
+                    debug_assert_eq!(ready_at, t, "warm-up event drifted");
+                    fleet[i].state = SlotState::Warm;
+                }
+                // A cancelled (retired-while-warming) slot just drops its
+                // stale warm-up event.
+                continue;
+            }
+        }
+        if next_tick <= real_t {
+            let now = next_tick;
+            while finishes.peek_time().is_some_and(|t| t <= now) {
+                let (_, met) = finishes.pop().expect("peeked finish");
+                window.0 += 1;
+                window.1 += u32::from(met);
+            }
+            for s in fleet.iter_mut() {
+                sweep_slot(s);
+            }
+            let obs = observe(now, &fleet, window);
+            let provisioned = obs.provisioned();
+            let desired = policy.desired(&obs).clamp(floor, cap);
+            if desired > provisioned {
+                for _ in provisioned..desired {
+                    let i = fleet.len();
+                    let rep = Replica::new_at(i as u32, cfg.serve.seed, now);
+                    if warmup.is_zero() {
+                        fleet.push(Slot {
+                            rep,
+                            state: SlotState::Warm,
+                        });
+                    } else {
+                        let ready_at = now + warmup;
+                        warmups.push(ready_at, i);
+                        fleet.push(Slot {
+                            rep,
+                            state: SlotState::Warming { ready_at },
+                        });
+                    }
+                }
+            } else if desired < provisioned {
+                let mut shrink = provisioned - desired;
+                // Cancel replicas still paying their cold start first (no
+                // work is lost, only the partial warm-up spend), newest
+                // first; then drain warm replicas newest-first. Because
+                // warming is exhausted before any warm replica drains and
+                // `desired >= 1`, at least one warm replica always remains.
+                for s in fleet.iter_mut().rev() {
+                    if shrink == 0 {
+                        break;
+                    }
+                    if matches!(s.state, SlotState::Warming { .. }) {
+                        s.rep.retire(now);
+                        s.state = SlotState::Retired;
+                        shrink -= 1;
+                    }
+                }
+                for s in fleet.iter_mut().rev() {
+                    if shrink == 0 {
+                        break;
+                    }
+                    if matches!(s.state, SlotState::Warm) {
+                        s.state = SlotState::Draining { since: now };
+                        sweep_slot(s);
+                        shrink -= 1;
+                    }
+                }
+            }
+            if desired != provisioned {
+                scale_events.push(ScaleEvent {
+                    at: now,
+                    from: provisioned,
+                    to: desired,
+                    warm: obs.warm,
+                    backlog_tokens: obs.backlog_tokens,
+                });
+                peak = peak.max(desired);
+            }
+            window = (0, 0);
+            next_tick = now + cfg.tick;
+            continue;
+        }
+
+        if form_first {
+            let (t_form, i) = next_form.expect("formation event");
+            let slot_eos = matches!(fleet[i].state, SlotState::Draining { .. }) || eos;
+            let n_before = outcomes.len();
+            let done =
+                fleet[i]
+                    .rep
+                    .run_group(t_form, slot_eos, &ctx, &mut outcomes, &mut groups)?;
+            for c in &done {
+                source.on_complete(c.finished, c.failed);
+            }
+            for o in &outcomes[n_before..] {
+                let met = !o.failed && o.ttft() <= cfg.slo.ttft && o.tpot() <= cfg.slo.tpot;
+                finishes.push(o.finished, met);
+            }
+            sweep_slot(&mut fleet[i]);
+        } else {
+            let r = source.pop();
+            last_arrival = last_arrival.max(r.arrival);
+            let candidates: Vec<(usize, &Replica)> = fleet
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| matches!(s.state, SlotState::Warm))
+                .map(|(i, s)| (i, &s.rep))
+                .collect();
+            let idx = route_pick(
+                cfg.dispatch,
+                &mut rr,
+                &r,
+                &candidates,
+                ctx.cost(),
+                &cfg.serve,
+            );
+            debug_assert!(
+                matches!(fleet[idx].state, SlotState::Warm),
+                "routed to a non-warm replica"
+            );
+            fleet[idx].rep.enqueue(r);
+        }
+    }
+
+    // Replicas still draining at end-of-stream retire now (their queues
+    // are flushed — the loop cannot end with queued work). Replicas still
+    // *warming* at end-of-stream never served; they stay unretired and
+    // their lifetime runs to the end of the run — provisioning that late
+    // is a cost the policy rightly pays for.
+    for s in fleet.iter_mut() {
+        sweep_slot(s);
+    }
+
+    outcomes.sort_by_key(|o| o.id);
+    let first_arrival = outcomes
+        .iter()
+        .map(|o| o.arrival)
+        .min()
+        .unwrap_or(SimTime::ZERO);
+    let last_finish = outcomes
+        .iter()
+        .map(|o| o.finished)
+        .max()
+        .unwrap_or(SimTime::ZERO);
+    let makespan = last_finish.saturating_since(first_arrival);
+    let replicas = fleet
+        .iter()
+        .map(|s| s.rep.stats(first_arrival, last_finish))
+        .collect();
+    let spawned_total = fleet.len() as u32;
+    Ok(ClusterReport {
+        serve: ServeReport {
+            engine: ctx.engine_name(),
+            outcomes,
+            groups,
+            replicas,
+            makespan,
+        },
+        scale_events,
+        initial_replicas: initial,
+        peak_provisioned: peak,
+        spawned_total,
+        warmup,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::admission::AdmissionPolicy;
+    use crate::dispatcher::{serve_scaled, ScaleConfig};
+    use crate::traffic::{generate, Arrivals, LengthDist, TrafficConfig};
+    use klotski_core::report::InferenceReport;
+    use klotski_core::scenario::Scenario;
+    use proptest::prelude::*;
+
+    /// Same stub as the server tests: service = 1 s + 1 s × num_batches.
+    struct StubEngine;
+
+    impl Engine for StubEngine {
+        fn name(&self) -> String {
+            "Stub".into()
+        }
+
+        fn run(&self, sc: &Scenario) -> Result<InferenceReport, EngineError> {
+            let base = SimDuration::from_secs(1);
+            let total = base + SimDuration::from_secs(1) * sc.workload.num_batches as u64;
+            Ok(InferenceReport {
+                engine: self.name(),
+                model: sc.spec.name.clone(),
+                total_time: total,
+                prefill_time: base,
+                decode_time: total - base,
+                generated_tokens: sc.workload.total_generated(),
+                gpu_busy: total,
+                gpu_bubble: SimDuration::ZERO,
+                peak_vram: 0,
+                peak_dram: 0,
+                oom: None,
+                metrics: None,
+            })
+        }
+    }
+
+    fn mixtral() -> (ModelSpec, HardwareSpec) {
+        (ModelSpec::mixtral_8x7b(), HardwareSpec::env1_rtx3090())
+    }
+
+    fn base_cfg(dispatch: DispatchPolicy, coldstart: ColdStartModel) -> ClusterConfig {
+        ClusterConfig {
+            serve: ServeConfig {
+                batch_size: 4,
+                policy: AdmissionPolicy::Deadline {
+                    n: 2,
+                    deadline: SimDuration::from_secs(1),
+                },
+                seed: 7,
+            },
+            dispatch,
+            coldstart,
+            tick: SimDuration::from_millis(500),
+            slo: SloSpec::relaxed(),
+        }
+    }
+
+    fn cluster(
+        traffic: &Traffic,
+        cfg: &ClusterConfig,
+        policy: &mut dyn AutoscalePolicy,
+    ) -> ClusterReport {
+        let (spec, hw) = mixtral();
+        serve_cluster(&StubEngine, &spec, &hw, traffic, cfg, policy).expect("serve_cluster")
+    }
+
+    /// A burst that overloads one replica: 40 requests in ~0.4 s against a
+    /// ~2 s/group engine.
+    fn burst() -> Vec<crate::traffic::Request> {
+        generate(
+            Arrivals::Poisson { rate: 100.0 },
+            &TrafficConfig::fixed(40, 64, 4, 5),
+        )
+    }
+
+    #[test]
+    fn static_cluster_is_byte_identical_to_serve_scaled() {
+        let stream = generate(
+            Arrivals::Poisson { rate: 3.0 },
+            &TrafficConfig {
+                num_requests: 24,
+                prompt: LengthDist::Uniform { lo: 16, hi: 96 },
+                gen: LengthDist::Uniform { lo: 2, hi: 8 },
+                seed: 13,
+            },
+        );
+        let (spec, hw) = mixtral();
+        for dispatch in DispatchPolicy::ALL {
+            let cfg = base_cfg(dispatch, ColdStartModel::Prewarmed);
+            let scaled = serve_scaled(
+                &StubEngine,
+                &spec,
+                &hw,
+                &Traffic::Open(stream.clone()),
+                &ScaleConfig {
+                    serve: cfg.serve,
+                    replicas: 3,
+                    dispatch,
+                },
+            )
+            .expect("serve_scaled");
+            let report = cluster(
+                &Traffic::Open(stream.clone()),
+                &cfg,
+                &mut StaticFleet { replicas: 3 },
+            );
+            assert!(report.scale_events.is_empty(), "{}", dispatch.label());
+            assert_eq!(
+                scaled.outcomes,
+                report.serve.outcomes,
+                "{}",
+                dispatch.label()
+            );
+            assert_eq!(scaled.groups, report.serve.groups, "{}", dispatch.label());
+            assert_eq!(
+                scaled.replicas,
+                report.serve.replicas,
+                "{}",
+                dispatch.label()
+            );
+            assert_eq!(
+                scaled.makespan,
+                report.serve.makespan,
+                "{}",
+                dispatch.label()
+            );
+        }
+    }
+
+    #[test]
+    fn burst_triggers_scale_up_then_drain_back() {
+        let cfg = base_cfg(
+            DispatchPolicy::JoinShortestQueue,
+            ColdStartModel::Fixed(SimDuration::from_secs(1)),
+        );
+        let mut policy = QueueDepthReactive::new(1, 4, 300, 50, 2);
+        // A burst, then a long quiet tail with two stragglers: the gap is
+        // when the autoscaler sees calm ticks and shrinks the fleet.
+        let mut stream = burst();
+        for (i, at) in [(40u64, 120u64), (41, 150)] {
+            stream.push(crate::traffic::Request {
+                id: i,
+                arrival: SimTime::ZERO + SimDuration::from_secs(at),
+                prompt_len: 64,
+                gen_len: 4,
+            });
+        }
+        let report = cluster(&Traffic::Open(stream), &cfg, &mut policy);
+        // All requests served exactly once.
+        let ids: Vec<u64> = report.serve.outcomes.iter().map(|o| o.id).collect();
+        assert_eq!(ids, (0..42).collect::<Vec<_>>());
+        // The burst forced growth beyond the floor…
+        assert!(report.peak_provisioned > 1, "burst must trigger scale-up");
+        assert!(!report.scale_events.is_empty());
+        // …and the quiet tail drained the extras: someone retired.
+        assert!(
+            report.serve.replicas.iter().any(|r| r.retired.is_some()),
+            "surplus replicas must retire after the burst"
+        );
+        // Replica-hours are strictly below peak × makespan: elasticity
+        // saved fleet time.
+        let peak_hours =
+            report.peak_provisioned as f64 * report.serve.makespan.as_secs_f64() / 3600.0;
+        assert!(report.serve.replica_hours() < peak_hours);
+    }
+
+    #[test]
+    fn cold_replicas_serve_nothing_before_warmup() {
+        let cfg = base_cfg(
+            DispatchPolicy::JoinShortestQueue,
+            ColdStartModel::Fixed(SimDuration::from_secs(2)),
+        );
+        let mut policy = QueueDepthReactive::new(1, 4, 200, 50, 2);
+        let report = cluster(&Traffic::Open(burst()), &cfg, &mut policy);
+        assert!(report.spawned_total > report.initial_replicas);
+        for o in &report.serve.outcomes {
+            // Only mid-run spawns pay the cold start; the initial fleet is
+            // warm at t = 0.
+            if o.replica < report.initial_replicas {
+                continue;
+            }
+            let rep = &report.serve.replicas[o.replica as usize];
+            assert!(
+                o.dispatched >= rep.spawned + report.warmup,
+                "request {} dispatched at {} on replica {} warm at {}",
+                o.id,
+                o.dispatched,
+                o.replica,
+                rep.spawned + report.warmup
+            );
+        }
+    }
+
+    #[test]
+    fn weight_streaming_coldstart_delays_first_service() {
+        // Same run with a heavier cold start: the late spawns become
+        // routable later, so makespan can only grow (and warm-up is the
+        // calibrated weight-transfer time, seconds not nanos).
+        let cfg_fast = base_cfg(DispatchPolicy::JoinShortestQueue, ColdStartModel::Prewarmed);
+        let cfg_slow = base_cfg(
+            DispatchPolicy::JoinShortestQueue,
+            ColdStartModel::WeightStreaming {
+                provision: SimDuration::from_secs(2),
+                resident_experts_per_layer: 2,
+            },
+        );
+        let fast = cluster(
+            &Traffic::Open(burst()),
+            &cfg_fast,
+            &mut QueueDepthReactive::new(1, 4, 300, 50, 2),
+        );
+        let slow = cluster(
+            &Traffic::Open(burst()),
+            &cfg_slow,
+            &mut QueueDepthReactive::new(1, 4, 300, 50, 2),
+        );
+        assert!(slow.warmup > SimDuration::from_secs(2));
+        assert!(fast.warmup.is_zero());
+        assert!(slow.serve.makespan >= fast.serve.makespan);
+    }
+
+    #[test]
+    fn slo_reactive_grows_under_violations() {
+        let cfg = base_cfg(DispatchPolicy::JoinShortestQueue, ColdStartModel::Prewarmed);
+        // Tight SLO the overloaded single replica cannot hold.
+        let cfg = ClusterConfig {
+            slo: SloSpec {
+                ttft: SimDuration::from_secs(3),
+                tpot: SimDuration::from_secs(1),
+            },
+            ..cfg
+        };
+        let mut policy = SloReactive::new(1, 4, 0.95, 3);
+        let report = cluster(&Traffic::Open(burst()), &cfg, &mut policy);
+        assert!(
+            report.peak_provisioned > 1,
+            "SLO violations must trigger scale-up"
+        );
+    }
+
+    #[test]
+    fn closed_loop_traffic_works_with_scaling() {
+        let cfg = base_cfg(
+            DispatchPolicy::CostAware,
+            ColdStartModel::Fixed(SimDuration::from_millis(500)),
+        );
+        let traffic = Traffic::Closed {
+            clients: 6,
+            think: SimDuration::from_millis(200),
+            cfg: TrafficConfig::fixed(18, 64, 4, 5),
+        };
+        let report = cluster(
+            &traffic,
+            &cfg,
+            &mut QueueDepthReactive::new(1, 3, 200, 50, 2),
+        );
+        let ids: Vec<u64> = report.serve.outcomes.iter().map(|o| o.id).collect();
+        assert_eq!(ids, (0..18).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "cap")]
+    fn inverted_bounds_rejected() {
+        struct Bad;
+        impl AutoscalePolicy for Bad {
+            fn name(&self) -> &'static str {
+                "bad"
+            }
+            fn floor(&self) -> u32 {
+                4
+            }
+            fn cap(&self) -> u32 {
+                2
+            }
+            fn desired(&mut self, _obs: &FleetObservation) -> u32 {
+                4
+            }
+        }
+        let (spec, hw) = mixtral();
+        let cfg = base_cfg(DispatchPolicy::RoundRobin, ColdStartModel::Prewarmed);
+        let _ = serve_cluster(
+            &StubEngine,
+            &spec,
+            &hw,
+            &Traffic::Open(Vec::new()),
+            &cfg,
+            &mut Bad,
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// A static-policy cluster with no cold start is byte-identical to
+        /// the static dispatcher for every fleet size, dispatch policy,
+        /// and traffic seed — the cluster loop is a strict generalization.
+        #[test]
+        fn static_cluster_matches_serve_scaled(
+            replicas in 1u32..4,
+            dispatch_idx in 0usize..3,
+            seed in 0u64..500,
+            rate in 1.0f64..8.0,
+            tick_ms in 100u64..3_000,
+        ) {
+            let dispatch = DispatchPolicy::ALL[dispatch_idx];
+            let stream = generate(
+                Arrivals::Poisson { rate },
+                &TrafficConfig {
+                    num_requests: 16,
+                    prompt: LengthDist::Uniform { lo: 16, hi: 96 },
+                    gen: LengthDist::Uniform { lo: 2, hi: 8 },
+                    seed,
+                },
+            );
+            let (spec, hw) = mixtral();
+            let mut cfg = base_cfg(dispatch, ColdStartModel::Prewarmed);
+            cfg.tick = SimDuration::from_millis(tick_ms);
+            let scaled = serve_scaled(
+                &StubEngine, &spec, &hw,
+                &Traffic::Open(stream.clone()),
+                &ScaleConfig { serve: cfg.serve, replicas, dispatch },
+            ).expect("serve_scaled");
+            let (spec2, hw2) = mixtral();
+            let report = serve_cluster(
+                &StubEngine, &spec2, &hw2,
+                &Traffic::Open(stream),
+                &cfg,
+                &mut StaticFleet { replicas },
+            ).expect("serve_cluster");
+            prop_assert!(report.scale_events.is_empty());
+            prop_assert_eq!(scaled.outcomes, report.serve.outcomes);
+            prop_assert_eq!(scaled.groups, report.serve.groups);
+            prop_assert_eq!(scaled.replicas, report.serve.replicas);
+            prop_assert_eq!(scaled.makespan, report.serve.makespan);
+        }
+
+        /// Autoscaled runs preserve the request stream exactly (no drops,
+        /// no duplicates), keep the fleet inside [floor, cap], never
+        /// dispatch to a replica before its warm-up completes, and are
+        /// fully deterministic.
+        #[test]
+        fn autoscaled_runs_keep_invariants(
+            seed in 0u64..500,
+            rate in 20.0f64..120.0,
+            n in 10u32..40,
+            floor in 1u32..3,
+            extra in 1u32..4,
+            coldstart_ms in 0u64..2_000,
+        ) {
+            let cap = floor + extra;
+            let stream = generate(
+                Arrivals::Poisson { rate },
+                &TrafficConfig {
+                    num_requests: n,
+                    prompt: LengthDist::Uniform { lo: 16, hi: 96 },
+                    gen: LengthDist::Uniform { lo: 2, hi: 8 },
+                    seed,
+                },
+            );
+            let cfg = base_cfg(
+                DispatchPolicy::JoinShortestQueue,
+                ColdStartModel::Fixed(SimDuration::from_millis(coldstart_ms)),
+            );
+            let run = |stream: Vec<crate::traffic::Request>| {
+                let (spec, hw) = mixtral();
+                serve_cluster(
+                    &StubEngine, &spec, &hw,
+                    &Traffic::Open(stream),
+                    &cfg,
+                    &mut QueueDepthReactive::new(floor, cap, 300, 50, 2),
+                ).expect("serve_cluster")
+            };
+            let report = run(stream.clone());
+            // Exactly-once service in id order.
+            let ids: Vec<u64> = report.serve.outcomes.iter().map(|o| o.id).collect();
+            prop_assert_eq!(ids, (0..u64::from(n)).collect::<Vec<_>>());
+            // Fleet bounds at every decision.
+            prop_assert!(report.peak_provisioned <= cap);
+            for e in &report.scale_events {
+                prop_assert!(e.to >= floor && e.to <= cap, "event {e:?} out of bounds");
+            }
+            // No dispatch before warm-up (mid-run spawns only; the initial
+            // fleet is warm at t = 0).
+            for o in &report.serve.outcomes {
+                if o.replica < report.initial_replicas {
+                    continue;
+                }
+                let rep = &report.serve.replicas[o.replica as usize];
+                prop_assert!(o.dispatched >= rep.spawned + report.warmup);
+            }
+            // Retirement never precedes the replica's last dispatched work.
+            for rep in &report.serve.replicas {
+                if let Some(at) = rep.retired {
+                    for o in report.serve.outcomes.iter().filter(|o| o.replica == rep.replica) {
+                        prop_assert!(o.dispatched <= at);
+                    }
+                }
+            }
+            // Byte-determinism: an identical rerun reproduces everything.
+            let again = run(stream);
+            prop_assert_eq!(report.serve.outcomes, again.serve.outcomes);
+            prop_assert_eq!(report.serve.groups, again.serve.groups);
+            prop_assert_eq!(report.serve.replicas, again.serve.replicas);
+            prop_assert_eq!(report.scale_events, again.scale_events);
+        }
+    }
+}

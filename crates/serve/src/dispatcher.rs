@@ -107,33 +107,10 @@ pub fn serve_scaled(
     assert!(cfg.replicas > 0, "need at least one replica");
     let dispatch = cfg.dispatch;
     let serve_cfg = cfg.serve;
-    let mut next_rr = 0usize;
+    let mut rr = RouterState::new();
     let mut route = move |r: &Request, reps: &[Replica], cost: &CostModel| -> usize {
-        match dispatch {
-            DispatchPolicy::RoundRobin => {
-                let i = next_rr % reps.len();
-                next_rr += 1;
-                i
-            }
-            DispatchPolicy::JoinShortestQueue => reps
-                .iter()
-                .enumerate()
-                .min_by_key(|(i, rep)| (rep.backlog_tokens(r.arrival), rep.t_free(), *i))
-                .map(|(i, _)| i)
-                .expect("at least one replica"),
-            DispatchPolicy::CostAware => reps
-                .iter()
-                .enumerate()
-                .min_by_key(|(i, rep)| {
-                    (
-                        estimated_completion(rep, r, cost, &serve_cfg),
-                        rep.t_free(),
-                        *i,
-                    )
-                })
-                .map(|(i, _)| i)
-                .expect("at least one replica"),
-        }
+        let candidates: Vec<(usize, &Replica)> = reps.iter().enumerate().collect();
+        route_pick(dispatch, &mut rr, r, &candidates, cost, &serve_cfg)
     };
     drive(
         engine,
@@ -144,6 +121,56 @@ pub fn serve_scaled(
         cfg.replicas,
         &mut route,
     )
+}
+
+/// Mutable routing state that outlives individual decisions (the
+/// round-robin cursor).
+pub(crate) struct RouterState {
+    next_rr: usize,
+}
+
+impl RouterState {
+    pub(crate) fn new() -> Self {
+        RouterState { next_rr: 0 }
+    }
+}
+
+/// Picks a replica for `r` among `candidates` — `(index, replica)` pairs
+/// where the index is whatever the caller routes by (position in a static
+/// fleet, fleet-slot index for a cluster). Shared by [`serve_scaled`] and
+/// the cluster loop: over a full static fleet the decisions are identical
+/// to the pre-cluster dispatcher byte for byte.
+///
+/// # Panics
+///
+/// Panics if `candidates` is empty — the caller must guarantee at least
+/// one routable replica.
+pub(crate) fn route_pick(
+    dispatch: DispatchPolicy,
+    state: &mut RouterState,
+    r: &Request,
+    candidates: &[(usize, &Replica)],
+    cost: &CostModel,
+    cfg: &ServeConfig,
+) -> usize {
+    assert!(!candidates.is_empty(), "routing needs a candidate replica");
+    match dispatch {
+        DispatchPolicy::RoundRobin => {
+            let i = candidates[state.next_rr % candidates.len()].0;
+            state.next_rr += 1;
+            i
+        }
+        DispatchPolicy::JoinShortestQueue => candidates
+            .iter()
+            .min_by_key(|(i, rep)| (rep.backlog_tokens(r.arrival), rep.t_free(), *i))
+            .map(|(i, _)| *i)
+            .expect("at least one candidate"),
+        DispatchPolicy::CostAware => candidates
+            .iter()
+            .min_by_key(|(i, rep)| (estimated_completion(rep, r, cost, cfg), rep.t_free(), *i))
+            .map(|(i, _)| *i)
+            .expect("at least one candidate"),
+    }
 }
 
 /// When `rep` would plausibly finish `r` if it joined `rep`'s queue now:

@@ -20,7 +20,11 @@
 //!   join-shortest-queue, or cost-model-informed placement;
 //! * [`metrics`] — request-level SLO metrics: TTFT / TPOT / end-to-end
 //!   percentiles, goodput under an SLO, sustained throughput, per-replica
-//!   breakdowns.
+//!   breakdowns;
+//! * [`cluster`] — cluster-scale serving: a dynamic fleet under a
+//!   pluggable autoscaling policy, with cold starts derived from the
+//!   cost model's weight-transfer times, drain-then-retire scale-down,
+//!   and replica-hour accounting.
 //!
 //! Everything is deterministic under a seed: the same traffic, policy, and
 //! engine produce byte-identical reports (the `serve_sweep` and
@@ -60,6 +64,7 @@
 #![warn(missing_docs)]
 
 pub mod admission;
+pub mod cluster;
 pub mod dispatcher;
 pub mod metrics;
 pub mod server;

@@ -23,14 +23,14 @@
 //! its own `gen_len` (shorter requests in a padded group finish earlier,
 //! while the pace-setting requests finish exactly when the engine frees).
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 
 use klotski_core::scenario::{Engine, EngineError, Scenario};
 use klotski_model::cost::CostModel;
 use klotski_model::hardware::HardwareSpec;
 use klotski_model::spec::ModelSpec;
 use klotski_model::workload::Workload;
+use klotski_sim::event::EventQueue;
 use klotski_sim::time::{SimDuration, SimTime};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -144,6 +144,13 @@ pub struct GroupRecord {
 }
 
 /// How one replica spent a serving run.
+///
+/// Static fleets ([`serve`] / [`serve_scaled`](crate::dispatcher::serve_scaled))
+/// report `spawned == SimTime::ZERO`, `retired == None`, and
+/// `lifetime == makespan`; cluster runs
+/// ([`serve_cluster`](crate::cluster::serve_cluster)) report the actual
+/// birth/retirement span, so `utilization` is always busy time over the
+/// window the replica *existed*, not over the whole run.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ReplicaUtilization {
     /// Replica id (always 0 for single-engine [`serve`]).
@@ -156,7 +163,15 @@ pub struct ReplicaUtilization {
     pub busy: SimDuration,
     /// Generated tokens of this replica's completed (non-OOM) requests.
     pub tokens: u64,
-    /// `busy` over the run's makespan (0 when the makespan is zero).
+    /// When the replica was born (`ZERO` for static fleets).
+    pub spawned: SimTime,
+    /// When the replica retired (`None` if it outlived the run).
+    pub retired: Option<SimTime>,
+    /// The span the replica existed within the run: birth (or first
+    /// arrival, whichever is later) → retirement (or run end). Equals the
+    /// makespan for static fleets.
+    pub lifetime: SimDuration,
+    /// `busy` over `lifetime` (0 when the lifetime is zero).
     pub utilization: f64,
 }
 
@@ -177,6 +192,16 @@ pub struct ServeReport {
 }
 
 impl ServeReport {
+    /// Total replica-hours consumed: the sum of every replica's lifetime,
+    /// in hours — the fleet-cost metric autoscaling trades against SLO
+    /// attainment. For a static fleet this is `R × makespan`.
+    pub fn replica_hours(&self) -> f64 {
+        self.replicas
+            .iter()
+            .map(|r| r.lifetime.as_secs_f64() / 3600.0)
+            .sum()
+    }
+
     /// Sustained throughput: generated tokens of completed requests over
     /// the makespan.
     pub fn throughput_tps(&self) -> f64 {
@@ -224,10 +249,57 @@ pub(crate) struct EngineCtx<'a> {
     cfg: &'a ServeConfig,
 }
 
+impl<'a> EngineCtx<'a> {
+    pub(crate) fn new(
+        engine: &'a dyn Engine,
+        spec: &'a ModelSpec,
+        hw: &'a HardwareSpec,
+        cfg: &'a ServeConfig,
+    ) -> Self {
+        EngineCtx {
+            engine,
+            spec,
+            hw,
+            cost: CostModel::new(spec.clone(), hw.clone()),
+            cfg,
+        }
+    }
+
+    pub(crate) fn engine_name(&self) -> String {
+        self.engine.name()
+    }
+
+    pub(crate) fn cost(&self) -> &CostModel {
+        &self.cost
+    }
+
+    pub(crate) fn spec(&self) -> &ModelSpec {
+        self.spec
+    }
+}
+
 /// A completed request, reported back so closed-loop clients can react.
-struct Completion {
-    finished: SimTime,
-    failed: bool,
+pub(crate) struct Completion {
+    pub(crate) finished: SimTime,
+    pub(crate) failed: bool,
+}
+
+/// The serving interleave's single tie rule: does the earliest pending
+/// group formation run before the earliest pending arrival? At equal
+/// instants the arrival is ingested first, so a request arriving exactly
+/// when an engine frees still joins that group. `None` means neither event
+/// exists — the run is over. Shared by [`drive`] and the cluster loop so
+/// both layers order events identically.
+pub(crate) fn formation_precedes(
+    next_arrival: Option<SimTime>,
+    next_form: Option<SimTime>,
+) -> Option<bool> {
+    match (next_arrival, next_form) {
+        (None, None) => None,
+        (Some(at), Some(tf)) => Some(tf < at),
+        (Some(_), None) => Some(false),
+        (None, Some(_)) => Some(true),
+    }
 }
 
 /// The shared serving event loop behind [`serve`] and the dispatcher.
@@ -265,13 +337,7 @@ pub(crate) fn drive(
     let mut replicas: Vec<Replica> = (0..n_replicas)
         .map(|id| Replica::new(id, cfg.seed))
         .collect();
-    let ctx = EngineCtx {
-        engine,
-        spec,
-        hw,
-        cost: CostModel::new(spec.clone(), hw.clone()),
-        cfg,
-    };
+    let ctx = EngineCtx::new(engine, spec, hw, cfg);
     let mut outcomes: Vec<RequestOutcome> = Vec::new();
     let mut groups: Vec<GroupRecord> = Vec::new();
     // The instant end-of-stream became knowable: a flush can be cut no
@@ -289,11 +355,8 @@ pub(crate) fn drive(
             .enumerate()
             .filter_map(|(i, r)| r.next_form_time(cfg, eos, last_arrival).map(|t| (t, i)))
             .min();
-        let form_first = match (next_arrival, next_form) {
-            (None, None) => break,
-            (Some(at), Some((tf, _))) => tf < at,
-            (Some(_), None) => false,
-            (None, Some(_)) => true,
+        let Some(form_first) = formation_precedes(next_arrival, next_form.map(|(t, _)| t)) else {
+            break;
         };
         if form_first {
             let (t_form, i) = next_form.expect("formation event");
@@ -320,13 +383,16 @@ pub(crate) fn drive(
         .map(|o| o.arrival)
         .min()
         .unwrap_or(SimTime::ZERO);
-    let makespan = outcomes
+    let last_finish = outcomes
         .iter()
         .map(|o| o.finished)
         .max()
-        .unwrap_or(SimTime::ZERO)
-        .saturating_since(first_arrival);
-    let replicas = replicas.iter().map(|r| r.stats(makespan)).collect();
+        .unwrap_or(SimTime::ZERO);
+    let makespan = last_finish.saturating_since(first_arrival);
+    let replicas = replicas
+        .iter()
+        .map(|r| r.stats(first_arrival, last_finish))
+        .collect();
     Ok(ServeReport {
         engine: engine.name(),
         outcomes,
@@ -356,16 +422,27 @@ pub(crate) struct Replica {
     busy: SimDuration,
     served: u32,
     tokens: u64,
+    /// Birth instant (`ZERO` for static fleets).
+    spawned: SimTime,
+    /// Retirement instant, once the cluster loop drains and retires it.
+    retired: Option<SimTime>,
 }
 
 impl Replica {
-    fn new(id: u32, seed: u64) -> Self {
+    pub(crate) fn new(id: u32, seed: u64) -> Self {
+        Replica::new_at(id, seed, SimTime::ZERO)
+    }
+
+    /// A replica born mid-run (cluster scale-up); its scenario seed stream
+    /// depends only on `(id, seed)`, never on the birth time, so a static
+    /// cluster reproduces `serve_scaled` exactly.
+    pub(crate) fn new_at(id: u32, seed: u64, spawned: SimTime) -> Self {
         let salt = u64::from(id).wrapping_mul(0x9e37_79b9_7f4a_7c15);
         Replica {
             id,
             seed: seed.wrapping_add(salt),
             queue: VecDeque::new(),
-            t_free: SimTime::ZERO,
+            t_free: spawned,
             queued_tokens: 0,
             inflight_tokens: 0,
             inflight_service: SimDuration::ZERO,
@@ -373,7 +450,15 @@ impl Replica {
             busy: SimDuration::ZERO,
             served: 0,
             tokens: 0,
+            spawned,
+            retired: None,
         }
+    }
+
+    /// Marks the replica retired at `at` (drained, engine free).
+    pub(crate) fn retire(&mut self, at: SimTime) {
+        debug_assert!(self.queue.is_empty(), "retiring with queued work");
+        self.retired = Some(at);
     }
 
     /// When this replica's engine frees (or freed).
@@ -411,7 +496,7 @@ impl Replica {
             .fold((1, 1), |(p, g), r| (p.max(r.prompt_len), g.max(r.gen_len)))
     }
 
-    fn enqueue(&mut self, r: Request) {
+    pub(crate) fn enqueue(&mut self, r: Request) {
         self.queued_tokens += u64::from(r.prompt_len) + u64::from(r.gen_len);
         self.queue.push_back(r);
     }
@@ -421,7 +506,7 @@ impl Replica {
     /// waiting on arrivals that have not happened yet. An end-of-stream
     /// flush is never backdated before `last_arrival`, the instant the
     /// stream was known to be drained.
-    fn next_form_time(
+    pub(crate) fn next_form_time(
         &self,
         cfg: &ServeConfig,
         eos: bool,
@@ -450,7 +535,7 @@ impl Replica {
     /// Cuts a group at `t_form`, runs it through the engine, and records
     /// outcomes; returns the completions so closed-loop clients can issue
     /// their next requests.
-    fn run_group(
+    pub(crate) fn run_group(
         &mut self,
         t_form: SimTime,
         eos: bool,
@@ -563,17 +648,29 @@ impl Replica {
         Ok(done)
     }
 
-    fn stats(&self, makespan: SimDuration) -> ReplicaUtilization {
+    /// Folds the replica's counters into a [`ReplicaUtilization`].
+    ///
+    /// `origin` is the run's first arrival and `run_end` its last finish:
+    /// the lifetime spans birth (or `origin`, whichever is later) to
+    /// retirement (or `run_end`), so a never-retired replica born at
+    /// `ZERO` reports exactly the run makespan — static fleets are
+    /// unchanged byte for byte.
+    pub(crate) fn stats(&self, origin: SimTime, run_end: SimTime) -> ReplicaUtilization {
+        let born = self.spawned.max(origin);
+        let lifetime = self.retired.unwrap_or(run_end).saturating_since(born);
         ReplicaUtilization {
             replica: self.id,
             groups: self.local_groups as u32,
             requests: self.served,
             busy: self.busy,
             tokens: self.tokens,
-            utilization: if makespan.is_zero() {
+            spawned: self.spawned,
+            retired: self.retired,
+            lifetime,
+            utilization: if lifetime.is_zero() {
                 0.0
             } else {
-                self.busy.as_secs_f64() / makespan.as_secs_f64()
+                self.busy.as_secs_f64() / lifetime.as_secs_f64()
             },
         }
     }
@@ -616,12 +713,18 @@ fn group_workload(batch: &[Request], batch_size: u32) -> Workload {
     }
 }
 
-/// The request stream feeding [`drive`]: pre-generated open-loop arrivals
-/// plus the closed-loop state that issues follow-up requests as
-/// completions happen.
-struct ArrivalSource {
+/// The request stream feeding [`drive`] and the cluster loop:
+/// pre-generated open-loop arrivals plus the closed-loop state that issues
+/// follow-up requests as completions happen.
+///
+/// Built on the simulator's [`EventQueue`], whose FIFO-among-ties rule is
+/// the one ordering definition the whole tree uses. Same-instant arrivals
+/// come out in request-id order because they are pushed in id order: open
+/// streams are sorted by `(arrival, id)` before insertion, and closed-loop
+/// follow-ups mint monotonically increasing ids as they are pushed.
+pub(crate) struct ArrivalSource {
     /// Future arrivals, earliest first.
-    future: BinaryHeap<Reverse<(u64, u64, u32, u32)>>, // (nanos, id, prompt, gen)
+    future: EventQueue<(u64, u32, u32)>, // (id, prompt, gen)
     /// Closed-loop state: requests still to issue, lengths, think time.
     closed: Option<ClosedState>,
 }
@@ -635,18 +738,18 @@ struct ClosedState {
 }
 
 impl ArrivalSource {
-    fn new(traffic: &Traffic) -> Self {
-        let mut future = BinaryHeap::new();
+    pub(crate) fn new(traffic: &Traffic) -> Self {
+        let mut future = EventQueue::new();
         let mut closed = None;
         match traffic {
             Traffic::Open(requests) => {
-                for r in requests {
-                    future.push(Reverse((
-                        r.arrival.as_nanos(),
-                        r.id,
-                        r.prompt_len,
-                        r.gen_len,
-                    )));
+                // Push in (arrival, id) order so the queue's FIFO-at-ties
+                // rule reproduces the id order the loop always ingested
+                // same-instant arrivals in.
+                let mut sorted: Vec<&Request> = requests.iter().collect();
+                sorted.sort_by_key(|r| (r.arrival, r.id));
+                for r in sorted {
+                    future.push(r.arrival, (r.id, r.prompt_len, r.gen_len));
                 }
             }
             Traffic::Closed {
@@ -659,7 +762,7 @@ impl ArrivalSource {
                 for id in 0..initial as u64 {
                     let prompt = tc.prompt.sample(&mut rng);
                     let gen = tc.gen.sample(&mut rng);
-                    future.push(Reverse((0, id, prompt, gen)));
+                    future.push(SimTime::ZERO, (id, prompt, gen));
                 }
                 closed = Some(ClosedState {
                     remaining: tc.num_requests - initial,
@@ -674,19 +777,17 @@ impl ArrivalSource {
     }
 
     /// The next arrival instant, if any request is already in flight.
-    fn peek(&self) -> Option<SimTime> {
-        self.future
-            .peek()
-            .map(|&Reverse((at, ..))| SimTime::from_nanos(at))
+    pub(crate) fn peek(&self) -> Option<SimTime> {
+        self.future.peek_time()
     }
 
-    /// Pops the earliest pending arrival (ties broken by request id, the
-    /// same order the single-engine queue always ingested them).
-    fn pop(&mut self) -> Request {
-        let Reverse((at, id, prompt, gen)) = self.future.pop().expect("pop on an empty source");
+    /// Pops the earliest pending arrival (FIFO among ties — request-id
+    /// order, the same order the single-engine queue always ingested them).
+    pub(crate) fn pop(&mut self) -> Request {
+        let (at, (id, prompt, gen)) = self.future.pop().expect("pop on an empty source");
         Request {
             id,
-            arrival: SimTime::from_nanos(at),
+            arrival: at,
             prompt_len: prompt,
             gen_len: gen,
         }
@@ -695,7 +796,7 @@ impl ArrivalSource {
     /// A request completed at `finished`; in closed-loop mode its client
     /// issues the next request after thinking (unless the group failed —
     /// a failed client walks away, which also guarantees progress).
-    fn on_complete(&mut self, finished: SimTime, failed: bool) {
+    pub(crate) fn on_complete(&mut self, finished: SimTime, failed: bool) {
         let Some(state) = self.closed.as_mut() else {
             return;
         };
@@ -706,8 +807,7 @@ impl ArrivalSource {
         let arrival = finished + state.think;
         let prompt = state.cfg.prompt.sample(&mut state.rng);
         let gen = state.cfg.gen.sample(&mut state.rng);
-        self.future
-            .push(Reverse((arrival.as_nanos(), state.next_id, prompt, gen)));
+        self.future.push(arrival, (state.next_id, prompt, gen));
         state.next_id += 1;
     }
 }

@@ -6,7 +6,16 @@
 //! uniformly paced — load independent of service times) are pre-generated
 //! here, while closed-loop traffic (each client waits for its previous
 //! request) is driven by the serving loop as completions happen.
+//!
+//! Real production load is not stationary: request rates cycle with the
+//! day and spike under flash crowds. [`RateProfile`]s compose a
+//! time-varying rate multiplier over any base process
+//! ([`generate_with_profile`] warps the base stream so its instantaneous
+//! rate tracks the profile), and recorded
+//! [`RequestTrace`](klotski_model::trace::RequestTrace)s replay verbatim
+//! through [`replay`] — the cluster simulator's three load regimes.
 
+use klotski_model::trace::RequestTrace;
 use klotski_sim::time::{SimDuration, SimTime};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -197,6 +206,177 @@ pub fn generate(arrivals: Arrivals, cfg: &TrafficConfig) -> Vec<Request> {
     out
 }
 
+/// A time-varying multiplier on a base arrival process's instantaneous
+/// rate. Profiles compose multiplicatively (pass several to
+/// [`generate_with_profile`]), so a flash crowd can ride on a diurnal
+/// cycle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RateProfile {
+    /// A day-like cycle: the rate multiplier swings sinusoidally between
+    /// `trough` (at `t = 0`) and `peak` (half a period later) with the
+    /// given period.
+    Diurnal {
+        /// Cycle length (> 0).
+        period: SimDuration,
+        /// Rate multiplier at the cycle's low point (> 0).
+        trough: f64,
+        /// Rate multiplier at the cycle's high point (≥ `trough`).
+        peak: f64,
+    },
+    /// A flash crowd: the rate jumps to `magnitude ×` base inside
+    /// `[at, at + width)` and is unchanged elsewhere.
+    FlashCrowd {
+        /// When the crowd hits.
+        at: SimTime,
+        /// How long it lasts (> 0).
+        width: SimDuration,
+        /// Rate multiplier during the spike (> 0).
+        magnitude: f64,
+    },
+}
+
+impl RateProfile {
+    /// The rate multiplier at instant `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive parameters (`period`, `trough`, `width`,
+    /// `magnitude`) or `peak < trough`.
+    pub fn multiplier(&self, t: SimTime) -> f64 {
+        match *self {
+            RateProfile::Diurnal {
+                period,
+                trough,
+                peak,
+            } => {
+                assert!(!period.is_zero(), "diurnal period must be positive");
+                assert!(trough > 0.0 && peak >= trough, "need 0 < trough <= peak");
+                let phase = t.saturating_since(SimTime::ZERO).as_secs_f64() / period.as_secs_f64();
+                trough + (peak - trough) * 0.5 * (1.0 - (2.0 * std::f64::consts::PI * phase).cos())
+            }
+            RateProfile::FlashCrowd {
+                at,
+                width,
+                magnitude,
+            } => {
+                assert!(!width.is_zero(), "flash-crowd width must be positive");
+                assert!(magnitude > 0.0, "flash-crowd magnitude must be positive");
+                if t >= at && t < at + width {
+                    magnitude
+                } else {
+                    1.0
+                }
+            }
+        }
+    }
+
+    /// Short stable name for tables and JSON output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RateProfile::Diurnal { .. } => "diurnal",
+            RateProfile::FlashCrowd { .. } => "flash_crowd",
+        }
+    }
+
+    /// The finest time scale the profile varies on — the warp's
+    /// integration step divides it so piecewise-constant integration
+    /// tracks the profile closely.
+    fn scale(&self) -> SimDuration {
+        match *self {
+            RateProfile::Diurnal { period, .. } => period / 512,
+            RateProfile::FlashCrowd { width, .. } => width / 64,
+        }
+    }
+}
+
+/// Pre-generates an open-loop stream whose instantaneous rate is the base
+/// process's rate times the product of the `profiles`' multipliers.
+///
+/// The base stream from [`generate`] is warped by deterministic
+/// area-consumption: arrival `i` lands at the instant `t` where
+/// `∫₀ᵗ m(s) ds` equals its base arrival time, with `m` integrated
+/// piecewise-constant at a step well below every profile's time scale.
+/// High-multiplier intervals therefore compress inter-arrival gaps
+/// (higher rate) and low-multiplier intervals stretch them, while request
+/// ids, lengths, ordering, and same-instant bursts are all preserved. An
+/// empty profile list returns the base stream unchanged.
+///
+/// # Panics
+///
+/// Panics on invalid profile parameters or a non-positive base rate.
+pub fn generate_with_profile(
+    arrivals: Arrivals,
+    cfg: &TrafficConfig,
+    profiles: &[RateProfile],
+) -> Vec<Request> {
+    let mut reqs = generate(arrivals, cfg);
+    if profiles.is_empty() {
+        return reqs;
+    }
+    let step = profiles
+        .iter()
+        .map(|p| p.scale())
+        .min()
+        .expect("non-empty profiles")
+        .max(SimDuration::from_nanos(1_000))
+        .as_secs_f64();
+    let multiplier = |t: f64| -> f64 {
+        profiles
+            .iter()
+            .map(|p| p.multiplier(SimTime::ZERO + SimDuration::from_secs_f64(t)))
+            .product()
+    };
+    // Walk the warped timeline slot by slot, consuming base-time "area";
+    // the walk state persists across requests, so equal base arrivals map
+    // to equal warped arrivals and ordering is preserved.
+    let mut slot_start = 0.0_f64;
+    let mut area = 0.0_f64;
+    let mut m_slot = multiplier(0.0);
+    for r in reqs.iter_mut() {
+        let target = r.arrival.saturating_since(SimTime::ZERO).as_secs_f64();
+        while area + m_slot * step < target {
+            area += m_slot * step;
+            slot_start += step;
+            m_slot = multiplier(slot_start);
+        }
+        let t = slot_start + (target - area) / m_slot;
+        r.arrival = SimTime::ZERO + SimDuration::from_secs_f64(t);
+    }
+    reqs
+}
+
+/// Records an open-loop stream as a replayable
+/// [`RequestTrace`](klotski_model::trace::RequestTrace).
+///
+/// # Panics
+///
+/// Panics if `requests` is not in arrival order (see
+/// [`RequestTrace::record`]).
+pub fn to_trace(requests: &[Request]) -> RequestTrace {
+    RequestTrace::record(
+        requests
+            .iter()
+            .map(|r| (r.arrival, r.prompt_len, r.gen_len)),
+    )
+}
+
+/// Replays a recorded trace as an open-loop stream: one request per row,
+/// ids assigned in row order — [`to_trace`] then [`replay`] reproduces the
+/// original stream exactly.
+pub fn replay(trace: &RequestTrace) -> Vec<Request> {
+    trace
+        .rows
+        .iter()
+        .enumerate()
+        .map(|(id, row)| Request {
+            id: id as u64,
+            arrival: row.at,
+            prompt_len: row.prompt_len,
+            gen_len: row.gen_len,
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -323,5 +503,169 @@ mod tests {
     fn zero_rate_rejected() {
         let cfg = TrafficConfig::fixed(1, 128, 8, 0);
         let _ = generate(Arrivals::Poisson { rate: 0.0 }, &cfg);
+    }
+
+    #[test]
+    fn empty_profile_list_is_identity() {
+        let cfg = TrafficConfig::fixed(20, 64, 4, 3);
+        let base = generate(Arrivals::Poisson { rate: 2.0 }, &cfg);
+        let warped = generate_with_profile(Arrivals::Poisson { rate: 2.0 }, &cfg, &[]);
+        assert_eq!(base, warped);
+    }
+
+    #[test]
+    fn unit_profile_is_near_identity() {
+        let cfg = TrafficConfig::fixed(30, 64, 4, 3);
+        let base = generate(Arrivals::Poisson { rate: 2.0 }, &cfg);
+        let warped = generate_with_profile(
+            Arrivals::Poisson { rate: 2.0 },
+            &cfg,
+            &[RateProfile::Diurnal {
+                period: SimDuration::from_secs(60),
+                trough: 1.0,
+                peak: 1.0,
+            }],
+        );
+        // A constant multiplier of 1 only accumulates float slack from the
+        // slot walk — well under a microsecond over this span.
+        for (b, w) in base.iter().zip(&warped) {
+            let diff = w
+                .arrival
+                .saturating_since(b.arrival)
+                .max(b.arrival.saturating_since(w.arrival));
+            assert!(diff < SimDuration::from_nanos(1_000), "drift {diff}");
+        }
+    }
+
+    #[test]
+    fn warp_preserves_shape_order_and_bursts() {
+        let cfg = TrafficConfig {
+            num_requests: 48,
+            prompt: LengthDist::Uniform { lo: 16, hi: 64 },
+            gen: LengthDist::Uniform { lo: 2, hi: 8 },
+            seed: 11,
+        };
+        let arrivals = Arrivals::Bursty {
+            rate: 2.0,
+            burst: 8,
+        };
+        let base = generate(arrivals, &cfg);
+        let warped = generate_with_profile(
+            arrivals,
+            &cfg,
+            &[RateProfile::Diurnal {
+                period: SimDuration::from_secs(30),
+                trough: 0.2,
+                peak: 4.0,
+            }],
+        );
+        assert_eq!(warped.len(), base.len());
+        for (b, w) in base.iter().zip(&warped) {
+            assert_eq!(
+                (b.id, b.prompt_len, b.gen_len),
+                (w.id, w.prompt_len, w.gen_len)
+            );
+        }
+        for w in warped.windows(2) {
+            assert!(w[0].arrival <= w[1].arrival, "warp must preserve order");
+        }
+        // Bursts stay simultaneous through the warp.
+        for chunk in warped.chunks(8) {
+            assert!(chunk.iter().all(|r| r.arrival == chunk[0].arrival));
+        }
+    }
+
+    #[test]
+    fn flash_crowd_compresses_the_window() {
+        // A paced stream at 1 req/s, spiked 10× over [10 s, 20 s) of the
+        // *warped* timeline: base arrivals that land in the window get
+        // 100 ms gaps instead of 1 s gaps.
+        let cfg = TrafficConfig::fixed(60, 64, 4, 1);
+        let warped = generate_with_profile(
+            Arrivals::Paced { rate: 1.0 },
+            &cfg,
+            &[RateProfile::FlashCrowd {
+                at: SimTime::from_nanos(10_000_000_000),
+                width: SimDuration::from_secs(10),
+                magnitude: 10.0,
+            }],
+        );
+        let in_window = warped
+            .iter()
+            .filter(|r| {
+                r.arrival >= SimTime::from_nanos(10_000_000_000)
+                    && r.arrival < SimTime::from_nanos(20_000_000_000)
+            })
+            .count();
+        // 10 warped seconds at 10× a 1 req/s base ≈ 100 arrivals; the
+        // stream only has 60, so most of it lands inside the window.
+        assert!(in_window > 40, "only {in_window} arrivals in the spike");
+    }
+
+    #[test]
+    fn diurnal_peak_attracts_arrivals() {
+        let cfg = TrafficConfig::fixed(400, 64, 4, 5);
+        let period = SimDuration::from_secs(100);
+        let warped = generate_with_profile(
+            Arrivals::Poisson { rate: 4.0 },
+            &cfg,
+            &[RateProfile::Diurnal {
+                period,
+                trough: 0.2,
+                peak: 3.0,
+            }],
+        );
+        // Within the first full cycle, the peak half-period [P/4, 3P/4)
+        // must hold clearly more arrivals than the trough half.
+        let (mut peak_half, mut trough_half) = (0, 0);
+        for r in &warped {
+            let t = r.arrival.saturating_since(SimTime::ZERO).as_secs_f64();
+            if t >= 100.0 {
+                continue;
+            }
+            if (25.0..75.0).contains(&t) {
+                peak_half += 1;
+            } else {
+                trough_half += 1;
+            }
+        }
+        assert!(
+            peak_half > 2 * trough_half.max(1),
+            "peak {peak_half} vs trough {trough_half}"
+        );
+    }
+
+    #[test]
+    fn trace_record_replay_round_trip() {
+        let cfg = TrafficConfig {
+            num_requests: 25,
+            prompt: LengthDist::Uniform { lo: 16, hi: 64 },
+            gen: LengthDist::Uniform { lo: 2, hi: 8 },
+            seed: 7,
+        };
+        let stream = generate_with_profile(
+            Arrivals::Poisson { rate: 3.0 },
+            &cfg,
+            &[RateProfile::Diurnal {
+                period: SimDuration::from_secs(20),
+                trough: 0.5,
+                peak: 2.0,
+            }],
+        );
+        let trace = to_trace(&stream);
+        // Through the text format and back: still the exact stream.
+        let parsed = klotski_model::trace::RequestTrace::parse(&trace.to_text()).expect("parse");
+        assert_eq!(replay(&parsed), stream);
+    }
+
+    #[test]
+    #[should_panic(expected = "trough")]
+    fn invalid_diurnal_rejected() {
+        let p = RateProfile::Diurnal {
+            period: SimDuration::from_secs(10),
+            trough: 2.0,
+            peak: 1.0,
+        };
+        let _ = p.multiplier(SimTime::ZERO);
     }
 }

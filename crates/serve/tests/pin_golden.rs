@@ -1,0 +1,180 @@
+//! Regression pins for the serving event loop.
+//!
+//! The `drive` loop's global-time interleave (arrivals vs. group
+//! formations, stable tie-breaking) moved onto the shared
+//! `klotski_sim::event::EventQueue` ordering; these checksums were
+//! captured from the pre-refactor implementation and pin every timing
+//! field of `serve` / `serve_scaled` byte for byte, so the ordering
+//! definition can never drift silently.
+
+use klotski_core::report::InferenceReport;
+use klotski_core::scenario::{Engine, EngineError, Scenario};
+use klotski_model::hardware::HardwareSpec;
+use klotski_model::spec::ModelSpec;
+use klotski_serve::admission::AdmissionPolicy;
+use klotski_serve::dispatcher::{serve_scaled, DispatchPolicy, ScaleConfig};
+use klotski_serve::server::{serve, ServeConfig, ServeReport, Traffic};
+use klotski_serve::traffic::{generate, Arrivals, LengthDist, TrafficConfig};
+use klotski_sim::time::SimDuration;
+
+/// Fixed-cost stub with a non-divisible decode span (the +7 ns exercises
+/// the truncation/pinning paths).
+struct StubEngine;
+
+impl Engine for StubEngine {
+    fn name(&self) -> String {
+        "Stub".into()
+    }
+
+    fn run(&self, sc: &Scenario) -> Result<InferenceReport, EngineError> {
+        let base = SimDuration::from_millis(900);
+        let total = base
+            + SimDuration::from_millis(1100) * sc.workload.num_batches as u64
+            + SimDuration::from_nanos(7);
+        Ok(InferenceReport {
+            engine: self.name(),
+            model: sc.spec.name.clone(),
+            total_time: total,
+            prefill_time: base,
+            decode_time: total - base,
+            generated_tokens: sc.workload.total_generated(),
+            gpu_busy: total,
+            gpu_bubble: SimDuration::ZERO,
+            peak_vram: 0,
+            peak_dram: 0,
+            oom: None,
+            metrics: None,
+        })
+    }
+}
+
+/// FNV-1a over every timing field the loop produces.
+fn checksum(r: &ServeReport) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |v: u64| {
+        h ^= v;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    };
+    for o in &r.outcomes {
+        mix(o.id);
+        mix(o.arrival.as_nanos());
+        mix(o.dispatched.as_nanos());
+        mix(o.first_token.as_nanos());
+        mix(o.finished.as_nanos());
+        mix(o.group as u64);
+        mix(o.replica as u64);
+    }
+    for g in &r.groups {
+        mix(g.replica as u64);
+        mix(g.dispatched.as_nanos());
+        mix(g.service_time.as_nanos());
+        mix(g.n_requests as u64);
+    }
+    mix(r.makespan.as_nanos());
+    h
+}
+
+fn open_stream() -> Vec<klotski_serve::traffic::Request> {
+    generate(
+        Arrivals::Poisson { rate: 2.5 },
+        &TrafficConfig {
+            num_requests: 30,
+            prompt: LengthDist::Uniform { lo: 16, hi: 96 },
+            gen: LengthDist::Uniform { lo: 2, hi: 9 },
+            seed: 17,
+        },
+    )
+}
+
+fn cfg() -> ServeConfig {
+    ServeConfig {
+        batch_size: 3,
+        policy: AdmissionPolicy::Deadline {
+            n: 3,
+            deadline: SimDuration::from_secs(2),
+        },
+        seed: 11,
+    }
+}
+
+fn scaled(reps: u32, dispatch: DispatchPolicy) -> ServeReport {
+    serve_scaled(
+        &StubEngine,
+        &ModelSpec::mixtral_8x7b(),
+        &HardwareSpec::env1_rtx3090(),
+        &Traffic::Open(open_stream()),
+        &ScaleConfig {
+            serve: cfg(),
+            replicas: reps,
+            dispatch,
+        },
+    )
+    .expect("serve_scaled")
+}
+
+#[test]
+fn serve_output_is_pinned() {
+    let report = serve(
+        &StubEngine,
+        &ModelSpec::mixtral_8x7b(),
+        &HardwareSpec::env1_rtx3090(),
+        &Traffic::Open(open_stream()),
+        &cfg(),
+    )
+    .expect("serve");
+    assert_eq!(checksum(&report), GOLDEN_SINGLE, "serve timings drifted");
+}
+
+#[test]
+fn serve_scaled_output_is_pinned() {
+    assert_eq!(
+        checksum(&scaled(3, DispatchPolicy::RoundRobin)),
+        GOLDEN_RR3,
+        "round-robin R=3 timings drifted"
+    );
+    assert_eq!(
+        checksum(&scaled(3, DispatchPolicy::JoinShortestQueue)),
+        GOLDEN_JSQ3,
+        "jsq R=3 timings drifted"
+    );
+    assert_eq!(
+        checksum(&scaled(2, DispatchPolicy::CostAware)),
+        GOLDEN_COST2,
+        "cost-aware R=2 timings drifted"
+    );
+}
+
+#[test]
+fn closed_loop_output_is_pinned() {
+    let traffic = Traffic::Closed {
+        clients: 4,
+        think: SimDuration::from_millis(1500),
+        cfg: TrafficConfig {
+            num_requests: 18,
+            prompt: LengthDist::Uniform { lo: 16, hi: 96 },
+            gen: LengthDist::Uniform { lo: 2, hi: 9 },
+            seed: 23,
+        },
+    };
+    let report = serve(
+        &StubEngine,
+        &ModelSpec::mixtral_8x7b(),
+        &HardwareSpec::env1_rtx3090(),
+        &traffic,
+        &cfg(),
+    )
+    .expect("serve");
+    assert_eq!(
+        checksum(&report),
+        GOLDEN_CLOSED,
+        "closed-loop timings drifted"
+    );
+}
+
+// Captured from the pre-refactor ad-hoc interleave (BinaryHeap-based
+// ArrivalSource); the EventQueue-based loop must reproduce them exactly.
+const GOLDEN_SINGLE: u64 = 13750583574575523042;
+const GOLDEN_RR3: u64 = 15407529530216556205;
+const GOLDEN_JSQ3: u64 = 8315145353530956359;
+const GOLDEN_COST2: u64 = 246358002919420284;
+const GOLDEN_CLOSED: u64 = 12563207037895713828;

@@ -144,3 +144,49 @@ fn serve_scale_is_byte_deterministic() {
         assert!(stdout.contains(needle), "missing {needle:?}:\n{stdout}");
     }
 }
+
+/// The cluster sweep (dynamic fleet: autoscalers, cold starts, rate
+/// profiles, trace replay) must be byte-identical across two runs under
+/// the same seed. Runs at cheap settings to stay fast.
+#[test]
+fn serve_cluster_is_byte_deterministic() {
+    let run = || {
+        let out = cargo()
+            .args([
+                "run",
+                "-p",
+                "klotski-bench",
+                "--bin",
+                "serve_cluster",
+                "--quiet",
+            ])
+            .env("KLOTSKI_CHEAP", "1")
+            .output()
+            .expect("spawning cargo");
+        assert!(
+            out.status.success(),
+            "serve_cluster exited nonzero:\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        out.stdout
+    };
+    let first = run();
+    let second = run();
+    assert_eq!(first, second, "serve_cluster output differs between runs");
+
+    let stdout = String::from_utf8_lossy(&first);
+    // All four autoscalers and both traffic shapes ran, and the bin's
+    // replay gate passed (it exits nonzero otherwise).
+    for needle in [
+        "static_peak",
+        "static_floor",
+        "queue_reactive",
+        "slo_reactive",
+        "diurnal",
+        "flash_crowd",
+        "rep-hours",
+        "trace replay reproduces the live diurnal run byte-for-byte",
+    ] {
+        assert!(stdout.contains(needle), "missing {needle:?}:\n{stdout}");
+    }
+}
