@@ -16,6 +16,7 @@
 //! | `serve_sweep` | online serving: arrival rate × admission policy → SLO metrics |
 //! | `serve_scale` | multi-replica serving: replicas × rate × dispatch policy → SLO metrics (`BENCH_serve_scale.json`) |
 //! | `serve_cluster` | cluster serving: autoscaler × traffic pattern → SLO attainment vs replica-hours (`BENCH_serve_cluster.json`) |
+//! | `serve_continuous` | continuous batching vs run-to-completion: slot refill, chunked prefill, priority classes (`BENCH_serve_continuous.json`) |
 //! | `native_throughput` | native path tokens/sec: batched expert GEMMs vs the per-token fallback (`BENCH_native.json`) |
 //!
 //! Run e.g. `cargo run --release -p klotski-bench --bin fig10`.

@@ -13,6 +13,7 @@ use klotski_model::spec::ModelSpec;
 use klotski_model::trace::{GatingModel, GatingTrace, TraceConfig};
 use klotski_model::workload::Workload;
 use klotski_sim::sim::SimError;
+use klotski_sim::time::SimDuration;
 
 use crate::placement::PlacementError;
 use crate::report::InferenceReport;
@@ -104,6 +105,103 @@ pub trait Engine {
     fn run(&self, scenario: &Scenario) -> Result<InferenceReport, EngineError>;
 }
 
+/// One group run decomposed into decode steps.
+///
+/// The serving layer needs to reason about a group *during* its run —
+/// refill freed slots, chunk the prefill, preempt between steps — which an
+/// atomic [`Engine::run`] span cannot express. A `StepPlan` slices the same
+/// service time into a prefill span plus `steps` uniform decode steps, with
+/// the integer-truncation remainder pinned to the final step so that
+/// [`StepPlan::total`] reconstructs the atomic span *exactly*: stepped and
+/// atomic execution of the same group are byte-identical by construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepPlan {
+    /// The group's prefill span (first token of every sequence).
+    pub prefill: SimDuration,
+    /// One decode step — the integer-truncated mean over `steps`.
+    pub decode_step: SimDuration,
+    /// Truncation remainder, absorbed by the final decode step.
+    pub remainder: SimDuration,
+    /// Decode steps after the first token (`padded_gen − 1`).
+    pub steps: u32,
+    /// Whether the underlying run aborted with an out-of-memory verdict
+    /// (all spans are zero in that case).
+    pub oom: bool,
+}
+
+impl StepPlan {
+    /// Slices `report` into steps for a group padded to `padded_gen`
+    /// generated tokens per sequence.
+    pub fn from_report(report: &InferenceReport, padded_gen: u32) -> Self {
+        if !report.succeeded() {
+            return StepPlan {
+                prefill: SimDuration::ZERO,
+                decode_step: SimDuration::ZERO,
+                remainder: SimDuration::ZERO,
+                steps: 0,
+                oom: true,
+            };
+        }
+        let steps = padded_gen.saturating_sub(1);
+        let decode = report.total_time.saturating_sub(report.prefill_time);
+        let decode_step = if steps > 0 {
+            decode / steps as u64
+        } else {
+            SimDuration::ZERO
+        };
+        let remainder = decode.saturating_sub(decode_step * steps as u64);
+        StepPlan {
+            prefill: report.prefill_time,
+            decode_step,
+            remainder,
+            steps,
+            oom: false,
+        }
+    }
+
+    /// Total service time; equals the atomic run's `total_time` exactly.
+    pub fn total(&self) -> SimDuration {
+        self.prefill + self.decode_step * self.steps as u64 + self.remainder
+    }
+
+    /// Offset from dispatch at which a member with `gen_len` generated
+    /// tokens (in a group padded to `padded_gen`) sees its last token.
+    ///
+    /// Pace-setters (`gen_len ≥ padded_gen`) pin to the exact end of the
+    /// run so the remainder lands on them; shorter members finish at their
+    /// own step boundary.
+    pub fn finish_offset(&self, gen_len: u32, padded_gen: u32) -> SimDuration {
+        if gen_len >= padded_gen {
+            self.total()
+        } else {
+            self.prefill + self.decode_step * gen_len.saturating_sub(1) as u64
+        }
+    }
+}
+
+/// Step-granular extension of [`Engine`].
+///
+/// The blanket implementation derives a [`StepPlan`] from an atomic
+/// [`Engine::run`], so *every* engine — including `&dyn Engine` trait
+/// objects — is usable step-wise without opting in, and stepped execution
+/// stays byte-identical to the atomic path. Engines with a native notion
+/// of per-step cost (e.g. an analytic cost model) can override
+/// [`StepEngine::plan_steps`] to skip the full simulation.
+pub trait StepEngine: Engine {
+    /// Plans the scenario as a prefill span plus uniform decode steps.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Engine::run`]: out-of-memory is a *result*
+    /// (`StepPlan::oom`), errors are configuration or internal bugs.
+    fn plan_steps(&self, scenario: &Scenario) -> Result<StepPlan, EngineError> {
+        let report = self.run(scenario)?;
+        Ok(StepPlan::from_report(&report, scenario.workload.gen_len))
+    }
+}
+
+impl<E: Engine + ?Sized> StepEngine for E {}
+
 /// Errors from engine runs.
 #[derive(Debug)]
 pub enum EngineError {
@@ -194,6 +292,97 @@ mod tests {
             a.trace().decode_choices(0, 0),
             c.trace().decode_choices(0, 0)
         );
+    }
+
+    fn report(total_ns: u64, prefill_ns: u64, oom: bool) -> InferenceReport {
+        InferenceReport {
+            engine: "stub".into(),
+            model: "stub".into(),
+            total_time: SimDuration::from_nanos(total_ns),
+            prefill_time: SimDuration::from_nanos(prefill_ns),
+            decode_time: SimDuration::from_nanos(total_ns - prefill_ns),
+            generated_tokens: 1,
+            gpu_busy: SimDuration::ZERO,
+            gpu_bubble: SimDuration::ZERO,
+            peak_vram: 0,
+            peak_dram: 0,
+            oom: oom.then(|| "vram".into()),
+            metrics: None,
+        }
+    }
+
+    #[test]
+    fn step_plan_reconstructs_the_atomic_span_exactly() {
+        // 10_000_007 ns of decode over 6 steps does not divide evenly; the
+        // remainder must land on the final step so total() is exact.
+        let r = report(12_000_007, 2_000_000, false);
+        let plan = StepPlan::from_report(&r, 7);
+        assert_eq!(plan.steps, 6);
+        assert_eq!(plan.total(), r.total_time);
+        assert_eq!(
+            plan.decode_step,
+            SimDuration::from_nanos(10_000_007 / 6),
+            "decode step is the truncated mean"
+        );
+        assert!(plan.remainder > SimDuration::ZERO);
+        assert!(!plan.oom);
+    }
+
+    #[test]
+    fn step_plan_finish_offsets_match_truncated_tpot() {
+        let r = report(12_000_007, 2_000_000, false);
+        let plan = StepPlan::from_report(&r, 7);
+        // Pace-setters pin to the exact group end.
+        assert_eq!(plan.finish_offset(7, 7), r.total_time);
+        // Shorter members land on their own step boundary.
+        assert_eq!(
+            plan.finish_offset(3, 7),
+            plan.prefill + plan.decode_step * 2
+        );
+        // Monotone in gen_len.
+        assert!(plan.finish_offset(2, 7) < plan.finish_offset(6, 7));
+        assert!(plan.finish_offset(6, 7) < plan.finish_offset(7, 7));
+    }
+
+    #[test]
+    fn step_plan_single_token_groups_have_no_steps() {
+        let r = report(5_000, 2_000, false);
+        let plan = StepPlan::from_report(&r, 1);
+        assert_eq!(plan.steps, 0);
+        assert_eq!(plan.total(), r.total_time, "post-prefill span survives");
+        assert_eq!(plan.finish_offset(1, 1), r.total_time);
+    }
+
+    #[test]
+    fn step_plan_oom_zeroes_all_spans() {
+        let plan = StepPlan::from_report(&report(10, 5, true), 4);
+        assert!(plan.oom);
+        assert_eq!(plan.total(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn blanket_step_engine_matches_run() {
+        struct Fixed;
+        impl Engine for Fixed {
+            fn name(&self) -> String {
+                "fixed".into()
+            }
+            fn run(&self, _: &Scenario) -> Result<InferenceReport, EngineError> {
+                Ok(report(12_000_007, 2_000_000, false))
+            }
+        }
+        let sc = Scenario::generate(
+            ModelSpec::opt_1_3b(),
+            HardwareSpec::env1_rtx3090(),
+            Workload::new(2, 1, 8, 7),
+            1,
+        );
+        // Via the blanket impl, both the concrete type and the trait object
+        // plan steps that reconstruct run() exactly.
+        let plan = Fixed.plan_steps(&sc).unwrap();
+        assert_eq!(plan.total(), SimDuration::from_nanos(12_000_007));
+        let dynamic: &dyn Engine = &Fixed;
+        assert_eq!(dynamic.plan_steps(&sc).unwrap(), plan);
     }
 
     #[test]

@@ -60,6 +60,10 @@ pub enum GroupTrigger {
     Flush,
     /// Cost-aware dispatch (engine free, group sized by the cost model).
     CostAware,
+    /// Continuous-mode admission wave: requests joined freed slots of a
+    /// running batch at a step boundary (see
+    /// [`serve_continuous`](crate::continuous::serve_continuous)).
+    Refill,
 }
 
 impl AdmissionPolicy {
@@ -154,18 +158,56 @@ impl AdmissionPolicy {
     }
 }
 
-/// Analytic service-time estimate for one batch group — the cost-aware
+/// The per-step decomposition of [`estimate_group_service`]: the group's
+/// prefill span and the cost of one decode step, from the same calibrated
+/// [`CostModel`]. The group estimate is exactly
+/// `prefill + decode_step × (gen_len − 1)` — the identity the continuous
+/// scheduler's cost accounting relies on (and the tests pin), so a group
+/// costs the same whether it is scheduled atomically or step by step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepEstimate {
+    /// Estimated prefill span for the whole group.
+    pub prefill: SimDuration,
+    /// Estimated cost of one decode step over the whole group.
+    pub decode_step: SimDuration,
+}
+
+impl StepEstimate {
+    /// The group service estimate this decomposes:
+    /// `prefill + decode_step × (gen_len − 1)`.
+    pub fn group(&self, gen_len: u32) -> SimDuration {
+        self.prefill + self.decode_step * gen_len.saturating_sub(1) as u64
+    }
+
+    /// The span of the prefill chunk covering prompt tokens
+    /// `[done, done + take)` of a `prompt_len`-token prompt.
+    ///
+    /// Chunks are sliced by prefix difference —
+    /// `prefill × (done + take)/prompt − prefill × done/prompt` in integer
+    /// nanoseconds — so any chunking of the prompt sums to exactly
+    /// [`StepEstimate::prefill`], preserving byte-level cost parity with
+    /// the unchunked prefill.
+    pub fn prefill_chunk(&self, done: u32, take: u32, prompt_len: u32) -> SimDuration {
+        let p = self.prefill.as_nanos();
+        let len = u64::from(prompt_len.max(1));
+        let lo = u64::from(done.min(prompt_len));
+        let hi = u64::from(done.saturating_add(take).min(prompt_len));
+        SimDuration::from_nanos(p * hi / len - p * lo / len)
+    }
+}
+
+/// Per-step analytic service estimate for one batch group — the cost-aware
 /// policy's stage-1 "measurement", built from the same [`CostModel`] the
 /// engines use. Per layer the pipeline runs compute and I/O concurrently,
 /// so a layer costs the longer of the two; prefill activates essentially
 /// every expert, decode the expected activated subset.
-pub fn estimate_group_service(
+pub fn estimate_step_service(
     cost: &CostModel,
     batch_size: u32,
     n: u32,
     prompt_len: u32,
     gen_len: u32,
-) -> SimDuration {
+) -> StepEstimate {
     let spec = cost.spec();
     let bs = batch_size as u64;
     let nb = n as u64;
@@ -200,7 +242,22 @@ pub fn estimate_group_service(
     let prefill = moe_layer(prompt_len as u64, attn_prefill) * n_moe
         + dense_layer(prompt_len as u64, attn_prefill) * n_dense;
     let decode_step = moe_layer(1, attn_decode) * n_moe + dense_layer(1, attn_decode) * n_dense;
-    prefill + decode_step * (gen_len.saturating_sub(1) as u64)
+    StepEstimate {
+        prefill,
+        decode_step,
+    }
+}
+
+/// Analytic service-time estimate for one whole batch group: the sum of
+/// [`estimate_step_service`]'s prefill and `gen_len − 1` decode steps.
+pub fn estimate_group_service(
+    cost: &CostModel,
+    batch_size: u32,
+    n: u32,
+    prompt_len: u32,
+    gen_len: u32,
+) -> SimDuration {
+    estimate_step_service(cost, batch_size, n, prompt_len, gen_len).group(gen_len)
 }
 
 #[cfg(test)]
@@ -279,6 +336,43 @@ mod tests {
         assert!(t1 < t4 && t4 < t8, "{t1} {t4} {t8}");
         let long = estimate_group_service(&cm, 8, 4, 128, 32);
         assert!(long > t4);
+    }
+
+    #[test]
+    fn summed_step_estimates_match_the_group_estimate() {
+        let cm = cm();
+        for &(bs, n, p, g) in &[(1, 1, 8, 1), (4, 2, 128, 8), (8, 4, 512, 32), (3, 1, 77, 5)] {
+            let step = estimate_step_service(&cm, bs, n, p, g);
+            let summed = step.prefill + step.decode_step * u64::from(g - 1);
+            assert_eq!(
+                summed,
+                estimate_group_service(&cm, bs, n, p, g),
+                "shape ({bs},{n},{p},{g})"
+            );
+            assert_eq!(step.group(g), summed);
+        }
+    }
+
+    #[test]
+    fn prefill_chunks_sum_to_the_whole_prefill() {
+        let cm = cm();
+        let step = estimate_step_service(&cm, 4, 2, 509, 8);
+        // 509 is prime: no chunk size divides it, so every chunking
+        // exercises the remainder path.
+        for chunk in [1, 7, 64, 509, 1000] {
+            let mut done = 0;
+            let mut sum = SimDuration::ZERO;
+            while done < 509 {
+                let take = chunk.min(509 - done);
+                sum += step.prefill_chunk(done, take, 509);
+                done += take;
+            }
+            assert_eq!(sum, step.prefill, "chunk size {chunk}");
+        }
+        // Chunks are monotone slices: a later window never costs more than
+        // the whole.
+        assert!(step.prefill_chunk(100, 50, 509) <= step.prefill);
+        assert_eq!(step.prefill_chunk(509, 10, 509), SimDuration::ZERO);
     }
 
     #[test]

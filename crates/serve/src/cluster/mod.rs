@@ -291,7 +291,23 @@ pub fn serve_cluster(
             let provisioned = obs.provisioned();
             let desired = policy.desired(&obs).clamp(floor, cap);
             if desired > provisioned {
-                for _ in provisioned..desired {
+                let mut grow = desired - provisioned;
+                // Drain cancellation first: a scale-up landing while
+                // replicas are still draining reclaims them — the engine
+                // never unloaded, so flipping back to Warm skips the cold
+                // start entirely. Newest-first, mirroring the drain order;
+                // retired slots are never resurrected (ids and seed
+                // streams stay append-only).
+                for s in fleet.iter_mut().rev() {
+                    if grow == 0 {
+                        break;
+                    }
+                    if matches!(s.state, SlotState::Draining { .. }) {
+                        s.state = SlotState::Warm;
+                        grow -= 1;
+                    }
+                }
+                for _ in 0..grow {
                     let i = fleet.len();
                     let rep = Replica::new_at(i as u32, cfg.serve.seed, now);
                     if warmup.is_zero() {
@@ -600,6 +616,77 @@ mod tests {
         let peak_hours =
             report.peak_provisioned as f64 * report.serve.makespan.as_secs_f64() / 3600.0;
         assert!(report.serve.replica_hours() < peak_hours);
+    }
+
+    /// Scripted fleet sizes, one per tick (the last repeats): lets tests
+    /// force exact scale transitions regardless of load signals.
+    struct Scripted {
+        sizes: Vec<u32>,
+        i: usize,
+    }
+
+    impl AutoscalePolicy for Scripted {
+        fn name(&self) -> &'static str {
+            "scripted"
+        }
+        fn floor(&self) -> u32 {
+            1
+        }
+        fn cap(&self) -> u32 {
+            8
+        }
+        fn desired(&mut self, _obs: &FleetObservation) -> u32 {
+            let v = self.sizes[self.i.min(self.sizes.len() - 1)];
+            self.i += 1;
+            v
+        }
+        fn initial(&self) -> u32 {
+            self.sizes[0]
+        }
+    }
+
+    #[test]
+    fn scale_up_while_draining_reclaims_the_replica_without_a_cold_start() {
+        // Cold starts cost 10 s; ticks land every 500 ms. The script holds
+        // 2 replicas, drains one at tick 2 (t = 1 s), and scales back to 2
+        // at tick 3 (t = 1.5 s) while the drained replica still has a deep
+        // burst queue to flush — so the scale-up must reclaim it.
+        let cfg = base_cfg(
+            DispatchPolicy::JoinShortestQueue,
+            ColdStartModel::Fixed(SimDuration::from_secs(10)),
+        );
+        let mut policy = Scripted {
+            sizes: vec![2, 2, 1, 2],
+            i: 0,
+        };
+        let report = cluster(&Traffic::Open(burst()), &cfg, &mut policy);
+        // The cold start was skipped entirely: no third slot was ever
+        // spawned (pre-reclaim behavior paid a fresh 10 s warm-up here).
+        assert_eq!(
+            report.spawned_total, 2,
+            "scale-up over a draining replica must not spawn"
+        );
+        // The reclaimed replica went back to Warm instead of retiring.
+        assert!(
+            report.serve.replicas.iter().all(|r| r.retired.is_none()),
+            "reclaimed replica must not retire"
+        );
+        // Both transitions were recorded…
+        let moves: Vec<(u32, u32)> = report.scale_events.iter().map(|e| (e.from, e.to)).collect();
+        assert!(moves.contains(&(2, 1)), "drain event missing: {moves:?}");
+        assert!(moves.contains(&(1, 2)), "reclaim event missing: {moves:?}");
+        // …and the reclaimed replica keeps serving well before a fresh
+        // cold start could have finished (reclaim tick + 10 s warm-up).
+        let reclaim_at = SimTime::ZERO + SimDuration::from_millis(1_500);
+        assert!(
+            report.serve.outcomes.iter().any(|o| o.replica == 1
+                && o.dispatched > reclaim_at
+                && o.dispatched < reclaim_at + report.warmup),
+            "reclaimed replica must dispatch inside the skipped warm-up window"
+        );
+        // Work conservation across the whole dance.
+        let ids: Vec<u64> = report.serve.outcomes.iter().map(|o| o.id).collect();
+        assert_eq!(ids, (0..40).collect::<Vec<_>>());
     }
 
     #[test]

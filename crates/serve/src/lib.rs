@@ -24,7 +24,10 @@
 //! * [`cluster`] — cluster-scale serving: a dynamic fleet under a
 //!   pluggable autoscaling policy, with cold starts derived from the
 //!   cost model's weight-transfer times, drain-then-retire scale-down,
-//!   and replica-hour accounting.
+//!   and replica-hour accounting;
+//! * [`continuous`] — continuous batching: step-level slot refill,
+//!   chunked preemptible prefill, and chat/batch priority classes, with
+//!   the run-to-completion loop retained as a byte-identical fallback.
 //!
 //! Everything is deterministic under a seed: the same traffic, policy, and
 //! engine produce byte-identical reports (the `serve_sweep` and
@@ -65,6 +68,7 @@
 
 pub mod admission;
 pub mod cluster;
+pub mod continuous;
 pub mod dispatcher;
 pub mod metrics;
 pub mod server;
@@ -73,6 +77,7 @@ pub mod traffic;
 #[cfg(test)]
 mod proptests {
     use crate::admission::AdmissionPolicy;
+    use crate::continuous::{serve_continuous, ClassAssign, ContinuousConfig};
     use crate::dispatcher::{serve_scaled, DispatchPolicy, ScaleConfig};
     use crate::server::{serve, ServeConfig, Traffic};
     use crate::traffic::{generate, Arrivals, LengthDist, TrafficConfig};
@@ -300,6 +305,56 @@ mod proptests {
                 r.outcomes.iter().map(|o| o.gen_len as u64).sum()
             };
             prop_assert_eq!(tokens(&single), tokens(&scaled));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        /// Continuous mode with refill disabled is the run-to-completion
+        /// loop byte for byte — the same degenerate-case contract as the
+        /// R=1 dispatcher and static-fleet cluster pins. `prefill_chunk`
+        /// and the class split must be inert in this mode.
+        #[test]
+        fn continuous_without_refill_matches_serve(
+            num in 1u32..25,
+            bs in 1u32..5,
+            n in 1u32..4,
+            asel in 0u8..3,
+            chunk in 0u32..48,
+            chat_pct in 0u32..101,
+            seed in 0u64..20,
+        ) {
+            let stream = generate(
+                Arrivals::Poisson { rate: 2.0 },
+                &TrafficConfig {
+                    num_requests: num,
+                    prompt: LengthDist::Uniform { lo: 16, hi: 64 },
+                    gen: LengthDist::Uniform { lo: 2, hi: 5 },
+                    seed,
+                },
+            );
+            let engine = KlotskiEngine::new(KlotskiConfig::full());
+            let spec = ModelSpec::mixtral_8x7b();
+            let hw = HardwareSpec::env1_rtx3090();
+            let cfg = ServeConfig { batch_size: bs, policy: policy_for(asel, n), seed };
+            let single = serve(&engine, &spec, &hw, &Traffic::Open(stream.clone()), &cfg)
+                .expect("serve");
+            let cont = serve_continuous(
+                &engine, &spec, &hw, &Traffic::Open(stream),
+                &ContinuousConfig {
+                    serve: cfg,
+                    refill: false,
+                    prefill_chunk: chunk,
+                    classes: ClassAssign::ChatShare { chat_pct },
+                },
+            ).expect("serve_continuous");
+            prop_assert_eq!(&single.outcomes, &cont.serve.outcomes);
+            prop_assert_eq!(&single.groups, &cont.serve.groups);
+            prop_assert_eq!(&single.replicas, &cont.serve.replicas);
+            prop_assert_eq!(single.makespan, cont.serve.makespan);
+            prop_assert_eq!(cont.preemptions, 0);
+            prop_assert_eq!(cont.refills, 0);
+            prop_assert_eq!(cont.prefill_chunks, 0);
         }
     }
 }

@@ -109,6 +109,20 @@ pub fn summarize_replica(report: &ServeReport, slo: &SloSpec, replica: u32) -> S
     summarize_outcomes(&mine, report, slo)
 }
 
+/// Summarizes only the outcomes selected by `keep` — e.g. one priority
+/// class of a continuous-batching run — against `slo`.
+///
+/// Like [`summarize_replica`], rates keep the whole run's makespan as
+/// denominator, so class summaries compose additively with each other.
+pub fn summarize_where(
+    report: &ServeReport,
+    slo: &SloSpec,
+    keep: &dyn Fn(&RequestOutcome) -> bool,
+) -> SloSummary {
+    let kept: Vec<&RequestOutcome> = report.outcomes.iter().filter(|o| keep(o)).collect();
+    summarize_outcomes(&kept, report, slo)
+}
+
 fn summarize_outcomes(
     outcomes: &[&RequestOutcome],
     report: &ServeReport,
@@ -263,6 +277,20 @@ mod tests {
         let r = report(vec![outcome(0, 100, 2, false), outcome(1, 300, 2, false)]);
         let s = summarize(&r, &SloSpec::relaxed());
         assert_eq!(s.mean_queue_delay, ms(200));
+    }
+
+    #[test]
+    fn filtered_summaries_partition_like_replica_summaries() {
+        let r = report((0..10).map(|i| outcome(i, i * 30, 4, false)).collect());
+        let slo = SloSpec::relaxed();
+        let total = summarize(&r, &slo);
+        let even = summarize_where(&r, &slo, &|o| o.id % 2 == 0);
+        let odd = summarize_where(&r, &slo, &|o| o.id % 2 == 1);
+        assert_eq!(even.requests + odd.requests, total.requests);
+        assert_eq!(even.slo_met + odd.slo_met, total.slo_met);
+        assert!((even.goodput_tps + odd.goodput_tps - total.goodput_tps).abs() < 1e-9);
+        // A predicate matching everything reproduces the plain summary.
+        assert_eq!(summarize_where(&r, &slo, &|_| true), total);
     }
 
     #[test]

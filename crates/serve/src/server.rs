@@ -25,7 +25,7 @@
 
 use std::collections::VecDeque;
 
-use klotski_core::scenario::{Engine, EngineError, Scenario};
+use klotski_core::scenario::{Engine, EngineError, Scenario, StepEngine};
 use klotski_model::cost::CostModel;
 use klotski_model::hardware::HardwareSpec;
 use klotski_model::spec::ModelSpec;
@@ -573,35 +573,33 @@ impl Replica {
         let wl = group_workload(&batch, cfg.batch_size);
         let seed = self.seed.wrapping_add(3 * self.local_groups);
         let scenario = Scenario::generate(ctx.spec.clone(), ctx.hw.clone(), wl, seed);
-        let report = ctx.engine.run(&scenario)?;
-        let oom = !report.succeeded();
-
+        // The engine/serve boundary is step-level: the run is consumed as a
+        // StepPlan (prefill + uniform decode steps, remainder pinned to the
+        // last step), with each request finishing at its own step boundary.
+        // The blanket plan derives from the atomic run, so this
+        // run-to-completion path is byte-identical to executing run()
+        // directly — the golden pins hold it there.
+        let plan = ctx.engine.plan_steps(&scenario)?;
+        let oom = plan.oom;
         let (service, prefill) = if oom {
             (SimDuration::ZERO, SimDuration::ZERO)
         } else {
-            (report.total_time, report.prefill_time)
+            (plan.total(), plan.prefill)
         };
         let first_token = t_form + prefill;
         let group_end = t_form + service;
         // Decode pace of the padded group; each request stops at its own
-        // gen_len. Integer division truncates, so pace-setting requests
+        // gen_len. The step quantum truncates, so pace-setting requests
         // (gen_len == padded) are pinned to the exact engine-free instant
         // rather than drifting early by the accumulated remainder.
         let padded_gen = wl.gen_len;
-        let tpot = if padded_gen > 1 {
-            service.saturating_sub(prefill) / (padded_gen - 1) as u64
-        } else {
-            SimDuration::ZERO
-        };
         let mut done = Vec::with_capacity(batch.len());
         let mut latest = SimTime::ZERO;
         for r in &batch {
             let finished = if oom {
                 t_form
-            } else if r.gen_len == padded_gen {
-                group_end
             } else {
-                first_token + tpot * (r.gen_len.saturating_sub(1)) as u64
+                t_form + plan.finish_offset(r.gen_len, padded_gen)
             };
             latest = latest.max(finished);
             outcomes.push(RequestOutcome {

@@ -12,6 +12,7 @@ use klotski_core::scenario::{Engine, EngineError, Scenario};
 use klotski_model::hardware::HardwareSpec;
 use klotski_model::spec::ModelSpec;
 use klotski_serve::admission::AdmissionPolicy;
+use klotski_serve::continuous::{serve_continuous, ClassAssign, ContinuousConfig, CostEngine};
 use klotski_serve::dispatcher::{serve_scaled, DispatchPolicy, ScaleConfig};
 use klotski_serve::server::{serve, ServeConfig, ServeReport, Traffic};
 use klotski_serve::traffic::{generate, Arrivals, LengthDist, TrafficConfig};
@@ -171,6 +172,40 @@ fn closed_loop_output_is_pinned() {
     );
 }
 
+#[test]
+fn continuous_scheduler_output_is_pinned() {
+    // The slot machine's event order (admit chat > continue prefill >
+    // admit batch > decode step, arrivals ingested first at ties) drives
+    // every timing below; any reordering moves the checksum. Priced by the
+    // calibrated cost model via CostEngine — the same estimate arithmetic
+    // the cost-aware dispatch pin (GOLDEN_COST2) already holds stable.
+    let spec = ModelSpec::mixtral_8x7b();
+    let hw = HardwareSpec::env1_rtx3090();
+    let report = serve_continuous(
+        &CostEngine::new(&spec, &hw),
+        &spec,
+        &hw,
+        &Traffic::Open(open_stream()),
+        &ContinuousConfig {
+            serve: cfg(),
+            refill: true,
+            prefill_chunk: 32,
+            classes: ClassAssign::ChatShare { chat_pct: 40 },
+        },
+    )
+    .expect("serve_continuous");
+    assert_eq!(
+        checksum(&report.serve),
+        GOLDEN_CONTINUOUS,
+        "continuous scheduler timings drifted"
+    );
+    assert_eq!(
+        (report.preemptions, report.refills, report.prefill_chunks),
+        GOLDEN_CONTINUOUS_COUNTERS,
+        "continuous scheduler counters drifted"
+    );
+}
+
 // Captured from the pre-refactor ad-hoc interleave (BinaryHeap-based
 // ArrivalSource); the EventQueue-based loop must reproduce them exactly.
 const GOLDEN_SINGLE: u64 = 13750583574575523042;
@@ -178,3 +213,8 @@ const GOLDEN_RR3: u64 = 15407529530216556205;
 const GOLDEN_JSQ3: u64 = 8315145353530956359;
 const GOLDEN_COST2: u64 = 246358002919420284;
 const GOLDEN_CLOSED: u64 = 12563207037895713828;
+
+// Captured at introduction of the continuous scheduler (PR 8): pins the
+// slot machine's admission/preemption/decode event order byte for byte.
+const GOLDEN_CONTINUOUS: u64 = 13375584382816891046;
+const GOLDEN_CONTINUOUS_COUNTERS: (u32, u32, u32) = (0, 29, 36);

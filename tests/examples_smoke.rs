@@ -145,6 +145,55 @@ fn serve_scale_is_byte_deterministic() {
     }
 }
 
+/// The continuous-batching comparison (slot refill, chunked prefill,
+/// priority classes vs the run-to-completion baseline) must be
+/// byte-identical across two runs under the same seed. Runs at cheap
+/// settings to stay fast.
+#[test]
+fn serve_continuous_is_byte_deterministic() {
+    let run = || {
+        let out = cargo()
+            .args([
+                "run",
+                "-p",
+                "klotski-bench",
+                "--bin",
+                "serve_continuous",
+                "--quiet",
+            ])
+            .env("KLOTSKI_CHEAP", "1")
+            .output()
+            .expect("spawning cargo");
+        assert!(
+            out.status.success(),
+            "serve_continuous exited nonzero:\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        out.stdout
+    };
+    let first = run();
+    let second = run();
+    assert_eq!(
+        first, second,
+        "serve_continuous output differs between runs"
+    );
+
+    let stdout = String::from_utf8_lossy(&first);
+    // Both schedulers and both experiments report their cells, and the
+    // saturated stream exercised refill (the bin asserts it and exits
+    // nonzero otherwise).
+    for needle in [
+        "rtc",
+        "continuous",
+        "chat_share",
+        "goodput: rtc",
+        "chat TTFT p50",
+        "refills",
+    ] {
+        assert!(stdout.contains(needle), "missing {needle:?}:\n{stdout}");
+    }
+}
+
 /// The cluster sweep (dynamic fleet: autoscalers, cold starts, rate
 /// profiles, trace replay) must be byte-identical across two runs under
 /// the same seed. Runs at cheap settings to stay fast.
