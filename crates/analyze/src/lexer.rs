@@ -1,0 +1,294 @@
+//! A hand-rolled line lexer for Rust source — just enough lexical
+//! structure for reliable token scanning, with no `syn` and no registry
+//! dependencies.
+//!
+//! Each input line is split into **code** (comments removed, string and
+//! char-literal contents blanked, delimiters kept) and **comment** text
+//! (non-doc `//` line comments and `/* ... */` block comments). Rule
+//! token scans run against `code`, so `"HashMap"` inside a string or a
+//! doc sentence never trips a rule; analyzer directives are parsed from
+//! `comment`, so doc comments can talk *about* directives without
+//! issuing them.
+//!
+//! Handled: nested block comments, raw strings (`r"…"`, `r#"…"#`, any
+//! hash depth), byte and raw byte strings, char and byte-char literals
+//! (including escapes), and the char-vs-lifetime ambiguity (`'a'` is a
+//! literal, `&'a str` is not).
+
+/// One source line, lexically separated.
+#[derive(Debug, Default, Clone)]
+pub struct LexedLine {
+    /// Code with comments dropped and literal contents blanked.
+    pub code: String,
+    /// Non-doc comment text on this line (directives live here).
+    pub comment: String,
+}
+
+/// Carry-over lexer state between lines.
+enum State {
+    Normal,
+    /// Inside a (possibly nested) block comment; `depth >= 1`. `doc` is
+    /// true for `/**`/`/*!` doc blocks, whose text is not directive
+    /// comment text.
+    Block {
+        depth: u32,
+        doc: bool,
+    },
+    /// Inside a normal (escaped) string literal.
+    Str,
+    /// Inside a raw string closed by `"` + `hashes` `#`s.
+    RawStr {
+        hashes: u32,
+    },
+}
+
+/// Lexes a whole source file into per-line code/comment channels.
+pub fn lex(src: &str) -> Vec<LexedLine> {
+    let mut state = State::Normal;
+    src.lines().map(|line| lex_line(line, &mut state)).collect()
+}
+
+fn is_ident(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+fn lex_line(line: &str, state: &mut State) -> LexedLine {
+    let b: Vec<char> = line.chars().collect();
+    let mut out = LexedLine::default();
+    let mut i = 0usize;
+    while i < b.len() {
+        match state {
+            State::Block { depth, doc } => {
+                if b[i] == '/' && i + 1 < b.len() && b[i + 1] == '*' {
+                    *depth += 1;
+                    i += 2;
+                } else if b[i] == '*' && i + 1 < b.len() && b[i + 1] == '/' {
+                    *depth -= 1;
+                    i += 2;
+                    if *depth == 0 {
+                        *state = State::Normal;
+                    }
+                } else {
+                    if !*doc {
+                        out.comment.push(b[i]);
+                    }
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if b[i] == '\\' {
+                    out.code.push(' ');
+                    if i + 1 < b.len() {
+                        out.code.push(' ');
+                    }
+                    i += 2;
+                } else if b[i] == '"' {
+                    out.code.push('"');
+                    *state = State::Normal;
+                    i += 1;
+                } else {
+                    out.code.push(' ');
+                    i += 1;
+                }
+            }
+            State::RawStr { hashes } => {
+                if b[i] == '"' {
+                    let n = *hashes as usize;
+                    let closes = (1..=n).all(|d| b.get(i + d) == Some(&'#'));
+                    if closes {
+                        out.code.push('"');
+                        for _ in 0..n {
+                            out.code.push('#');
+                        }
+                        i += 1 + n;
+                        *state = State::Normal;
+                        continue;
+                    }
+                }
+                out.code.push(' ');
+                i += 1;
+            }
+            State::Normal => {
+                let c = b[i];
+                let prev_ident = i > 0 && is_ident(b[i - 1]);
+                if c == '/' && i + 1 < b.len() && b[i + 1] == '/' {
+                    // Line comment; doc forms (`///` but not `////`, and
+                    // `//!`) carry prose, not directives.
+                    let doc = (b.get(i + 2) == Some(&'/') && b.get(i + 3) != Some(&'/'))
+                        || b.get(i + 2) == Some(&'!');
+                    if !doc {
+                        out.comment.extend(&b[i + 2..]);
+                    }
+                    break;
+                } else if c == '/' && i + 1 < b.len() && b[i + 1] == '*' {
+                    let doc = matches!(b.get(i + 2), Some(&'*') | Some(&'!'))
+                        && b.get(i + 3) != Some(&'/');
+                    *state = State::Block { depth: 1, doc };
+                    i += 2;
+                } else if c == '"' {
+                    out.code.push('"');
+                    *state = State::Str;
+                    i += 1;
+                } else if (c == 'r' || c == 'b') && !prev_ident {
+                    // Possible raw/byte string or byte-char prefix.
+                    let mut j = i + 1;
+                    let mut raw = c == 'r';
+                    if c == 'b' && b.get(j) == Some(&'r') {
+                        raw = true;
+                        j += 1;
+                    }
+                    if raw {
+                        let mut hashes = 0u32;
+                        while b.get(j) == Some(&'#') {
+                            hashes += 1;
+                            j += 1;
+                        }
+                        if b.get(j) == Some(&'"') {
+                            for &d in &b[i..=j] {
+                                out.code.push(d);
+                            }
+                            *state = State::RawStr { hashes };
+                            i = j + 1;
+                            continue;
+                        }
+                    } else if b.get(j) == Some(&'"') {
+                        out.code.push('b');
+                        out.code.push('"');
+                        *state = State::Str;
+                        i = j + 1;
+                        continue;
+                    }
+                    out.code.push(c);
+                    i += 1;
+                } else if c == '\'' {
+                    // Char literal or lifetime. A literal is `'\…'` or
+                    // `'x'`; anything else (`'a`, `'static`, `'_`) is a
+                    // lifetime/label and stays plain code.
+                    if b.get(i + 1) == Some(&'\\') {
+                        out.code.push('\'');
+                        out.code.push(' ');
+                        let mut j = i + 2;
+                        // Skip the escaped char, then scan to the close.
+                        if j < b.len() {
+                            j += 1;
+                        }
+                        while j < b.len() && b[j] != '\'' {
+                            out.code.push(' ');
+                            j += 1;
+                        }
+                        out.code.push('\'');
+                        i = j + 1;
+                    } else if b.get(i + 2) == Some(&'\'') {
+                        out.code.push('\'');
+                        out.code.push(' ');
+                        out.code.push('\'');
+                        i += 3;
+                    } else {
+                        out.code.push('\'');
+                        i += 1;
+                    }
+                } else {
+                    out.code.push(c);
+                    i += 1;
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn codes(src: &str) -> Vec<String> {
+        lex(src).into_iter().map(|l| l.code).collect()
+    }
+
+    #[test]
+    fn line_comments_are_split_out() {
+        let lines = lex("let x = 1; // analyze: no_alloc\n/// HashMap doc\nlet y = 2;");
+        assert_eq!(lines[0].code, "let x = 1; ");
+        assert_eq!(lines[0].comment, " analyze: no_alloc");
+        assert_eq!(lines[1].code, "");
+        assert_eq!(lines[1].comment, "", "doc comments carry no directives");
+        assert_eq!(lines[2].code, "let y = 2;");
+    }
+
+    #[test]
+    fn strings_are_blanked_but_delimited() {
+        let c = codes(r#"let s = "HashMap { }";"#);
+        assert!(!c[0].contains("HashMap"));
+        assert!(!c[0].contains('{'));
+        assert!(c[0].starts_with("let s = \""));
+        assert!(c[0].ends_with("\";"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = "let s = r#\"quote \" and HashMap\"# + r\"x\";\nlet t = br##\"y\"##;";
+        let c = codes(src);
+        assert!(!c[0].contains("HashMap"));
+        assert!(c[0].contains("r#\""));
+        assert!(c[0].ends_with(';'));
+        assert!(!c[1].contains('y'));
+    }
+
+    #[test]
+    fn multiline_raw_string_spans_lines() {
+        let src = "let s = r#\"line one {\nstill HashMap inside\n\"# ; let x = 1;";
+        let c = codes(src);
+        assert!(!c[1].contains("HashMap"));
+        assert!(c[2].contains("let x = 1;"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "a /* outer /* inner */ still comment */ b\nc";
+        let c = codes(src);
+        assert_eq!(c[0].replace(' ', ""), "ab");
+        assert_eq!(c[1], "c");
+    }
+
+    #[test]
+    fn block_comment_spanning_lines_collects_text() {
+        let lines = lex("x /* first\nsecond */ y");
+        assert_eq!(lines[0].code.trim(), "x");
+        assert!(lines[0].comment.contains("first"));
+        assert!(lines[1].comment.contains("second"));
+        assert!(lines[1].code.contains('y'));
+    }
+
+    #[test]
+    fn char_literals_versus_lifetimes() {
+        let c = codes("let a: &'x str = f::<'x>(); let q = 'q'; let nl = '\\n'; let brace = '{';");
+        assert!(c[0].contains("&'x str"), "lifetime untouched: {}", c[0]);
+        assert!(
+            !c[0].contains('q') || c[0].contains("let q"),
+            "char blanked"
+        );
+        assert!(!c[0].contains('{'), "brace char literal blanked: {}", c[0]);
+    }
+
+    #[test]
+    fn escaped_quote_in_string() {
+        let c = codes(r#"let s = "a\"b{"; let x = 1;"#);
+        assert!(c[0].contains("let x = 1;"), "string must close: {}", c[0]);
+        assert!(!c[0].contains('{'));
+    }
+
+    #[test]
+    fn multiline_string_state_carries() {
+        let c = codes("let s = \"start {\nmiddle HashMap\nend\"; let z = 9;");
+        assert!(!c[0].contains('{'));
+        assert!(!c[1].contains("HashMap"));
+        assert!(c[2].contains("let z = 9;"));
+    }
+
+    #[test]
+    fn doc_block_comments_carry_no_directives() {
+        let lines = lex("/** analyze: no_alloc */ fn f() {}");
+        assert_eq!(lines[0].comment, "");
+        assert!(lines[0].code.contains("fn f() {}"));
+    }
+}

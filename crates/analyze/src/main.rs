@@ -1,0 +1,38 @@
+//! CLI for the workspace invariant checker.
+//!
+//! ```text
+//! cargo run -p klotski-analyze            # report only, always exit 0
+//! cargo run -p klotski-analyze -- --deny  # exit 1 on any finding (CI)
+//! ```
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn workspace_root() -> PathBuf {
+    // This file lives at <root>/crates/analyze; the workspace root is
+    // two levels up from the crate manifest.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .map(Path::to_path_buf)
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+fn main() -> ExitCode {
+    let deny = std::env::args().skip(1).any(|a| a == "--deny");
+    let root = workspace_root();
+    match klotski_analyze::analyze_workspace(&root) {
+        Ok(report) => {
+            print!("{}", klotski_analyze::render(&report));
+            if deny && !report.clean() {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Err(err) => {
+            eprintln!("klotski-analyze: failed to read workspace sources: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Runtime counterpart of the static `no_alloc` rule: pins the native
+//! pipeline's steady-state decode loop to **zero allocations per step**.
+//!
+//! Method: a counting `GlobalAlloc` tallies allocation *events* on the
+//! measuring thread only (`compute_workers: 1` keeps all expert compute
+//! inline, so the inference thread sees every hot-loop allocation). Two
+//! runs over the same model and prompts differ only in `gen_len`; every
+//! one-time cost (expert store build, channel setup, scratch reservation,
+//! per-sequence `with_capacity` outputs) is identical across the two, so
+//! equal event counts ⟺ the extra decode steps allocated nothing.
+//! Counts are compared rather than bytes because output buffers are
+//! sized by `gen_len` (same event count, different sizes) by design.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+use klotski_core::native::{run_pipeline, NativePipelineConfig};
+use klotski_moe::config::MoeConfig;
+use klotski_moe::model::MoeModel;
+use klotski_tensor::quant::QuantConfig;
+
+thread_local! {
+    static COUNTING: Cell<bool> = const { Cell::new(false) };
+    static EVENTS: Cell<u64> = const { Cell::new(0) };
+}
+
+struct CountingAlloc;
+
+fn bump() {
+    // `try_with` so allocator callbacks stay safe during TLS teardown.
+    let _ = COUNTING.try_with(|c| {
+        if c.get() {
+            let _ = EVENTS.try_with(|e| e.set(e.get() + 1));
+        }
+    });
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        bump();
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        bump();
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        bump();
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn counted<R>(f: impl FnOnce() -> R) -> (u64, R) {
+    let before = EVENTS.with(Cell::get);
+    COUNTING.with(|c| c.set(true));
+    let r = f();
+    COUNTING.with(|c| c.set(false));
+    (EVENTS.with(Cell::get) - before, r)
+}
+
+fn prompts(n: usize, len: usize, vocab: usize) -> Vec<Vec<u32>> {
+    (0..n)
+        .map(|s| {
+            (0..len)
+                .map(|p| ((s * 31 + p * 7 + 3) % vocab) as u32)
+                .collect()
+        })
+        .collect()
+}
+
+fn assert_steady_state_alloc_free(cfg: &NativePipelineConfig, what: &str) {
+    let model = MoeModel::new(MoeConfig::tiny(7));
+    let p = prompts(3, 5, model.config().vocab);
+    // Warm process-global one-time state (backend detection, TLS, ...)
+    // outside the measured window.
+    let _ = run_pipeline(&model, &p, 2, cfg);
+
+    let (short_events, short) = counted(|| run_pipeline(&model, &p, 4, cfg));
+    let (long_events, long) = counted(|| run_pipeline(&model, &p, 12, cfg));
+
+    assert!(short_events > 0, "counter is not seeing allocations");
+    assert_eq!(long.tokens[0].len(), 12, "long run generated its tokens");
+    assert_eq!(short.tokens[0].len(), 4, "short run generated its tokens");
+    assert_eq!(
+        long_events, short_events,
+        "{what}: 8 extra decode steps changed the allocation count \
+         ({short_events} events for gen_len=4 vs {long_events} for gen_len=12) — \
+         the steady-state loop allocated"
+    );
+}
+
+#[test]
+fn dense_decode_steady_state_is_allocation_free() {
+    let cfg = NativePipelineConfig {
+        compute_workers: 1,
+        ..Default::default()
+    };
+    assert_steady_state_alloc_free(&cfg, "dense batched pipeline");
+}
+
+#[test]
+fn fused_quantized_decode_steady_state_is_allocation_free() {
+    let cfg = NativePipelineConfig {
+        compute_workers: 1,
+        quant: Some(QuantConfig::paper_default()),
+        fused_quant: true,
+        ..Default::default()
+    };
+    assert_steady_state_alloc_free(&cfg, "fused quantized pipeline");
+}
+
+#[test]
+fn staged_quantized_decode_steady_state_is_allocation_free() {
+    // Staging dequantizes into the circulating slot buffers instead of
+    // computing in the quantized domain; the inference thread must stay
+    // allocation-free either way. (The per-token `batch_experts: false` /
+    // `batch_attention: false` paths are retained benchmark baselines and
+    // are documented as *not* pinned.)
+    let cfg = NativePipelineConfig {
+        compute_workers: 1,
+        quant: Some(QuantConfig::paper_default()),
+        fused_quant: false,
+        ..Default::default()
+    };
+    assert_steady_state_alloc_free(&cfg, "staged quantized pipeline");
+}

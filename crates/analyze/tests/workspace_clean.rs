@@ -1,0 +1,20 @@
+//! The analyzer run as a workspace test: the tree must be finding-free,
+//! so `cargo test --workspace` fails on new violations even where CI's
+//! dedicated `--deny` job is not wired up.
+
+use std::path::Path;
+
+#[test]
+fn workspace_has_no_findings() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crate lives two levels under the workspace root");
+    let report = klotski_analyze::analyze_workspace(root).expect("workspace sources readable");
+    assert!(report.files_scanned > 50, "scanner found the sources");
+    assert!(
+        report.clean(),
+        "invariant findings in the tree:\n{}",
+        klotski_analyze::render(&report)
+    );
+}

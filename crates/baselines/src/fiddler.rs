@@ -9,7 +9,7 @@
 //! work. Prefill — with thousands of tokens per expert — always takes the
 //! GPU path (CPU GEMM would be minutes per layer).
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use klotski_core::driver::{build_report, drain, StepKind, TraceView};
 use klotski_core::report::InferenceReport;
@@ -60,7 +60,7 @@ impl Engine for Fiddler {
         // experts (by warm-up statistics).
         let spare = footprint.spare(sc.hw.vram_bytes).expect("checked above");
         let resident_slots = (spare / 10 * 9 / spec.expert_bytes().max(1)) as usize;
-        let resident: HashSet<(u32, u16)> = match &sc.base_gating {
+        let resident: BTreeSet<(u32, u16)> = match &sc.base_gating {
             Some(base) => {
                 let mut scored: Vec<((u32, u16), f64)> = Vec::new();
                 for m in 0..base.n_moe_layers() {
@@ -76,7 +76,7 @@ impl Engine for Fiddler {
                     .map(|(k, _)| k)
                     .collect()
             }
-            None => HashSet::new(),
+            None => BTreeSet::new(),
         };
         let static_vram = footprint.total() + resident.len() as u64 * spec.expert_bytes();
         sim.pool_mut(Tier::Vram)

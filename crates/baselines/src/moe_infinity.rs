@@ -10,7 +10,7 @@
 //! transfer on demand. Expert computation stays in gate order — no
 //! reordering, no multi-batch sharing.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use klotski_core::driver::{build_report, drain, StepKind, TraceView};
 use klotski_core::prefetcher::CorrelationTable;
@@ -29,7 +29,7 @@ pub struct MoeInfinity;
 struct ExpertLru {
     capacity: usize,
     clock: u64,
-    entries: HashMap<(u32, u16), u64>,
+    entries: BTreeMap<(u32, u16), u64>,
 }
 
 impl ExpertLru {
@@ -37,7 +37,7 @@ impl ExpertLru {
         ExpertLru {
             capacity: capacity.max(1),
             clock: 0,
-            entries: HashMap::new(),
+            entries: BTreeMap::new(),
         }
     }
 
@@ -141,7 +141,7 @@ impl Engine for MoeInfinity {
                     let ctx = step.context(wl.prompt_len);
 
                     // Prefetch predicted experts before attention.
-                    let mut transfers: HashMap<u16, TaskId> = HashMap::new();
+                    let mut transfers: BTreeMap<u16, TaskId> = BTreeMap::new();
                     let m = spec.moe_index(l);
                     if let Some(m) = m {
                         let predicted = match step {

@@ -23,7 +23,7 @@
 //! Every ablation row of the paper's Table 3 is a switch on
 //! [`KlotskiConfig`].
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use klotski_model::cost::CostModel;
 use klotski_model::spec::ModelSpec;
@@ -283,7 +283,7 @@ impl Engine for KlotskiEngine {
                 prev_attn_tasks: Vec::new(),
                 pending_attn_w: None,
                 layer_ends: Vec::new(),
-                stage_map: HashMap::new(),
+                stage_map: BTreeMap::new(),
             };
             let n_groups = wl.num_batches.div_ceil(group_size);
             for g in 0..n_groups {
@@ -347,7 +347,7 @@ struct Builder<'a> {
     /// Every layer-end task, in execution order (disk staging anchors).
     layer_ends: Vec<TaskId>,
     /// Disk→DRAM stage task per layer of the current step.
-    stage_map: HashMap<u32, TaskId>,
+    stage_map: BTreeMap<u32, TaskId>,
 }
 
 impl<'a> Builder<'a> {
@@ -459,7 +459,10 @@ impl<'a> Builder<'a> {
 
         // --- Gate + hot-expert prefetch (issued while attention computes).
         let mut gate_w: Option<TaskId> = None;
-        let mut transfers: HashMap<u16, TaskId> = HashMap::new();
+        // Ordered map on purpose: `transfers` is iterated below (release
+        // accounting and layer-end dependency edges), and hash-order
+        // iteration would make the simulated schedule vary across runs.
+        let mut transfers: BTreeMap<u16, TaskId> = BTreeMap::new();
         let mut hot: Vec<u16> = Vec::new();
         let stage_dep = self.stage_map.get(&l).copied();
 

@@ -47,15 +47,15 @@
 //! accumulation order is identical to the per-token reference, and expert
 //! contributions are still combined in fixed expert-index order.
 
-use std::collections::HashSet;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, unbounded, Sender};
 use klotski_moe::attention::AttnMask;
+use klotski_moe::gate::{RouteScratch, Routing};
 use klotski_moe::h2o::{H2oConfig, H2oState};
 use klotski_moe::kv::KvCache;
 use klotski_moe::model::MoeModel;
-use klotski_moe::weights::{ExpertWeights, QuantizedExpertWeights};
+use klotski_moe::weights::{ExpertWeights, FfnScratch, QuantizedExpertWeights};
 use klotski_tensor::matrix::Matrix;
 use klotski_tensor::quant::QuantConfig;
 use klotski_tensor::simd::{BackendGuard, KernelBackend};
@@ -180,23 +180,31 @@ enum VramExpert {
 }
 
 impl VramExpert {
-    /// Batched SwiGLU forward. `threads` only applies to the dense GEMMs;
-    /// the fused quantized path is single-threaded per expert (the worker
+    /// Batched SwiGLU forward into a reused output matrix and
+    /// [`FfnScratch`] — allocation-free once the buffers hit their
+    /// high-water shapes. `threads` only applies to the dense GEMMs; the
+    /// fused quantized path is single-threaded per expert (the worker
     /// pool parallelizes across experts instead). Bit-identical across
     /// forms when the packed codes decode to the dense weights.
-    fn forward_batch_threaded(&self, xs: &Matrix, threads: usize) -> Matrix {
+    fn forward_batch_threaded_into(
+        &self,
+        xs: &Matrix,
+        out: &mut Matrix,
+        scratch: &mut FfnScratch,
+        threads: usize,
+    ) {
         match self {
-            VramExpert::Dense(w) => w.forward_batch_threaded(xs, threads),
-            VramExpert::Packed(q) => q.forward_batch(xs),
+            VramExpert::Dense(w) => w.forward_batch_threaded_into(xs, out, scratch, threads),
+            VramExpert::Packed(q) => q.forward_batch_into(xs, out, scratch),
         }
     }
 
     /// Batched forward with an automatic thread count (inline compute on
     /// the inference thread, where no worker pool competes for cores).
-    fn forward_batch(&self, xs: &Matrix) -> Matrix {
+    fn forward_batch_into(&self, xs: &Matrix, out: &mut Matrix, scratch: &mut FfnScratch) {
         match self {
-            VramExpert::Dense(w) => w.forward_batch(xs),
-            VramExpert::Packed(q) => q.forward_batch(xs),
+            VramExpert::Dense(w) => w.forward_batch_into(xs, out, scratch),
+            VramExpert::Packed(q) => q.forward_batch_into(xs, out, scratch),
         }
     }
 
@@ -228,18 +236,25 @@ enum Event {
     Fetched(FetchedExpert),
     Computed {
         expert: usize,
+        /// The input buffer rides back to the inference thread's pool so
+        /// the next task for this expert reuses it.
+        xs: Matrix,
         rows: Matrix,
         /// The slot buffer travels with the task and returns to the pool.
         weights: VramExpert,
     },
 }
 
-/// One expert's batched forward, shipped to the worker pool.
+/// One expert's batched forward, shipped to the worker pool. The input
+/// and output matrices come from (and return to) per-expert pools on the
+/// inference thread, so dispatch moves buffers instead of allocating.
 struct ComputeTask {
     expert: usize,
     weights: VramExpert,
     /// The routed tokens' normalized hidden states, one per row.
     xs: Matrix,
+    /// The pooled output buffer the worker computes into.
+    out: Matrix,
 }
 
 /// Runs Klotski's native pipeline over `prompts`, generating `gen_len`
@@ -270,6 +285,7 @@ pub fn run_pipeline(
     let _backend_guard = cfg.kernel_backend.map(BackendGuard::force);
     let store = ExpertStore::from_model(model, cfg.quant);
     // Time the pipeline itself; store construction is model loading.
+    // analyze: allow(determinism) -- the one sanctioned timing site: elapsed is reported, never branched on
     let start = Instant::now();
 
     let (req_tx, req_rx) = unbounded::<FetchRequest>();
@@ -293,7 +309,8 @@ pub fn run_pipeline(
     }
 
     let mut result = NativeRunResult {
-        tokens: vec![Vec::new(); n_seqs],
+        // Full generation span reserved upfront: token pushes never grow.
+        tokens: (0..n_seqs).map(|_| Vec::with_capacity(gen_len)).collect(),
         final_hidden: Vec::new(),
         expert_fetches: 0,
         prefetch_hits: 0,
@@ -339,14 +356,25 @@ pub fn run_pipeline(
                 let rx = rx.clone();
                 let worker_event_tx = event_tx.clone();
                 scope.spawn(move |_| {
-                    while let Ok(task) = rx.recv() {
+                    // Worker-local SwiGLU intermediates, pre-sized to the
+                    // largest possible batch so every task runs without
+                    // heap allocation.
+                    let mut scratch = FfnScratch::default();
+                    scratch.reserve(n_seqs, mcfg.d_ff);
+                    while let Ok(mut task) = rx.recv() {
                         // The pool already parallelizes across experts;
                         // intra-GEMM threading on top would oversubscribe.
-                        let rows = task.weights.forward_batch_threaded(&task.xs, 1);
+                        task.weights.forward_batch_threaded_into(
+                            &task.xs,
+                            &mut task.out,
+                            &mut scratch,
+                            1,
+                        );
                         if worker_event_tx
                             .send(Event::Computed {
                                 expert: task.expert,
-                                rows,
+                                xs: task.xs,
+                                rows: task.out,
                                 weights: task.weights,
                             })
                             .is_err()
@@ -380,16 +408,39 @@ pub fn run_pipeline(
 
         // Hot-loop state, allocated once and reused across all steps and
         // layers: per-sequence working + carry hidden states, the per-layer
-        // normalized states, the per-expert token groups and batched
-        // outputs, and the logits scratch. The step loop itself is
-        // allocation-free apart from per-expert task matrices.
-        let mut hidden: Vec<Vec<f32>> = vec![Vec::new(); n_seqs];
-        let mut h: Vec<Vec<f32>> = vec![Vec::new(); n_seqs];
-        let mut normed: Vec<Vec<f32>> = vec![Vec::new(); n_seqs];
-        let mut tokens_of: Vec<Vec<(usize, f32)>> = vec![Vec::new(); mcfg.n_experts];
-        let mut expert_rows: Vec<Option<Matrix>> = vec![None; mcfg.n_experts];
+        // normalized states, the per-expert token groups and pooled
+        // input/output matrices, the routing and logits scratch, and the
+        // per-expert request/arrival flags. Everything is pre-sized to its
+        // high-water shape, so the step loop performs **zero heap
+        // allocations** at steady state (pinned by `klotski-analyze`'s
+        // alloc_pin test).
+        let mut hidden: Vec<Vec<f32>> = vec![Vec::with_capacity(mcfg.d_model); n_seqs];
+        let mut h: Vec<Vec<f32>> = vec![Vec::with_capacity(mcfg.d_model); n_seqs];
+        let mut normed: Vec<Vec<f32>> = vec![Vec::with_capacity(mcfg.d_model); n_seqs];
+        let mut tokens_of: Vec<Vec<(usize, f32)>> = (0..mcfg.n_experts)
+            .map(|_| Vec::with_capacity(n_seqs))
+            .collect();
+        // Per-expert pooled matrices: routed-token inputs and batched
+        // outputs. Sized once to the full group; `resize` below never
+        // exceeds this, so stacking a group is pure copying.
+        let mut expert_xs: Vec<Matrix> = (0..mcfg.n_experts)
+            .map(|_| Matrix::zeros(n_seqs, mcfg.d_model))
+            .collect();
+        let mut expert_rows: Vec<Matrix> = (0..mcfg.n_experts)
+            .map(|_| Matrix::zeros(n_seqs, mcfg.d_model))
+            .collect();
+        let mut rows_ready: Vec<bool> = vec![false; mcfg.n_experts];
+        let mut requested: Vec<bool> = vec![false; mcfg.n_experts];
+        let mut arrived: Vec<bool> = vec![false; mcfg.n_experts];
+        let mut hot: Vec<usize> = Vec::with_capacity(cfg.prefetch_k);
+        let mut hot_idx: Vec<usize> = Vec::with_capacity(mcfg.n_experts);
         let mut active: Vec<usize> = Vec::with_capacity(n_seqs);
         let mut positions: Vec<usize> = vec![0; n_seqs];
+        let mut routing = Routing { picks: Vec::new() };
+        let mut route_scratch = RouteScratch::default();
+        // Inline-compute SwiGLU intermediates (used when no worker pool).
+        let mut ffn_scratch = FfnScratch::default();
+        ffn_scratch.reserve(n_seqs, mcfg.d_ff);
         let mut scratch = model.logits_scratch();
         let mut attn_scratch = model.attn_scratch();
 
@@ -409,6 +460,7 @@ pub fn run_pipeline(
             attn_scratch.reserve(n_seqs, total_steps);
         }
 
+        // analyze: no_alloc
         for step in 0..total_steps {
             // Which sequences have a token this step, and which token.
             active.clear();
@@ -437,13 +489,15 @@ pub fn run_pipeline(
 
             for (layer, layer_popularity) in popularity.iter_mut().enumerate() {
                 // (1) Prefetch predicted hot experts before attention.
-                let hot = top_k_by(layer_popularity, cfg.prefetch_k);
-                let mut requested: HashSet<usize> = HashSet::new();
+                top_k_by_into(layer_popularity, cfg.prefetch_k, &mut hot_idx, &mut hot);
+                requested.iter_mut().for_each(|f| *f = false);
+                let mut n_requested = 0usize;
                 for &e in &hot {
                     req_tx
                         .send(FetchRequest { layer, expert: e })
                         .expect("I/O thread alive");
-                    requested.insert(e);
+                    requested[e] = true;
+                    n_requested += 1;
                 }
 
                 // (2) Attention for every active sequence (weights
@@ -477,7 +531,7 @@ pub fn run_pipeline(
                 }
                 for &s in &active {
                     model.moe_norm_into(layer, &h[s], &mut normed[s]);
-                    let routing = model.route_token(layer, &normed[s]);
+                    model.route_token_into(layer, &normed[s], &mut routing, &mut route_scratch);
                     for &(e, w) in &routing.picks {
                         tokens_of[e].push((s, w));
                         layer_popularity[e] += 1;
@@ -487,7 +541,9 @@ pub fn run_pipeline(
                 // (4) On-demand requests for activated cold experts, in
                 // discovery (expert-id within gate output) order.
                 for (e, group) in tokens_of.iter().enumerate() {
-                    if !group.is_empty() && requested.insert(e) {
+                    if !group.is_empty() && !requested[e] {
+                        requested[e] = true;
+                        n_requested += 1;
                         req_tx
                             .send(FetchRequest { layer, expert: e })
                             .expect("I/O thread alive");
@@ -502,15 +558,16 @@ pub fn run_pipeline(
                 // immediately"). The single event channel means the
                 // inference thread always reacts to whichever happens
                 // first: an arrival or a completion.
-                let mut remaining = requested.len();
+                let mut remaining = n_requested;
                 let mut in_flight = 0usize;
-                let mut done: HashSet<usize> = HashSet::new();
+                arrived.iter_mut().for_each(|f| *f = false);
                 while remaining > 0 || in_flight > 0 {
                     match event_rx.recv().expect("pipeline threads alive") {
                         Event::Fetched(fetched) => {
                             remaining -= 1;
                             let e = fetched.expert;
-                            assert!(done.insert(e), "duplicate expert arrival");
+                            assert!(!arrived[e], "duplicate expert arrival");
+                            arrived[e] = true;
                             if tokens_of[e].is_empty() {
                                 result.prefetch_misses += 1;
                                 slot_tx.send(fetched.weights).expect("returning slot");
@@ -522,41 +579,61 @@ pub fn run_pipeline(
                             if !cfg.batch_experts {
                                 // Retained per-token fallback: one matvec
                                 // per routed token, weights re-streamed
-                                // every time (the pre-batching path).
-                                let mut rows = Matrix::zeros(tokens_of[e].len(), mcfg.d_model);
+                                // every time (the pre-batching path). The
+                                // per-token `forward` allocates; only the
+                                // batched default path is pinned
+                                // allocation-free.
+                                let rows = &mut expert_rows[e];
+                                rows.resize(tokens_of[e].len(), mcfg.d_model);
                                 for (r, &(s, _)) in tokens_of[e].iter().enumerate() {
                                     let out = fetched.weights.as_dense().forward(&normed[s]);
                                     rows.row_mut(r).copy_from_slice(&out);
                                 }
-                                expert_rows[e] = Some(rows);
+                                rows_ready[e] = true;
                                 slot_tx.send(fetched.weights).expect("returning slot");
                                 continue;
                             }
-                            // Stack the expert's routed tokens row-major.
-                            let mut xs = Matrix::zeros(tokens_of[e].len(), mcfg.d_model);
+                            // Stack the expert's routed tokens row-major
+                            // into its pooled input matrix.
+                            let xs = &mut expert_xs[e];
+                            xs.resize(tokens_of[e].len(), mcfg.d_model);
                             for (r, &(s, _)) in tokens_of[e].iter().enumerate() {
                                 xs.row_mut(r).copy_from_slice(&normed[s]);
                             }
                             if let Some(task_tx) = &task_tx {
+                                // Move the pooled buffers into the task;
+                                // they ride back with Event::Computed. The
+                                // empty placeholders left behind do not
+                                // allocate.
                                 task_tx
                                     .send(ComputeTask {
                                         expert: e,
                                         weights: fetched.weights,
-                                        xs,
+                                        xs: std::mem::take(&mut expert_xs[e]),
+                                        out: std::mem::take(&mut expert_rows[e]),
                                     })
                                     .expect("worker pool alive");
                                 in_flight += 1;
                             } else {
-                                expert_rows[e] = Some(fetched.weights.forward_batch(&xs));
+                                fetched.weights.forward_batch_into(
+                                    &expert_xs[e],
+                                    &mut expert_rows[e],
+                                    &mut ffn_scratch,
+                                );
+                                rows_ready[e] = true;
                                 slot_tx.send(fetched.weights).expect("returning slot");
                             }
                         }
                         Event::Computed {
                             expert,
+                            xs,
                             rows,
                             weights,
                         } => {
-                            expert_rows[expert] = Some(rows);
+                            // Return the buffers to the per-expert pools.
+                            expert_xs[expert] = xs;
+                            expert_rows[expert] = rows;
+                            rows_ready[expert] = true;
                             in_flight -= 1;
                             // Expert finished: offload immediately.
                             slot_tx.send(weights).expect("returning slot");
@@ -568,12 +645,15 @@ pub fn run_pipeline(
                 // ascending-e iteration adds each sequence's contributions
                 // in exactly the order [`MoeModel::combine`] would after
                 // its sort, with no per-token Vec churn.
-                for (e, rows) in expert_rows.iter_mut().enumerate() {
-                    if let Some(rows) = rows.take() {
-                        for (r, &(s, w)) in tokens_of[e].iter().enumerate() {
-                            for (hv, &x) in h[s].iter_mut().zip(rows.row(r)) {
-                                *hv += w * x;
-                            }
+                for (e, ready) in rows_ready.iter_mut().enumerate() {
+                    if !*ready {
+                        continue;
+                    }
+                    *ready = false;
+                    let rows = &expert_rows[e];
+                    for (r, &(s, w)) in tokens_of[e].iter().enumerate() {
+                        for (hv, &x) in h[s].iter_mut().zip(rows.row(r)) {
+                            *hv += w * x;
                         }
                     }
                 }
@@ -595,11 +675,17 @@ pub fn run_pipeline(
     result
 }
 
-fn top_k_by(counts: &[u64], k: usize) -> Vec<usize> {
-    let mut idx: Vec<usize> = (0..counts.len()).collect();
-    idx.sort_by_key(|&e| (std::cmp::Reverse(counts[e]), e));
-    idx.truncate(k);
-    idx
+/// The `k` most popular experts into a reused output, with reused sort
+/// scratch. The key is unique per expert (count, then expert id), so the
+/// unstable sort is deterministic — and, unlike the stable sort, it never
+/// allocates.
+// analyze: no_alloc
+fn top_k_by_into(counts: &[u64], k: usize, idx: &mut Vec<usize>, out: &mut Vec<usize>) {
+    idx.clear();
+    idx.extend(0..counts.len());
+    idx.sort_unstable_by_key(|&e| (std::cmp::Reverse(counts[e]), e));
+    out.clear();
+    out.extend(idx.iter().take(k));
 }
 
 #[cfg(test)]

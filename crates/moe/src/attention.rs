@@ -241,6 +241,7 @@ impl AttnScratch {
 ///
 /// Panics if the staged input's shape does not match `seqs.len()` rows of
 /// `n_heads × head_dim`, or any cache width differs.
+// analyze: no_alloc
 pub fn attend_batch(
     w: &AttnWeights,
     layer: usize,

@@ -4,7 +4,7 @@
 //! softmax *over the selected logits* for the combination weights.
 
 use klotski_tensor::matrix::Matrix;
-use klotski_tensor::ops::{softmax_inplace, top_k};
+use klotski_tensor::ops::{softmax_inplace, top_k_into};
 
 /// One token's routing decision.
 #[derive(Debug, Clone, PartialEq)]
@@ -36,23 +36,49 @@ impl Routing {
 /// Panics if `x` does not match the gate's input width or `k` is zero or
 /// exceeds the expert count.
 pub fn route(gate: &Matrix, x: &[f32], k: usize) -> Routing {
+    let mut scratch = RouteScratch::default();
+    let mut routing = Routing { picks: Vec::new() };
+    route_into(gate, x, k, &mut routing, &mut scratch);
+    routing
+}
+
+/// Reusable buffers for [`route_into`]: per-expert logits, top-k sort
+/// scratch, and the selected logits awaiting softmax. One per decode
+/// loop; every buffer reaches its steady-state capacity after the first
+/// call.
+#[derive(Debug, Clone, Default)]
+pub struct RouteScratch {
+    logits: Vec<f32>,
+    idx: Vec<usize>,
+    picks: Vec<(usize, f32)>,
+    weights: Vec<f32>,
+}
+
+/// [`route`] into a reused [`Routing`] and [`RouteScratch`] — the
+/// allocation-free form the native pipeline's gate step uses. Selection,
+/// weights, and ordering are bit-identical to [`route`].
+///
+/// # Panics
+///
+/// Panics if `x` does not match the gate's input width or `k` is zero or
+/// exceeds the expert count.
+// analyze: no_alloc
+pub fn route_into(gate: &Matrix, x: &[f32], k: usize, out: &mut Routing, s: &mut RouteScratch) {
     assert_eq!(x.len(), gate.cols(), "gate input width mismatch");
     assert!(k > 0 && k <= gate.rows(), "invalid top-k");
-    let mut logits = vec![0.0f32; gate.rows()];
-    for (e, logit) in logits.iter_mut().enumerate() {
+    s.logits.clear();
+    s.logits.resize(gate.rows(), 0.0);
+    for (e, logit) in s.logits.iter_mut().enumerate() {
         let row = gate.row(e);
         *logit = row.iter().zip(x).map(|(w, v)| w * v).sum();
     }
-    let picks = top_k(&logits, k);
-    let mut weights: Vec<f32> = picks.iter().map(|&(_, l)| l).collect();
-    softmax_inplace(&mut weights);
-    Routing {
-        picks: picks
-            .iter()
-            .zip(&weights)
-            .map(|(&(e, _), &w)| (e, w))
-            .collect(),
-    }
+    top_k_into(&s.logits, k, &mut s.idx, &mut s.picks);
+    s.weights.clear();
+    s.weights.extend(s.picks.iter().map(|&(_, l)| l));
+    softmax_inplace(&mut s.weights);
+    out.picks.clear();
+    out.picks
+        .extend(s.picks.iter().zip(&s.weights).map(|(&(e, _), &w)| (e, w)));
 }
 
 #[cfg(test)]

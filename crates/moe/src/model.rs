@@ -12,7 +12,7 @@ use klotski_tensor::ops::{argmax, rmsnorm_inplace};
 
 use crate::attention::{attend_batch, attend_one, AttnMask, AttnScratch};
 use crate::config::MoeConfig;
-use crate::gate::{route, Routing};
+use crate::gate::{route, route_into, RouteScratch, Routing};
 use crate::kv::KvCache;
 use crate::weights::MoeWeights;
 
@@ -247,6 +247,25 @@ impl MoeModel {
     /// Routes one normalized token through `layer`'s gate.
     pub fn route_token(&self, layer: usize, normed: &[f32]) -> Routing {
         route(&self.weights.layers[layer].gate, normed, self.cfg.top_k)
+    }
+
+    /// [`MoeModel::route_token`] into reused buffers — the
+    /// allocation-free form the native pipeline's gate step uses.
+    // analyze: no_alloc
+    pub fn route_token_into(
+        &self,
+        layer: usize,
+        normed: &[f32],
+        out: &mut Routing,
+        scratch: &mut RouteScratch,
+    ) {
+        route_into(
+            &self.weights.layers[layer].gate,
+            normed,
+            self.cfg.top_k,
+            out,
+            scratch,
+        );
     }
 
     /// One expert's output for one normalized token.

@@ -112,6 +112,56 @@ impl ExpertWeights {
         self.forward_batch_threaded(xs, threads)
     }
 
+    /// [`ExpertWeights::forward_batch`] into a reused output matrix and
+    /// [`FfnScratch`] — the allocation-free form for decode hot loops.
+    /// Bit-identical to the allocating form. Picks the same automatic
+    /// intra-GEMM thread count as [`ExpertWeights::forward_batch`]; below
+    /// the parallel threshold (every decode-sized batch) the GEMMs run
+    /// inline with no thread spawns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs.cols()` does not match `d_model`.
+    pub fn forward_batch_into(&self, xs: &Matrix, out: &mut Matrix, scratch: &mut FfnScratch) {
+        let threads = auto_threads(xs.rows() * self.w1.rows() * self.w1.cols());
+        self.forward_batch_threaded_into(xs, out, scratch, threads);
+    }
+
+    /// [`ExpertWeights::forward_batch_threaded`] into a reused output
+    /// matrix and [`FfnScratch`]. With pre-reserved buffers (see
+    /// [`FfnScratch::reserve`]) the call performs no heap allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs.cols()` does not match `d_model`.
+    // analyze: no_alloc
+    pub fn forward_batch_threaded_into(
+        &self,
+        xs: &Matrix,
+        out: &mut Matrix,
+        scratch: &mut FfnScratch,
+        threads: usize,
+    ) {
+        assert_eq!(xs.cols(), self.w1.cols(), "expert input width mismatch");
+        let n_tokens = xs.rows();
+        let d_ff = self.w1.rows();
+        let d_model = self.w2.rows();
+        scratch.gate.resize(n_tokens, d_ff);
+        xs.matmul_nt_into_threaded(&self.w1, &mut scratch.gate, threads);
+        scratch.up.resize(n_tokens, d_ff);
+        xs.matmul_nt_into_threaded(&self.w3, &mut scratch.up, threads);
+        for (g, &u) in scratch
+            .gate
+            .as_mut_slice()
+            .iter_mut()
+            .zip(scratch.up.as_slice())
+        {
+            *g = silu(*g) * u;
+        }
+        out.resize(n_tokens, d_model);
+        scratch.gate.matmul_nt_into_threaded(&self.w2, out, threads);
+    }
+
     /// [`ExpertWeights::forward_batch`] with an explicit GEMM thread count
     /// (1 = fully serial). Callers that already provide parallelism at the
     /// expert level — e.g. the native pipeline's compute worker pool —
@@ -123,22 +173,9 @@ impl ExpertWeights {
     ///
     /// Panics if `xs.cols()` does not match `d_model`.
     pub fn forward_batch_threaded(&self, xs: &Matrix, threads: usize) -> Matrix {
-        assert_eq!(xs.cols(), self.w1.cols(), "expert input width mismatch");
-        let n_tokens = xs.rows();
-        let d_ff = self.w1.rows();
-        let d_model = self.w2.rows();
-        // gate = xs · w1ᵀ, up = xs · w3ᵀ  (same dots as the matvec path).
-        let mut gate = Matrix::zeros(n_tokens, d_ff);
-        xs.matmul_nt_into_threaded(&self.w1, &mut gate, threads);
-        let mut up = Matrix::zeros(n_tokens, d_ff);
-        xs.matmul_nt_into_threaded(&self.w3, &mut up, threads);
-        // SwiGLU: gate ← silu(gate) ⊙ up.
-        for (g, &u) in gate.as_mut_slice().iter_mut().zip(up.as_slice()) {
-            *g = silu(*g) * u;
-        }
-        // out = inner · w2ᵀ.
-        let mut out = Matrix::zeros(n_tokens, d_model);
-        gate.matmul_nt_into_threaded(&self.w2, &mut out, threads);
+        let mut out = Matrix::zeros(0, 0);
+        let mut scratch = FfnScratch::default();
+        self.forward_batch_threaded_into(xs, &mut out, &mut scratch, threads);
         out
     }
 
@@ -147,6 +184,27 @@ impl ExpertWeights {
         self.w1.rows() * self.w1.cols()
             + self.w2.rows() * self.w2.cols()
             + self.w3.rows() * self.w3.cols()
+    }
+}
+
+/// Reusable intermediates for the batched SwiGLU forward: the `gate` and
+/// `up` projection matrices. One per compute site (the native pipeline's
+/// inference thread and each compute worker keep their own); after
+/// [`FfnScratch::reserve`] — or the first call at the high-water batch
+/// shape — every `forward_batch_*_into` call is allocation-free.
+#[derive(Debug, Clone, Default)]
+pub struct FfnScratch {
+    gate: Matrix,
+    up: Matrix,
+}
+
+impl FfnScratch {
+    /// Pre-sizes both intermediates for batches of up to `rows` tokens
+    /// against experts with `d_ff` hidden width, so no later
+    /// `forward_batch_*_into` call allocates.
+    pub fn reserve(&mut self, rows: usize, d_ff: usize) {
+        self.gate.resize(rows, d_ff);
+        self.up.resize(rows, d_ff);
     }
 }
 
@@ -213,20 +271,39 @@ impl QuantizedExpertWeights {
     ///
     /// Panics if `xs.cols()` does not match `d_model`.
     pub fn forward_batch(&self, xs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        let mut scratch = FfnScratch::default();
+        self.forward_batch_into(xs, &mut out, &mut scratch);
+        out
+    }
+
+    /// [`QuantizedExpertWeights::forward_batch`] into a reused output
+    /// matrix and [`FfnScratch`] — the allocation-free form for decode
+    /// hot loops. Bit-identical to the allocating form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs.cols()` does not match `d_model`.
+    // analyze: no_alloc
+    pub fn forward_batch_into(&self, xs: &Matrix, out: &mut Matrix, scratch: &mut FfnScratch) {
         assert_eq!(xs.cols(), self.w1.cols(), "expert input width mismatch");
         let n_tokens = xs.rows();
         let d_ff = self.w1.rows();
         let d_model = self.w2.rows();
-        let mut gate = Matrix::zeros(n_tokens, d_ff);
-        self.w1.matmul_nt_fused_into(xs, &mut gate);
-        let mut up = Matrix::zeros(n_tokens, d_ff);
-        self.w3.matmul_nt_fused_into(xs, &mut up);
-        for (g, &u) in gate.as_mut_slice().iter_mut().zip(up.as_slice()) {
+        scratch.gate.resize(n_tokens, d_ff);
+        self.w1.matmul_nt_fused_into(xs, &mut scratch.gate);
+        scratch.up.resize(n_tokens, d_ff);
+        self.w3.matmul_nt_fused_into(xs, &mut scratch.up);
+        for (g, &u) in scratch
+            .gate
+            .as_mut_slice()
+            .iter_mut()
+            .zip(scratch.up.as_slice())
+        {
             *g = silu(*g) * u;
         }
-        let mut out = Matrix::zeros(n_tokens, d_model);
-        self.w2.matmul_nt_fused_into(&gate, &mut out);
-        out
+        out.resize(n_tokens, d_model);
+        self.w2.matmul_nt_fused_into(&scratch.gate, out);
     }
 
     /// Actual stored bytes across the three matrices (codes + metadata).

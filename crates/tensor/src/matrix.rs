@@ -192,7 +192,9 @@ pub(crate) fn nt_micro_2xu_b(
 ) {
     #[cfg(all(feature = "simd", target_arch = "x86_64"))]
     match backend {
-        // SAFETY: as in `nt_micro_1xu_b`.
+        // SAFETY: availability was checked when `backend` was selected,
+        // and the caller guarantees `a0.len() == a1.len()` and the row
+        // lengths (doc contract above).
         KernelBackend::Avx2 => {
             return unsafe { crate::simd::x86::nt_micro_2x8_avx2(a0, a1, rows, acc0, acc1) }
         }
@@ -309,6 +311,18 @@ pub struct Matrix {
     rows: usize,
     cols: usize,
     data: Vec<f32>,
+}
+
+/// The empty `0 × 0` matrix. Allocation-free — the natural placeholder
+/// for pooled buffers moved out with `std::mem::take`.
+impl Default for Matrix {
+    fn default() -> Self {
+        Matrix {
+            rows: 0,
+            cols: 0,
+            data: Vec::new(),
+        }
+    }
 }
 
 impl Matrix {
@@ -824,6 +838,7 @@ pub fn matvec_strided_into(x: &[f32], rows: &StridedRows<'_>, idx: &[usize], out
 /// # Panics
 ///
 /// Panics if `out.len() != idx.len()` or `x.len() != rows.width()`.
+// analyze: no_alloc
 pub fn matvec_strided_into_with_backend(
     x: &[f32],
     rows: &StridedRows<'_>,
@@ -922,6 +937,7 @@ pub fn weighted_rows_into(w: &[f32], rows: &StridedRows<'_>, idx: &[usize], out:
 /// # Panics
 ///
 /// Panics if `w.len() != idx.len()` or `out.len() != rows.width()`.
+// analyze: no_alloc
 pub fn weighted_rows_into_with_backend(
     w: &[f32],
     rows: &StridedRows<'_>,

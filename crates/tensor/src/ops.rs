@@ -84,14 +84,40 @@ pub fn layernorm_inplace(xs: &mut [f32], weight: &[f32], bias: &[f32], eps: f32)
 /// assert_eq!(picks, vec![(1, 0.7), (3, 0.7)]);
 /// ```
 pub fn top_k(xs: &[f32], k: usize) -> Vec<(usize, f32)> {
-    let mut idx: Vec<usize> = (0..xs.len()).collect();
-    idx.sort_by(|&a, &b| xs[b].total_cmp(&xs[a]).then(a.cmp(&b)));
-    idx.into_iter().take(k).map(|i| (i, xs[i])).collect()
+    let mut idx = Vec::new();
+    let mut out = Vec::new();
+    top_k_into(xs, k, &mut idx, &mut out);
+    out
+}
+
+/// [`top_k`] into reused buffers — the allocation-free form for decode
+/// hot loops. `idx` is sort scratch; `out` receives the picks. Selection
+/// and ordering are identical to [`top_k`] (the comparator is a total
+/// order, so the unstable sort is deterministic).
+// analyze: no_alloc
+pub fn top_k_into(xs: &[f32], k: usize, idx: &mut Vec<usize>, out: &mut Vec<(usize, f32)>) {
+    idx.clear();
+    idx.extend(0..xs.len());
+    idx.sort_unstable_by(|&a, &b| xs[b].total_cmp(&xs[a]).then(a.cmp(&b)));
+    out.clear();
+    out.extend(idx.iter().take(k).map(|&i| (i, xs[i])));
 }
 
 /// Index of the largest element (first on ties); `None` when empty.
+///
+/// A single scan with `total_cmp` — no allocation, and bit-identical in
+/// selection to `top_k(xs, 1)` (strictly-greater replacement keeps the
+/// first index on ties).
+// analyze: no_alloc
 pub fn argmax(xs: &[f32]) -> Option<usize> {
-    top_k(xs, 1).first().map(|&(i, _)| i)
+    let mut best: Option<usize> = None;
+    for (i, x) in xs.iter().enumerate() {
+        match best {
+            Some(b) if xs[b].total_cmp(x).is_ge() => {}
+            _ => best = Some(i),
+        }
+    }
+    best
 }
 
 #[cfg(test)]

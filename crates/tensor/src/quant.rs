@@ -273,6 +273,7 @@ impl QuantizedMatrix {
     /// # Panics
     ///
     /// Panics on any shape mismatch.
+    // analyze: no_alloc
     pub fn matmul_nt_fused_with_backend(
         &self,
         a: &Matrix,
@@ -285,70 +286,88 @@ impl QuantizedMatrix {
         /// Panel width in codes: one paper-default scale group, and a
         /// multiple of every vector width — 2 KiB of stack per 8-row block.
         const FUSED_PANEL: usize = 64;
-        let (m, k, n) = (a.rows(), self.cols, self.rows);
+        /// Input rows per pass. All per-row accumulator blocks live on the
+        /// stack (64 × 8 × 4 B = 2 KiB), so the kernel performs no heap
+        /// allocation — a whole decode group fits one pass; larger inputs
+        /// pay the panel unpack once more per extra 64-row pass. Chunking
+        /// rows changes nothing bit-wise: every output element's chain
+        /// belongs to exactly one row.
+        const FUSED_ROWS: usize = 64;
+        let (k, n) = (self.cols, self.rows);
         let mut panels = [[0.0f32; FUSED_PANEL]; NT_COLS];
-        let mut acc: Vec<[f32; NT_COLS]> = vec![[0.0; NT_COLS]; m];
-        let mut j = 0usize;
-        while j + NT_COLS <= n {
-            for block in acc.iter_mut() {
-                *block = [0.0; NT_COLS];
-            }
-            let mut k0 = 0usize;
-            while k0 < k {
-                let k1 = (k0 + FUSED_PANEL).min(k);
-                let plen = k1 - k0;
-                for (u, panel) in panels.iter_mut().enumerate() {
-                    self.unpack_dequant_row_range(j + u, k0, k1, &mut panel[..plen]);
+        let mut acc = [[0.0f32; NT_COLS]; FUSED_ROWS];
+        let mut i_base = 0usize;
+        while i_base < a.rows() {
+            let m = (a.rows() - i_base).min(FUSED_ROWS);
+            let mut j = 0usize;
+            while j + NT_COLS <= n {
+                for block in acc.iter_mut().take(m) {
+                    *block = [0.0; NT_COLS];
                 }
-                let rows: [&[f32]; NT_COLS] = std::array::from_fn(|u| &panels[u][..plen]);
-                let mut i = 0usize;
-                while i + 2 <= m {
-                    let (lo, hi) = acc.split_at_mut(i + 1);
-                    crate::matrix::nt_micro_2xu_b(
-                        backend,
-                        &a.row(i)[k0..k1],
-                        &a.row(i + 1)[k0..k1],
-                        &rows,
-                        &mut lo[i],
-                        &mut hi[0],
-                    );
-                    i += 2;
-                }
-                if i < m {
-                    crate::matrix::nt_micro_1xu_b(backend, &a.row(i)[k0..k1], &rows, &mut acc[i]);
-                }
-                k0 = k1;
-            }
-            for (i, block) in acc.iter().enumerate() {
-                out.row_mut(i)[j..j + NT_COLS].copy_from_slice(block);
-            }
-            j += NT_COLS;
-        }
-        // Weight-row tail (< NT_COLS rows left): one row at a time, each
-        // output element a plain sequential chain across the same panels.
-        if j < n {
-            let mut panel = [0.0f32; FUSED_PANEL];
-            let mut tail_acc = vec![0.0f32; m];
-            for jj in j..n {
-                tail_acc.fill(0.0);
                 let mut k0 = 0usize;
                 while k0 < k {
                     let k1 = (k0 + FUSED_PANEL).min(k);
                     let plen = k1 - k0;
-                    self.unpack_dequant_row_range(jj, k0, k1, &mut panel[..plen]);
-                    for (i, t) in tail_acc.iter_mut().enumerate() {
-                        let mut s = *t;
-                        for (&x, &y) in a.row(i)[k0..k1].iter().zip(&panel[..plen]) {
-                            s += x * y;
-                        }
-                        *t = s;
+                    for (u, panel) in panels.iter_mut().enumerate() {
+                        self.unpack_dequant_row_range(j + u, k0, k1, &mut panel[..plen]);
+                    }
+                    let rows: [&[f32]; NT_COLS] = std::array::from_fn(|u| &panels[u][..plen]);
+                    let mut i = 0usize;
+                    while i + 2 <= m {
+                        let (lo, hi) = acc.split_at_mut(i + 1);
+                        crate::matrix::nt_micro_2xu_b(
+                            backend,
+                            &a.row(i_base + i)[k0..k1],
+                            &a.row(i_base + i + 1)[k0..k1],
+                            &rows,
+                            &mut lo[i],
+                            &mut hi[0],
+                        );
+                        i += 2;
+                    }
+                    if i < m {
+                        crate::matrix::nt_micro_1xu_b(
+                            backend,
+                            &a.row(i_base + i)[k0..k1],
+                            &rows,
+                            &mut acc[i],
+                        );
                     }
                     k0 = k1;
                 }
-                for (i, &t) in tail_acc.iter().enumerate() {
-                    out.row_mut(i)[jj] = t;
+                for (i, block) in acc.iter().enumerate().take(m) {
+                    out.row_mut(i_base + i)[j..j + NT_COLS].copy_from_slice(block);
+                }
+                j += NT_COLS;
+            }
+            // Weight-row tail (< NT_COLS rows left): one row at a time,
+            // each output element a plain sequential chain across the same
+            // panels.
+            if j < n {
+                let mut panel = [0.0f32; FUSED_PANEL];
+                let mut tail_acc = [0.0f32; FUSED_ROWS];
+                for jj in j..n {
+                    tail_acc[..m].fill(0.0);
+                    let mut k0 = 0usize;
+                    while k0 < k {
+                        let k1 = (k0 + FUSED_PANEL).min(k);
+                        let plen = k1 - k0;
+                        self.unpack_dequant_row_range(jj, k0, k1, &mut panel[..plen]);
+                        for (i, t) in tail_acc.iter_mut().enumerate().take(m) {
+                            let mut s = *t;
+                            for (&x, &y) in a.row(i_base + i)[k0..k1].iter().zip(&panel[..plen]) {
+                                s += x * y;
+                            }
+                            *t = s;
+                        }
+                        k0 = k1;
+                    }
+                    for (i, &t) in tail_acc.iter().enumerate().take(m) {
+                        out.row_mut(i_base + i)[jj] = t;
+                    }
                 }
             }
+            i_base += m;
         }
     }
 

@@ -228,6 +228,10 @@ pub(crate) mod x86 {
     /// Requires AVX; every `rows[u]` must have at least `kb + 8` elements.
     #[inline]
     #[target_feature(enable = "avx")]
+    // SAFETY: the caller guarantees AVX and `kb + 8 <= rows[u].len()` for
+    // every `u`, so each `loadu` reads 8 in-bounds floats from
+    // `rows[u].as_ptr().add(kb)`; `loadu` has no alignment requirement,
+    // and the shuffles operate purely on register values.
     unsafe fn transpose_8x8(rows: &[&[f32]; 8], kb: usize) -> [__m256; 8] {
         let r0 = _mm256_loadu_ps(rows[0].as_ptr().add(kb));
         let r1 = _mm256_loadu_ps(rows[1].as_ptr().add(kb));
@@ -273,6 +277,9 @@ pub(crate) mod x86 {
     /// Requires SSE2; every `rows[u]` must have at least `kb + 4` elements.
     #[inline]
     #[target_feature(enable = "sse2")]
+    // SAFETY: the caller guarantees SSE2, `rows.len() >= 4`, and
+    // `kb + 4 <= rows[u].len()`, so each unaligned `loadu` reads 4
+    // in-bounds floats; everything after the loads is register-only.
     unsafe fn transpose_4x4(rows: &[&[f32]], kb: usize) -> [__m128; 4] {
         let r0 = _mm_loadu_ps(rows[0].as_ptr().add(kb));
         let r1 = _mm_loadu_ps(rows[1].as_ptr().add(kb));
@@ -298,6 +305,11 @@ pub(crate) mod x86 {
     /// Requires AVX2; every `rows[u]` must have at least `a_row.len()`
     /// elements.
     #[target_feature(enable = "avx,avx2")]
+    // SAFETY: the caller guarantees AVX2 and `rows[u].len() >= k`. The
+    // vector loop only runs while `kb + 8 <= k`, so `transpose_8x8(rows,
+    // kb)` reads in-bounds and `a_row.get_unchecked(kb + t)` (t < 8) stays
+    // below `k = a_row.len()`. `acc` is `&mut [f32; 8]`: exactly one
+    // unaligned 8-lane load and store.
     pub unsafe fn nt_micro_1x8_avx2(a_row: &[f32], rows: &[&[f32]; 8], acc: &mut [f32; 8]) {
         let k = a_row.len();
         let mut va = _mm256_loadu_ps(acc.as_ptr());
@@ -328,6 +340,11 @@ pub(crate) mod x86 {
     /// Requires AVX2; `a0.len() == a1.len()` and every `rows[u]` must have
     /// at least `a0.len()` elements.
     #[target_feature(enable = "avx,avx2")]
+    // SAFETY: the caller guarantees AVX2, `a0.len() == a1.len()`, and
+    // `rows[u].len() >= k`. `kb + 8 <= k` bounds both
+    // `get_unchecked(kb + t)` reads (t < 8) and the `transpose_8x8` loads;
+    // `acc0`/`acc1` are `&mut [f32; 8]`, so the unaligned 8-lane
+    // loads/stores cover exactly their extent.
     pub unsafe fn nt_micro_2x8_avx2(
         a0: &[f32],
         a1: &[f32],
@@ -369,6 +386,10 @@ pub(crate) mod x86 {
     /// Requires SSE2; every `rows[u]` must have at least `a_row.len()`
     /// elements.
     #[target_feature(enable = "sse2")]
+    // SAFETY: the caller guarantees SSE2 and `rows[u].len() >= k`. The
+    // loop condition `kb + 4 <= k` bounds the `transpose_4x4` loads and
+    // `a_row.get_unchecked(kb + t)` (t < 4); `acc` is `&mut [f32; 8]`, so
+    // the two half loads/stores at offsets 0 and 4 are in-bounds.
     pub unsafe fn nt_micro_1x8_sse2(a_row: &[f32], rows: &[&[f32]; 8], acc: &mut [f32; 8]) {
         let k = a_row.len();
         let mut lo = _mm_loadu_ps(acc.as_ptr());
@@ -401,6 +422,10 @@ pub(crate) mod x86 {
     /// Requires SSE2; `a0.len() == a1.len()` and every `rows[u]` must have
     /// at least `a0.len()` elements.
     #[target_feature(enable = "sse2")]
+    // SAFETY: the caller guarantees SSE2, `a0.len() == a1.len()`, and
+    // `rows[u].len() >= k`. `kb + 4 <= k` bounds the `transpose_4x4`
+    // loads and both `get_unchecked(kb + t)` reads (t < 4); the four
+    // half loads/stores cover exactly the `[f32; 8]` accumulators.
     pub unsafe fn nt_micro_2x8_sse2(
         a0: &[f32],
         a1: &[f32],
@@ -449,6 +474,10 @@ pub(crate) mod x86 {
     ///
     /// Requires AVX2; `x` must have at least `out.len()` elements.
     #[target_feature(enable = "avx,avx2")]
+    // SAFETY: the caller guarantees AVX2 and `x.len() >= out.len()`. The
+    // vector loop runs only while `j + 8 <= out.len()`, so the unaligned
+    // loads from `x` and `out` and the store to `out` at offset `j` all
+    // cover in-bounds 8-float windows; the tail is safe indexing.
     pub unsafe fn axpy_avx2(a: f32, x: &[f32], out: &mut [f32]) {
         let n = out.len();
         let va = _mm256_set1_ps(a);
@@ -473,6 +502,9 @@ pub(crate) mod x86 {
     ///
     /// Requires SSE2; `x` must have at least `out.len()` elements.
     #[target_feature(enable = "sse2")]
+    // SAFETY: the caller guarantees SSE2 and `x.len() >= out.len()`;
+    // `j + 4 <= out.len()` bounds every unaligned 4-float load and store
+    // at offset `j`, and the tail is safe indexing.
     pub unsafe fn axpy_sse2(a: f32, x: &[f32], out: &mut [f32]) {
         let n = out.len();
         let va = _mm_set1_ps(a);
@@ -497,6 +529,10 @@ pub(crate) mod x86 {
     /// Requires AVX2; every `sel[u]` must have at least `out.len()`
     /// elements.
     #[target_feature(enable = "avx,avx2")]
+    // SAFETY: the caller guarantees AVX2 and `sel[u].len() >= out.len()`
+    // for all four `u`. `j + 8 <= out.len()` bounds the unaligned loads
+    // from `out` and each `sel[u]` and the store to `out` at offset `j`;
+    // the tail is safe indexing.
     pub unsafe fn wr_block_avx2(wv: &[f32; 4], sel: &[&[f32]; 4], out: &mut [f32]) {
         let n = out.len();
         let w0 = _mm256_set1_ps(wv[0]);
@@ -541,6 +577,9 @@ pub(crate) mod x86 {
     /// Requires SSE2; every `sel[u]` must have at least `out.len()`
     /// elements.
     #[target_feature(enable = "sse2")]
+    // SAFETY: the caller guarantees SSE2 and `sel[u].len() >= out.len()`
+    // for all four `u`; `j + 4 <= out.len()` bounds every unaligned load
+    // and store at offset `j`, and the tail is safe indexing.
     pub unsafe fn wr_block_sse2(wv: &[f32; 4], sel: &[&[f32]; 4], out: &mut [f32]) {
         let n = out.len();
         let w0 = _mm_set1_ps(wv[0]);

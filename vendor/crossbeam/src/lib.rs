@@ -3,11 +3,12 @@
 //!
 //! The workspace uses exactly two pieces of crossbeam:
 //!
-//! * [`channel::bounded`] / [`channel::unbounded`] MPMC channels — mapped to
-//!   `std::sync::mpsc` (`sync_channel` / `channel`) with the `Receiver`
-//!   wrapped in an `Arc<Mutex<…>>` so it is `Clone`, matching crossbeam's
-//!   multi-consumer capability (the native pipeline's compute worker pool
-//!   shares one task receiver).
+//! * [`channel::bounded`] / [`channel::unbounded`] MPMC channels — a ring
+//!   buffer (`VecDeque`) under a mutex with two condvars. Unlike
+//!   `std::sync::mpsc`, which allocates a list node per message, sends into
+//!   the pre-reserved ring are allocation-free at steady state — required
+//!   by the native pipeline's zero-allocation decode invariant (pinned by
+//!   the `alloc_pin` test in `klotski-analyze`).
 //! * [`scope`] — mapped to `std::thread::scope`. Spawn closures receive a
 //!   placeholder `()` argument where crossbeam passes the scope handle; the
 //!   workspace's closures ignore it (`|_|`).
@@ -16,82 +17,155 @@ use std::any::Any;
 
 /// Multi-producer, multi-consumer channels.
 pub mod channel {
-    use std::sync::{mpsc, Arc, Mutex};
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
 
     pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
 
-    enum SenderInner<T> {
-        Unbounded(mpsc::Sender<T>),
-        Bounded(mpsc::SyncSender<T>),
+    /// Initial ring capacity. Deep enough for every queue the native
+    /// pipeline keeps in flight during decode, so the ring never grows
+    /// after construction; a deeper bounded channel reserves its full
+    /// bound up front instead.
+    const INITIAL_DEPTH: usize = 32;
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Shared<T> {
+        state: Mutex<State<T>>,
+        /// `Some(bound)` for bounded channels (`send` blocks while full).
+        cap: Option<usize>,
+        not_empty: Condvar,
+        not_full: Condvar,
     }
 
     /// The sending half of a channel. Cloneable; `send` blocks when a
     /// bounded channel is full.
-    pub struct Sender<T>(SenderInner<T>);
+    pub struct Sender<T>(Arc<Shared<T>>);
 
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
-            Sender(match &self.0 {
-                SenderInner::Unbounded(s) => SenderInner::Unbounded(s.clone()),
-                SenderInner::Bounded(s) => SenderInner::Bounded(s.clone()),
-            })
+            self.0.state.lock().expect("channel lock").senders += 1;
+            Sender(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = self.0.state.lock().expect("channel lock");
+            st.senders -= 1;
+            if st.senders == 0 {
+                // Wake blocked receivers so they observe disconnection.
+                self.0.not_empty.notify_all();
+            }
         }
     }
 
     impl<T> Sender<T> {
         /// Sends `value`, blocking on a full bounded channel. Errors only
-        /// when the receiver is gone.
+        /// when every receiver is gone.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-            match &self.0 {
-                SenderInner::Unbounded(s) => s.send(value),
-                SenderInner::Bounded(s) => s.send(value),
+            let mut st = self.0.state.lock().expect("channel lock");
+            if let Some(cap) = self.0.cap {
+                // `cap == 0` (rendezvous) is unused in this workspace;
+                // treat it as a one-slot channel.
+                while st.queue.len() >= cap.max(1) {
+                    if st.receivers == 0 {
+                        return Err(SendError(value));
+                    }
+                    st = self.0.not_full.wait(st).expect("channel lock");
+                }
             }
+            if st.receivers == 0 {
+                return Err(SendError(value));
+            }
+            st.queue.push_back(value);
+            self.0.not_empty.notify_one();
+            Ok(())
         }
     }
 
     /// The receiving half of a channel. Cloneable: clones share the same
-    /// stream, and each message is delivered to exactly one receiver —
-    /// crossbeam's MPMC work-queue semantics (backed by a mutex over the
-    /// single `std::sync::mpsc` consumer).
-    pub struct Receiver<T>(Arc<Mutex<mpsc::Receiver<T>>>);
+    /// ring, and each message is delivered to exactly one receiver —
+    /// crossbeam's MPMC work-queue semantics.
+    pub struct Receiver<T>(Arc<Shared<T>>);
 
     impl<T> Clone for Receiver<T> {
         fn clone(&self) -> Self {
+            self.0.state.lock().expect("channel lock").receivers += 1;
             Receiver(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut st = self.0.state.lock().expect("channel lock");
+            st.receivers -= 1;
+            if st.receivers == 0 {
+                // Wake blocked senders so they observe disconnection.
+                self.0.not_full.notify_all();
+            }
         }
     }
 
     impl<T> Receiver<T> {
         /// Blocks until a value arrives. Errors only when every sender is
-        /// gone and the channel is drained. When receivers are cloned, one
-        /// waiter holds the inner lock while blocking; the others queue on
-        /// the lock and take subsequent messages — every message goes to
-        /// exactly one receiver.
+        /// gone and the channel is drained.
         pub fn recv(&self) -> Result<T, RecvError> {
-            self.0.lock().expect("receiver lock").recv()
+            let mut st = self.0.state.lock().expect("channel lock");
+            loop {
+                if let Some(v) = st.queue.pop_front() {
+                    self.0.not_full.notify_one();
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = self.0.not_empty.wait(st).expect("channel lock");
+            }
         }
 
         /// Non-blocking receive.
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
-            self.0.lock().expect("receiver lock").try_recv()
+            let mut st = self.0.state.lock().expect("channel lock");
+            match st.queue.pop_front() {
+                Some(v) => {
+                    self.0.not_full.notify_one();
+                    Ok(v)
+                }
+                None if st.senders == 0 => Err(TryRecvError::Disconnected),
+                None => Err(TryRecvError::Empty),
+            }
         }
     }
 
-    fn wrap<T>(rx: mpsc::Receiver<T>) -> Receiver<T> {
-        Receiver(Arc::new(Mutex::new(rx)))
+    fn channel<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let depth = cap.unwrap_or(0).max(INITIAL_DEPTH);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::with_capacity(depth),
+                senders: 1,
+                receivers: 1,
+            }),
+            cap,
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
+        (Sender(Arc::clone(&shared)), Receiver(shared))
     }
 
     /// Creates a channel with unlimited buffering.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
-        let (tx, rx) = mpsc::channel();
-        (Sender(SenderInner::Unbounded(tx)), wrap(rx))
+        channel(None)
     }
 
     /// Creates a channel holding at most `cap` in-flight values; `send`
-    /// blocks while full (`cap == 0` is a rendezvous channel).
+    /// blocks while full.
     pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
-        let (tx, rx) = mpsc::sync_channel(cap);
-        (Sender(SenderInner::Bounded(tx)), wrap(rx))
+        channel(Some(cap))
     }
 }
 
@@ -210,5 +284,22 @@ mod tests {
         let count: u32 = totals.iter().map(|&(_, c)| c).sum();
         assert_eq!(sum, (0..100).sum::<u32>(), "messages lost or duplicated");
         assert_eq!(count, 100);
+    }
+
+    #[test]
+    fn disconnection_is_observed() {
+        use super::channel::TryRecvError;
+        let (tx, rx) = unbounded::<u8>();
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        tx.send(7).unwrap();
+        drop(tx);
+        // Queued values drain before disconnection surfaces.
+        assert_eq!(rx.try_recv(), Ok(7));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+        assert!(rx.recv().is_err());
+
+        let (tx, rx) = bounded::<u8>(1);
+        drop(rx);
+        assert!(tx.send(1).is_err(), "send fails with no receivers");
     }
 }
