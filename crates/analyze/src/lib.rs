@@ -41,7 +41,11 @@ pub struct CrateCount {
     pub krate: String,
     /// Measured non-test unwrap/expect sites.
     pub sites: usize,
-    /// Ratchet ceiling, if the crate is registered.
+    /// Non-test, non-blank code lines — the density denominator.
+    pub code_lines: usize,
+    /// Measured density, in sites per 10k non-test lines (rounded up).
+    pub density: usize,
+    /// Ratchet density ceiling, if the crate is registered.
     pub ceiling: Option<usize>,
 }
 
@@ -132,7 +136,7 @@ pub fn analyze_workspace(root: &Path) -> io::Result<Report> {
     }
 
     let mut report = Report::default();
-    let mut panic_counts: Vec<(String, usize)> = Vec::new();
+    let mut panic_counts: Vec<(String, usize, usize)> = Vec::new();
     for file in &files {
         let rel = rel_path(root, file);
         let src = fs::read_to_string(file)?;
@@ -140,15 +144,19 @@ pub fn analyze_workspace(root: &Path) -> io::Result<Report> {
         report.findings.extend(file_rep.findings);
         report.files_scanned += 1;
         let key = crate_key(&rel);
-        match panic_counts.iter_mut().find(|(k, _)| *k == key) {
-            Some((_, n)) => *n += file_rep.panic_sites,
-            None => panic_counts.push((key, file_rep.panic_sites)),
+        match panic_counts.iter_mut().find(|(k, _, _)| *k == key) {
+            Some((_, n, loc)) => {
+                *n += file_rep.panic_sites;
+                *loc += file_rep.code_lines;
+            }
+            None => panic_counts.push((key, file_rep.panic_sites, file_rep.code_lines)),
         }
     }
 
     panic_counts.sort();
-    for (krate, sites) in panic_counts {
+    for (krate, sites, code_lines) in panic_counts {
         let ceiling = ratchet::ceiling(&krate);
+        let density = ratchet::density_per_10k(sites, code_lines);
         match ceiling {
             None => report.findings.push(Finding {
                 path: format!("crates/{krate}"),
@@ -158,12 +166,13 @@ pub fn analyze_workspace(root: &Path) -> io::Result<Report> {
                     "crate `{krate}` has no panic-ratchet ceiling; add it to crates/analyze/src/ratchet.rs"
                 ),
             }),
-            Some(max) if sites > max => report.findings.push(Finding {
+            Some(max) if density > max => report.findings.push(Finding {
                 path: format!("crates/{krate}"),
                 line: 0,
                 rule: rules::RULE_PANIC,
                 message: format!(
-                    "crate `{krate}` has {sites} non-test unwrap/expect sites, over its ratchet ceiling of {max}"
+                    "crate `{krate}` has {sites} non-test unwrap/expect sites in {code_lines} lines \
+                     ({density}/10k), over its ratchet density ceiling of {max}/10k"
                 ),
             }),
             Some(_) => {}
@@ -171,6 +180,8 @@ pub fn analyze_workspace(root: &Path) -> io::Result<Report> {
         report.panics.push(CrateCount {
             krate,
             sites,
+            code_lines,
+            density,
             ceiling,
         });
     }
@@ -187,13 +198,18 @@ pub fn render(report: &Report) -> String {
         report.files_scanned,
         report.findings.len()
     ));
-    out.push_str("panic ratchet (non-test unwrap/expect sites / ceiling):\n");
+    out.push_str(
+        "panic ratchet (non-test unwrap/expect density, sites per 10k lines / ceiling):\n",
+    );
     for c in &report.panics {
         match c.ceiling {
-            Some(max) => out.push_str(&format!("  {:<12} {:>3} / {}\n", c.krate, c.sites, max)),
+            Some(max) => out.push_str(&format!(
+                "  {:<12} {:>3} sites / {:>5} lines = {:>3} / {}\n",
+                c.krate, c.sites, c.code_lines, c.density, max
+            )),
             None => out.push_str(&format!(
-                "  {:<12} {:>3} / (unregistered)\n",
-                c.krate, c.sites
+                "  {:<12} {:>3} sites / {:>5} lines = {:>3} / (unregistered)\n",
+                c.krate, c.sites, c.code_lines, c.density
             )),
         }
     }

@@ -1,36 +1,51 @@
 //! Per-crate panic-density ratchet.
 //!
-//! Each entry is the maximum number of non-test `.unwrap()` / `.expect(`
-//! sites the crate may contain. The ceilings are set to the measured
-//! count at the time they were last touched, so the density can only go
-//! down: new panic sites fail `--deny`, and removing sites should be
+//! Each entry is the maximum *density* of non-test `.unwrap()` /
+//! `.expect(` sites the crate may contain, in sites per 10,000 non-test
+//! code lines (tenths of sites-per-KLoC: a ceiling of 45 reads as 4.5
+//! sites per KLoC). Density, not an absolute count, so a crate that
+//! doubles in size with the same habits neither trips the ratchet nor
+//! earns free panic headroom from sheer growth — the ceiling tracks
+//! discipline, not volume.
+//!
+//! The ceilings are pinned to the measured density at the time they were
+//! last touched, so the density can only go down: new panic sites fail
+//! `--deny`, and removing sites (or adding panic-free code) should be
 //! followed by lowering the ceiling here. A crate with no entry fails
 //! analysis outright — new crates must opt in explicitly.
 
 pub const PANIC_CEILINGS: &[(&str, usize)] = &[
     ("analyze", 0),
-    ("baselines", 11),
-    ("bench", 20),
-    ("core", 21),
+    ("baselines", 116),
+    ("bench", 84),
+    ("core", 86),
     // The facade crate re-exports only.
     ("klotski", 0),
     ("model", 0),
     // Two `expect`s with documented invariants (h2o eviction, argmax on
     // a non-empty vocabulary).
-    ("moe", 2),
-    ("serve", 17),
-    ("sim", 4),
+    ("moe", 18),
+    ("serve", 70),
+    ("sim", 40),
     // One infallible `chunks_exact(8) -> try_into` conversion.
-    ("tensor", 1),
+    ("tensor", 7),
 ];
 
-/// Looks up the ceiling for a crate key (`crates/<key>/...`, or
-/// `klotski` for the root facade sources).
+/// Looks up the density ceiling for a crate key (`crates/<key>/...`, or
+/// `klotski` for the root facade sources), in sites per 10k lines.
 pub fn ceiling(krate: &str) -> Option<usize> {
     PANIC_CEILINGS
         .iter()
         .find(|(k, _)| *k == krate)
         .map(|&(_, c)| c)
+}
+
+/// Measured density in the ratchet's unit: sites per 10,000 non-test
+/// code lines, rounded up so a single site in a tiny crate never rounds
+/// to a free zero.
+pub fn density_per_10k(sites: usize, code_lines: usize) -> usize {
+    let loc = code_lines.max(1);
+    (sites * 10_000).div_ceil(loc)
 }
 
 #[cfg(test)]
@@ -46,7 +61,17 @@ mod tests {
 
     #[test]
     fn lookup_hits_and_misses() {
-        assert_eq!(ceiling("tensor"), Some(1));
+        assert_eq!(ceiling("tensor"), Some(7));
         assert_eq!(ceiling("nonexistent"), None);
+    }
+
+    #[test]
+    fn density_rounds_up_and_survives_empty_crates() {
+        assert_eq!(density_per_10k(0, 0), 0);
+        assert_eq!(density_per_10k(0, 5_000), 0);
+        assert_eq!(density_per_10k(1, 10_000), 1);
+        assert_eq!(density_per_10k(1, 9_999), 2, "rounds up, not down");
+        assert_eq!(density_per_10k(3, 1_000), 30);
+        assert_eq!(density_per_10k(2, 0), 20_000, "zero-line guard");
     }
 }

@@ -75,6 +75,10 @@ pub struct FileReport {
     pub findings: Vec<Finding>,
     /// Non-test `.unwrap()` / `.expect(` sites, for the panic ratchet.
     pub panic_sites: usize,
+    /// Non-test, non-blank code lines — the denominator of the panic
+    /// density ratchet. Comment-only lines do not count: padding a file
+    /// with prose must not buy panic headroom.
+    pub code_lines: usize,
 }
 
 enum Directive {
@@ -143,6 +147,9 @@ pub fn analyze_source(rel_path: &str, src: &str) -> FileReport {
             }
             rep.panic_sites += count_token(&line.code, ".unwrap()");
             rep.panic_sites += count_token(&line.code, ".expect(");
+            if !line.code.trim().is_empty() {
+                rep.code_lines += 1;
+            }
         }
         if bit_exact_scope {
             for tok in BIT_EXACT_TOKENS {
@@ -502,6 +509,16 @@ mod tests {
         assert_eq!(
             rep.panic_sites, 2,
             "unwrap_or must not count, test unwraps must not count"
+        );
+    }
+
+    #[test]
+    fn code_lines_skip_tests_blanks_and_comment_only_lines() {
+        let src = "//! Doc header.\nfn f() {\n    let x = 1;\n}\n\n// a comment\n#[cfg(test)]\nmod tests {\n    fn g() {}\n}\n";
+        let rep = analyze_source("crates/core/src/x.rs", src);
+        assert_eq!(
+            rep.code_lines, 3,
+            "only `fn f() {{`, its body line, and its `}}` are non-test code"
         );
     }
 

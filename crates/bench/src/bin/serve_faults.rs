@@ -1,0 +1,432 @@
+//! Fault-tolerant cluster serving: fault intensity × recovery posture →
+//! goodput, loss, and SLO attainment for Mixtral-8×7B in Env 1 served by
+//! the full Klotski engine behind an autoscaled fleet.
+//!
+//! The robustness complement of `serve_cluster`: there the fleet reacts
+//! to *load*; here it must also survive *failures*. A seeded
+//! [`FaultPlan`] injects replica crashes (in-flight and queued work
+//! lost), straggler windows (a replica silently serving N× slower), and
+//! cold-start trouble (stalled or failed spawns) as deterministic
+//! simulation events. Three recovery postures face four fault tiers:
+//!
+//! * **naive** — fault-oblivious: crash-lost requests are dropped on the
+//!   spot (explicitly accounted, never silently), stragglers keep
+//!   receiving load;
+//! * **retry_health** — crash-lost requests re-enqueue with capped
+//!   exponential backoff; suspected stragglers (observed/estimated
+//!   service-time EWMA against the fleet's best) are excluded from
+//!   dispatch while healthy replicas exist;
+//! * **full** — additionally hedges stuck chat-class requests off
+//!   suspect replicas and sheds batch-class work at admission once the
+//!   per-replica backlog passes a watermark.
+//!
+//! Gates (asserted in cheap mode too): every cell resolves every request
+//! exactly once (served, dropped, or shed — conservation is absolute);
+//! at the mid tier, retry_health drops and sheds nothing while holding
+//! ≥ 80% of its own fault-free goodput, and the naive baseline provably
+//! suffers (lost requests or missed SLO).
+//!
+//! Output is deterministic under the fixed seed and ends with one JSON
+//! line per cell (committed as `BENCH_serve_faults.json`).
+//!
+//! `KLOTSKI_CHEAP=1` shrinks the sweep to CI-smoke scale.
+
+use klotski_bench::{cheap_mode, TextTable, SEED};
+use klotski_core::engine::{KlotskiConfig, KlotskiEngine};
+use klotski_core::scenario::Engine;
+use klotski_model::hardware::HardwareSpec;
+use klotski_model::spec::ModelSpec;
+use klotski_serve::admission::AdmissionPolicy;
+use klotski_serve::cluster::{
+    serve_cluster_faulty, ClusterConfig, ClusterReport, ColdStartModel, DegradationPolicy,
+    FaultPlan, FaultScenario, QueueDepthReactive, ToleranceConfig,
+};
+use klotski_serve::continuous::ClassAssign;
+use klotski_serve::dispatcher::DispatchPolicy;
+use klotski_serve::metrics::{summarize, SloSpec, SloSummary};
+use klotski_serve::server::{ServeConfig, Traffic};
+use klotski_serve::traffic::{generate, Arrivals, LengthDist, Request, TrafficConfig};
+use klotski_sim::time::SimDuration;
+
+/// Sweep parameters resolved once for cheap/full mode.
+struct Sweep {
+    batch_size: u32,
+    n_max: u32,
+    floor: u32,
+    cap: u32,
+    num_requests: u32,
+    rate: f64,
+    prompt: LengthDist,
+    gen: LengthDist,
+    tick: SimDuration,
+    slo: SloSpec,
+    admission: AdmissionPolicy,
+    coldstart: ColdStartModel,
+    high: u64,
+    low: u64,
+    patience: u32,
+    /// Fault onsets land uniformly inside this window (the arrival span,
+    /// so faults hit a loaded fleet, not the drained tail).
+    horizon: SimDuration,
+    restart_after: SimDuration,
+    /// Full posture: hedge chat requests stuck this long on a suspect.
+    hedge_after: SimDuration,
+    /// Full posture: shed batch work above this backlog per warm replica.
+    shed_watermark: u64,
+}
+
+fn sweep_params(cheap: bool) -> Sweep {
+    let n_max = if cheap { 4 } else { 8 };
+    let slo_ttft = SimDuration::from_secs(if cheap { 90 } else { 150 });
+    Sweep {
+        batch_size: if cheap { 4 } else { 8 },
+        n_max,
+        floor: 2,
+        cap: if cheap { 3 } else { 4 },
+        num_requests: if cheap { 48 } else { 240 },
+        rate: if cheap { 1.0 } else { 0.8 },
+        prompt: LengthDist::Uniform {
+            lo: if cheap { 32 } else { 64 },
+            hi: if cheap { 64 } else { 160 },
+        },
+        gen: LengthDist::Uniform { lo: 2, hi: 8 },
+        tick: SimDuration::from_secs(if cheap { 5 } else { 15 }),
+        slo: SloSpec {
+            ttft: slo_ttft,
+            tpot: SimDuration::from_secs(8),
+        },
+        admission: AdmissionPolicy::Deadline {
+            n: n_max,
+            deadline: slo_ttft / 6,
+        },
+        coldstart: ColdStartModel::Fixed(SimDuration::from_secs(if cheap { 10 } else { 20 })),
+        high: if cheap { 600 } else { 1600 },
+        low: if cheap { 100 } else { 400 },
+        patience: 2,
+        horizon: SimDuration::from_secs(if cheap { 40 } else { 250 }),
+        restart_after: SimDuration::from_secs(if cheap { 15 } else { 30 }),
+        hedge_after: slo_ttft / 4,
+        shed_watermark: if cheap { 700 } else { 2_000 },
+    }
+}
+
+/// Fault tiers, in rising intensity. `none` is the fault-free anchor the
+/// recovery gate measures against.
+const TIERS: [&str; 4] = ["none", "low", "mid", "high"];
+
+fn make_plan(tier: &str, sweep: &Sweep) -> FaultPlan {
+    let base = FaultScenario {
+        seed: SEED ^ 0x5eed_fa17,
+        horizon: sweep.horizon,
+        crashes: 0,
+        restart_after: Some(sweep.restart_after),
+        degraded: 0,
+        slowdown_pct: 300,
+        degrade_width: sweep.horizon / 4,
+        coldstart_stalls: 0,
+        coldstart_stall: SimDuration::from_secs(10),
+        coldstart_fails: 0,
+    };
+    match tier {
+        "none" => FaultPlan::none(),
+        "low" => FaultPlan::generate(&FaultScenario {
+            crashes: 1,
+            degraded: 1,
+            slowdown_pct: 200,
+            ..base
+        }),
+        "mid" => FaultPlan::generate(&FaultScenario {
+            crashes: 2,
+            degraded: 1,
+            coldstart_stalls: 1,
+            ..base
+        }),
+        "high" => FaultPlan::generate(&FaultScenario {
+            crashes: 3,
+            degraded: 2,
+            slowdown_pct: 400,
+            coldstart_stalls: 1,
+            coldstart_fails: 1,
+            ..base
+        }),
+        other => panic!("unknown fault tier {other}"),
+    }
+}
+
+/// The recovery postures, in presentation order.
+const MODES: [&str; 3] = ["naive", "retry_health", "full"];
+
+fn make_tolerance(mode: &str, sweep: &Sweep) -> ToleranceConfig {
+    match mode {
+        "naive" => ToleranceConfig::naive(),
+        "retry_health" => ToleranceConfig::default(),
+        "full" => ToleranceConfig {
+            hedge_after: Some(sweep.hedge_after),
+            degradation: DegradationPolicy::ShedBatchOver {
+                backlog_per_replica: sweep.shed_watermark,
+            },
+            classes: ClassAssign::ChatShare { chat_pct: 70 },
+            ..ToleranceConfig::default()
+        },
+        other => panic!("unknown tolerance mode {other}"),
+    }
+}
+
+struct Cell {
+    tier: &'static str,
+    mode: &'static str,
+    report: ClusterReport,
+    summary: SloSummary,
+}
+
+impl Cell {
+    fn attainment(&self) -> f64 {
+        if self.summary.requests == 0 {
+            1.0
+        } else {
+            self.summary.slo_met as f64 / self.summary.requests as f64
+        }
+    }
+
+    fn served(&self) -> usize {
+        self.summary.requests - self.summary.dropped - self.summary.shed
+    }
+}
+
+fn run_cell(
+    engine: &dyn Engine,
+    sweep: &Sweep,
+    stream: &[Request],
+    tier: &'static str,
+    mode: &'static str,
+) -> Cell {
+    let spec = ModelSpec::mixtral_8x7b();
+    let hw = HardwareSpec::env1_rtx3090();
+    let cfg = ClusterConfig {
+        serve: ServeConfig {
+            batch_size: sweep.batch_size,
+            policy: sweep.admission,
+            seed: SEED,
+        },
+        dispatch: DispatchPolicy::JoinShortestQueue,
+        coldstart: sweep.coldstart,
+        tick: sweep.tick,
+        slo: sweep.slo,
+    };
+    let plan = make_plan(tier, sweep);
+    let tol = make_tolerance(mode, sweep);
+    let report = serve_cluster_faulty(
+        engine,
+        &spec,
+        &hw,
+        &Traffic::Open(stream.to_vec()),
+        &cfg,
+        &mut QueueDepthReactive::new(
+            sweep.floor,
+            sweep.cap,
+            sweep.high,
+            sweep.low,
+            sweep.patience,
+        ),
+        &plan,
+        &tol,
+    )
+    .expect("serve_cluster_faulty run");
+    let summary = summarize(&report.serve, &sweep.slo);
+    Cell {
+        tier,
+        mode,
+        report,
+        summary,
+    }
+}
+
+fn json_line(c: &Cell, mode_label: &str) -> String {
+    let s = &c.summary;
+    let f = &c.report.faults;
+    format!(
+        "{{\"bench\":\"serve_faults\",\"mode\":\"{}\",\"tier\":\"{}\",\"tolerance\":\"{}\",\
+         \"seed\":{},\"requests\":{},\"served\":{},\"dropped\":{},\"shed\":{},\"retried\":{},\
+         \"slo_met\":{},\"attainment\":{:.4},\"goodput_tps\":{:.3},\"throughput_tps\":{:.3},\
+         \"crashes\":{},\"lost_inflight\":{},\"lost_queued\":{},\"restarts\":{},\"degraded\":{},\
+         \"hedges\":{},\"stalled\":{},\"coldstart_stalls\":{},\"coldstart_failures\":{},\
+         \"wasted_busy_s\":{:.3},\"retry_tokens\":{},\"replica_hours\":{:.4},\"makespan_s\":{:.1}}}",
+        mode_label,
+        c.tier,
+        c.mode,
+        SEED,
+        s.requests,
+        c.served(),
+        s.dropped,
+        s.shed,
+        s.retried,
+        s.slo_met,
+        c.attainment(),
+        s.goodput_tps,
+        s.throughput_tps,
+        f.crashes,
+        f.lost_inflight,
+        f.lost_queued,
+        f.restarts,
+        f.degraded,
+        f.hedges,
+        f.stalled,
+        f.coldstart_stalls,
+        f.coldstart_failures,
+        f.wasted_busy.as_secs_f64(),
+        s.retry_tokens,
+        c.report.serve.replica_hours(),
+        c.report.serve.makespan.as_secs_f64(),
+    )
+}
+
+fn print_panel(cells: &[Cell]) {
+    let mut table = TextTable::new([
+        "tolerance",
+        "served",
+        "dropped",
+        "shed",
+        "retried",
+        "SLO met",
+        "attain",
+        "goodput",
+        "crashes",
+        "wasted",
+    ]);
+    for c in cells {
+        table.row([
+            c.mode.to_owned(),
+            format!("{}/{}", c.served(), c.summary.requests),
+            format!("{}", c.summary.dropped),
+            format!("{}", c.summary.shed),
+            format!("{}", c.summary.retried),
+            format!("{}/{}", c.summary.slo_met, c.summary.requests),
+            format!("{:.3}", c.attainment()),
+            format!("{:.2}", c.summary.goodput_tps),
+            format!("{}", c.report.faults.crashes),
+            format!("{:.1}s", c.report.faults.wasted_busy.as_secs_f64()),
+        ]);
+    }
+    table.print();
+}
+
+fn find<'a>(cells: &'a [Cell], tier: &str, mode: &str) -> &'a Cell {
+    cells
+        .iter()
+        .find(|c| c.tier == tier && c.mode == mode)
+        .expect("swept cell")
+}
+
+fn main() {
+    let cheap = cheap_mode();
+    let sweep = sweep_params(cheap);
+    let engine = KlotskiEngine::new(KlotskiConfig::full());
+    let mut cells: Vec<Cell> = Vec::new();
+
+    println!(
+        "== serve_faults: Mixtral-8x7B Env 1, Klotski engine, fleet {}..{}, bs {}, n <= {}, \
+         deadline admission, jsq dispatch, tick {} ==",
+        sweep.floor, sweep.cap, sweep.batch_size, sweep.n_max, sweep.tick
+    );
+    println!(
+        "(SLO: TTFT <= {}, TPOT <= {}; cold start {}; crashes replaced after {})",
+        sweep.slo.ttft,
+        sweep.slo.tpot,
+        sweep.coldstart.label(),
+        sweep.restart_after,
+    );
+
+    let stream = generate(
+        Arrivals::Poisson { rate: sweep.rate },
+        &TrafficConfig {
+            num_requests: sweep.num_requests,
+            prompt: sweep.prompt,
+            gen: sweep.gen,
+            seed: SEED,
+        },
+    );
+
+    for tier in TIERS {
+        let plan = make_plan(tier, &sweep);
+        println!(
+            "\n==== tier {tier}: {} fault(s) planned ====",
+            plan.faults.len()
+        );
+        let panel: Vec<Cell> = MODES
+            .into_iter()
+            .map(|mode| run_cell(&engine, &sweep, &stream, tier, mode))
+            .collect();
+        print_panel(&panel);
+        cells.extend(panel);
+    }
+
+    // ---- Gate 1 (always): absolute request conservation ---------------
+    // Every cell resolves every request exactly once: served, explicitly
+    // dropped, or explicitly shed. No silent loss, no duplicates.
+    for c in &cells {
+        assert_eq!(
+            c.summary.requests as u32, sweep.num_requests,
+            "{}/{}: request conservation",
+            c.tier, c.mode
+        );
+        let ids: Vec<u64> = c.report.serve.outcomes.iter().map(|o| o.id).collect();
+        let expected: Vec<u64> = (0..u64::from(sweep.num_requests)).collect();
+        assert_eq!(
+            ids, expected,
+            "{}/{}: exactly-once resolution",
+            c.tier, c.mode
+        );
+    }
+    println!("\nevery cell resolves every request exactly once: confirmed");
+
+    // ---- Gate 2 (always): retry+health loses nothing at the mid tier --
+    // The tolerant posture serves every request (no drops within the
+    // retry budget, nothing shed) and recovers >= 80% of its own
+    // fault-free goodput despite two crashes and a straggler window.
+    let anchor = find(&cells, "none", "retry_health");
+    let mid = find(&cells, "mid", "retry_health");
+    assert_eq!(
+        (mid.summary.dropped, mid.summary.shed),
+        (0, 0),
+        "retry_health must serve every request at the mid tier"
+    );
+    assert!(
+        mid.summary.retried > 0,
+        "the mid tier must actually lose and re-serve work"
+    );
+    assert!(
+        mid.summary.goodput_tps >= 0.8 * anchor.summary.goodput_tps,
+        "retry_health must recover >= 80% of fault-free goodput at the mid tier: \
+         {:.3} vs {:.3} tok/s",
+        mid.summary.goodput_tps,
+        anchor.summary.goodput_tps,
+    );
+    println!(
+        "mid tier: retry_health serves {}/{} with {} retries at {:.2} tok/s \
+         ({:.0}% of fault-free {:.2}): confirmed",
+        mid.served(),
+        mid.summary.requests,
+        mid.summary.retried,
+        mid.summary.goodput_tps,
+        100.0 * mid.summary.goodput_tps / anchor.summary.goodput_tps,
+        anchor.summary.goodput_tps,
+    );
+
+    // ---- Gate 3 (always): the naive baseline provably suffers ---------
+    let naive_mid = find(&cells, "mid", "naive");
+    assert!(
+        naive_mid.summary.dropped > 0 || naive_mid.summary.slo_met < naive_mid.summary.requests,
+        "the fault-oblivious baseline must lose requests or miss SLO at the mid tier"
+    );
+    println!(
+        "mid tier: naive drops {} request(s) at {:.3} attainment: confirmed",
+        naive_mid.summary.dropped,
+        naive_mid.attainment(),
+    );
+
+    let mode = if cheap { "cheap" } else { "full" };
+    println!("\n-- JSON --");
+    for c in &cells {
+        println!("{}", json_line(c, mode));
+    }
+}

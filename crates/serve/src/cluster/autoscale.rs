@@ -31,6 +31,15 @@ pub struct FleetObservation {
     pub window_finished: u32,
     /// Of those, how many met the SLO.
     pub window_slo_met: u32,
+    /// Replicas lost to injected crashes so far (cumulative). Crashed
+    /// capacity already vanished from `warm`/`warming`, so reactive
+    /// policies replace it through their normal signals; this counter
+    /// lets failure-aware policies distinguish "we scaled down" from
+    /// "we lost a replica".
+    pub crashed: u32,
+    /// Requests shed at admission since the previous tick — the pressure
+    /// signal a degradation policy exports to the autoscaler.
+    pub window_shed: u32,
 }
 
 impl FleetObservation {
@@ -269,6 +278,8 @@ mod tests {
             backlog_tokens: backlog,
             window_finished: finished,
             window_slo_met: met,
+            crashed: 0,
+            window_shed: 0,
         }
     }
 

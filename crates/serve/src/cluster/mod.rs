@@ -20,9 +20,9 @@
 //!
 //! Arrivals route through the same [`DispatchPolicy`] axis as the static
 //! dispatcher, restricted to warm replicas. Every event — arrival,
-//! formation, warm-up completion, autoscaler tick — executes in global
-//! simulated-time order with fixed tie rules, so runs are byte-
-//! deterministic; with a [`StaticFleet`] policy and a
+//! formation, warm-up completion, injected fault, autoscaler tick —
+//! executes in global simulated-time order with fixed tie rules, so runs
+//! are byte-deterministic; with a [`StaticFleet`] policy and a
 //! [`Prewarmed`](ColdStartModel::Prewarmed) cold start the loop reproduces
 //! [`serve_scaled`](crate::dispatcher::serve_scaled) byte for byte (the
 //! crate's proptests pin this).
@@ -32,14 +32,35 @@
 //! replica lifetimes span birth to retirement, so an autoscaled fleet that
 //! tracks a diurnal load pays for far fewer replica-hours than a
 //! peak-sized static fleet — the trade the `serve_cluster` bench sweeps.
+//!
+//! # Fault tolerance
+//!
+//! [`serve_cluster_faulty`] extends the loop with a deterministic failure
+//! axis (see [`faults`]): a seeded [`FaultPlan`] injects replica crashes,
+//! straggler windows, and cold-start stalls/failures as simulation events,
+//! and a [`ToleranceConfig`] chooses the recovery behavior — retry with
+//! capped exponential backoff for crash-lost requests, health-aware
+//! dispatch that excludes suspected stragglers, hedged redispatch of stuck
+//! chat-class requests, and admission-time load shedding under a
+//! [`DegradationPolicy`]. [`serve_cluster`] is the degenerate case
+//! ([`FaultPlan::none()`] with the fault-oblivious
+//! [`ToleranceConfig::naive`]) and stays byte-identical to the fault-free
+//! loop — the crate's golden pins hold it there. Every fault-touched
+//! request is accounted for explicitly in [`FaultStats`]: served after
+//! retries, dropped when the budget ran out, or shed at admission — never
+//! silently lost.
 
 pub mod autoscale;
 pub mod coldstart;
+pub mod faults;
 
 pub use autoscale::{
     AutoscalePolicy, FleetObservation, QueueDepthReactive, SloReactive, StaticFleet,
 };
 pub use coldstart::ColdStartModel;
+pub use faults::{DegradationPolicy, Fault, FaultPlan, FaultScenario, FaultStats, ToleranceConfig};
+
+use std::collections::{BTreeMap, BTreeSet};
 
 use klotski_core::scenario::{Engine, EngineError};
 use klotski_model::hardware::HardwareSpec;
@@ -47,11 +68,17 @@ use klotski_model::spec::ModelSpec;
 use klotski_sim::event::EventQueue;
 use klotski_sim::time::{SimDuration, SimTime};
 
+use crate::admission::estimate_group_service;
+use crate::continuous::RequestClass;
 use crate::dispatcher::{route_pick, DispatchPolicy, RouterState};
 use crate::metrics::SloSpec;
 use crate::server::{
-    formation_precedes, ArrivalSource, EngineCtx, Replica, ServeConfig, ServeReport, Traffic,
+    formation_precedes, ArrivalSource, EngineCtx, Replica, RequestOutcome, RetryOutcome,
+    ServeConfig, ServeReport, Traffic,
 };
+use crate::traffic::Request;
+
+use faults::{ColdFault, FaultInjector, InjectorEvent};
 
 /// Cluster serving configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -100,14 +127,18 @@ pub struct ClusterReport {
     pub spawned_total: u32,
     /// The cold-start delay every mid-run spawn paid.
     pub warmup: SimDuration,
+    /// What the injected faults did (all-zero for a fault-free run).
+    pub faults: FaultStats,
 }
 
 /// A fleet slot's lifecycle. Slots are append-only and replica ids are
 /// never reused, so scenario seed streams stay stable across scale events.
 enum SlotState {
     /// Paying the cold start; not routable. Cancelled (never-warmed)
-    /// replicas retire straight from this state.
-    Warming { ready_at: SimTime },
+    /// replicas retire straight from this state; a `doomed` warm-up is an
+    /// injected cold-start failure — the slot retires at `ready_at`
+    /// without ever serving.
+    Warming { ready_at: SimTime, doomed: bool },
     /// Routable.
     Warm,
     /// No longer routable; flushes its queue as if at end-of-stream, then
@@ -120,6 +151,31 @@ enum SlotState {
 struct Slot {
     rep: Replica,
     state: SlotState,
+    /// Straggler-detector EWMA of observed/estimated group service time,
+    /// in per-mille (1000 = exactly as estimated). Meaningless until
+    /// `h_groups` reaches the detector's minimum sample count.
+    ewma_pm: u64,
+    /// Groups this slot has dispatched (the detector's sample count).
+    h_groups: u32,
+}
+
+impl Slot {
+    fn new(rep: Replica, state: SlotState) -> Self {
+        Slot {
+            rep,
+            state,
+            ewma_pm: 0,
+            h_groups: 0,
+        }
+    }
+}
+
+/// Per-request bookkeeping for requests a fault (or stall/hedge) touched:
+/// latency clocks must run from the original arrival even though the
+/// request re-enters the queues at a later instant.
+struct RetryMeta {
+    orig_arrival: SimTime,
+    attempts: u32,
 }
 
 /// Retires a draining slot once its queue is flushed; the retirement
@@ -135,7 +191,13 @@ fn sweep_slot(s: &mut Slot) {
 }
 
 /// Snapshots the fleet for the autoscaler.
-fn observe(now: SimTime, fleet: &[Slot], window: (u32, u32)) -> FleetObservation {
+fn observe(
+    now: SimTime,
+    fleet: &[Slot],
+    window: (u32, u32),
+    crashed: u32,
+    window_shed: u32,
+) -> FleetObservation {
     let (mut warm, mut warming, mut draining) = (0, 0, 0);
     let mut queued_requests = 0u32;
     let mut backlog_tokens = 0u64;
@@ -160,7 +222,84 @@ fn observe(now: SimTime, fleet: &[Slot], window: (u32, u32)) -> FleetObservation
         backlog_tokens,
         window_finished: window.0,
         window_slo_met: window.1,
+        crashed,
+        window_shed,
     }
+}
+
+/// Appends a fresh slot at `now` (autoscaler growth or crash
+/// replacement), attaching any pending injected cold-start fault: a stall
+/// extends the warm-up, a failure dooms the slot to retire at its
+/// intended ready instant without ever serving.
+fn spawn_slot(
+    fleet: &mut Vec<Slot>,
+    warmups: &mut EventQueue<usize>,
+    injector: &mut FaultInjector,
+    stats: &mut FaultStats,
+    now: SimTime,
+    warmup: SimDuration,
+    seed: u64,
+) {
+    let i = fleet.len();
+    let mut rep = Replica::new_at(i as u32, seed, now);
+    let (extra, doomed) = match injector.on_spawn(now) {
+        None => (SimDuration::ZERO, false),
+        Some(ColdFault::Stall(extra)) => {
+            stats.coldstart_stalls += 1;
+            (extra, false)
+        }
+        Some(ColdFault::Fail) => {
+            stats.coldstart_failures += 1;
+            (SimDuration::ZERO, true)
+        }
+    };
+    let total = warmup + extra;
+    let state = if total.is_zero() {
+        if doomed {
+            rep.retire(now);
+            SlotState::Retired
+        } else {
+            SlotState::Warm
+        }
+    } else {
+        let ready_at = now + total;
+        warmups.push(ready_at, i);
+        SlotState::Warming { ready_at, doomed }
+    };
+    fleet.push(Slot::new(rep, state));
+}
+
+/// Warm slots currently suspected of straggling: their observed-vs-
+/// estimated service-time EWMA is at least `suspect_pct`% of the
+/// healthiest *qualified* warm replica's (one with enough completed
+/// groups). Comparing against the fleet minimum rather than an absolute
+/// threshold cancels any systematic engine-vs-cost-model bias — only
+/// *relative* slowness marks a straggler. The healthiest qualified slot
+/// is never suspect (the threshold is strictly above 100%), so filtering
+/// suspects always leaves a routable candidate.
+fn suspect_warm(fleet: &[Slot], tol: &ToleranceConfig) -> Vec<usize> {
+    let mut fleet_min: Option<u64> = None;
+    for s in fleet {
+        if matches!(s.state, SlotState::Warm) && s.h_groups >= tol.min_groups {
+            fleet_min = Some(fleet_min.map_or(s.ewma_pm, |m| m.min(s.ewma_pm)));
+        }
+    }
+    let Some(best) = fleet_min else {
+        return Vec::new();
+    };
+    if best == 0 {
+        return Vec::new();
+    }
+    fleet
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| {
+            matches!(s.state, SlotState::Warm)
+                && s.h_groups >= tol.min_groups
+                && u128::from(s.ewma_pm) * 100 >= u128::from(best) * u128::from(tol.suspect_pct)
+        })
+        .map(|(i, _)| i)
+        .collect()
 }
 
 /// Serves `traffic` over a dynamic fleet sized by `policy`.
@@ -170,6 +309,10 @@ fn observe(now: SimTime, fleet: &[Slot], window: (u32, u32)) -> FleetObservation
 /// running; only mid-run spawns pay `cfg.coldstart`. Scale-down never
 /// aborts work: draining replicas flush their queues before retiring, so
 /// every request is served exactly once regardless of scale events.
+///
+/// This is the fault-free loop: equivalent to [`serve_cluster_faulty`]
+/// with [`FaultPlan::none()`] and the inert [`ToleranceConfig::naive`]
+/// (byte for byte — the golden pins hold it there).
 ///
 /// # Errors
 ///
@@ -189,6 +332,57 @@ pub fn serve_cluster(
     cfg: &ClusterConfig,
     policy: &mut dyn AutoscalePolicy,
 ) -> Result<ClusterReport, EngineError> {
+    serve_cluster_faulty(
+        engine,
+        spec,
+        hw,
+        traffic,
+        cfg,
+        policy,
+        &FaultPlan::none(),
+        &ToleranceConfig::naive(),
+    )
+}
+
+/// Serves `traffic` over a dynamic fleet while `faults` injects replica
+/// crashes, straggler windows, and cold-start failures, and `tol` chooses
+/// the recovery behavior (retry/backoff, health-aware dispatch, hedging,
+/// load shedding).
+///
+/// Fault events are merged into the loop's deterministic event order
+/// (warm-up completions, then faults, then the autoscaler tick, then the
+/// serving event at each instant), so any plan's reruns are
+/// byte-identical. A crash loses the victim's queue and the unfinished
+/// part of its in-flight group; lost requests are re-enqueued after a
+/// capped exponential backoff until their retry budget runs out, at which
+/// point they are recorded as [`RetryOutcome::Dropped`] — and with
+/// `tol.max_retries == 0` (the [`naive`](ToleranceConfig::naive)
+/// baseline) every lost request is dropped on the spot. Shed and dropped
+/// requests carry sentinel outcomes (`group == u32::MAX`; a shed request
+/// also has `replica == u32::MAX` — it was never assigned one).
+///
+/// # Errors
+///
+/// Returns [`EngineError`] if the engine rejects a scenario as invalid.
+///
+/// # Panics
+///
+/// Panics like [`serve_cluster`], plus if a non-empty plan is combined
+/// with [`Traffic::Closed`] (revoking a crashed completion cannot un-issue
+/// the closed-loop follow-up it already triggered), or if
+/// `tol.health_aware` with `tol.suspect_pct <= 100` (the healthiest
+/// replica would suspect itself).
+#[allow(clippy::too_many_arguments)] // the fault axis is two orthogonal knobs
+pub fn serve_cluster_faulty(
+    engine: &dyn Engine,
+    spec: &ModelSpec,
+    hw: &HardwareSpec,
+    traffic: &Traffic,
+    cfg: &ClusterConfig,
+    policy: &mut dyn AutoscalePolicy,
+    faults: &FaultPlan,
+    tol: &ToleranceConfig,
+) -> Result<ClusterReport, EngineError> {
     assert!(cfg.serve.batch_size > 0, "batch_size must be positive");
     assert!(
         cfg.serve.policy.max_batches() > 0,
@@ -206,24 +400,45 @@ pub fn serve_cluster(
             *clients > 0 || tc.num_requests == 0,
             "closed-loop traffic needs at least one client"
         );
+        assert!(
+            faults.is_none(),
+            "fault injection requires open-loop traffic: revoking a crashed \
+             completion cannot un-issue the follow-up request it triggered"
+        );
+    }
+    if tol.health_aware {
+        assert!(
+            tol.suspect_pct > 100,
+            "suspect threshold must exceed 100% of the fleet's best"
+        );
     }
 
     let ctx = EngineCtx::new(engine, spec, hw, &cfg.serve);
     let warmup = cfg.coldstart.warmup(ctx.cost(), ctx.spec());
     let mut source = ArrivalSource::new(traffic);
+    let mut injector = FaultInjector::new(faults);
+    let mut stats = FaultStats::default();
     let initial = policy.initial().clamp(floor, cap);
     let mut fleet: Vec<Slot> = (0..initial)
-        .map(|id| Slot {
-            rep: Replica::new(id, cfg.serve.seed),
-            state: SlotState::Warm,
-        })
+        .map(|id| Slot::new(Replica::new(id, cfg.serve.seed), SlotState::Warm))
         .collect();
     let mut rr = RouterState::new();
     let mut warmups: EventQueue<usize> = EventQueue::new();
-    // Per-request SLO verdicts keyed by finish time, drained into the
-    // policy's attainment window at each tick.
-    let mut finishes: EventQueue<bool> = EventQueue::new();
+    // Per-request SLO verdicts keyed by finish time and tagged with the
+    // request's serving attempt, drained into the policy's attainment
+    // window at each tick; verdicts a crash revoked are skipped at drain.
+    let mut finishes: EventQueue<(u64, u32, bool)> = EventQueue::new();
+    let mut revoked: BTreeSet<(u64, u32)> = BTreeSet::new();
+    // Crash-lost requests waiting out their backoff, keyed by the retry
+    // instant. The queued Request carries that instant as its arrival, so
+    // a redispatched request can never form a group before the crash that
+    // necessitated it — retries are real arrivals, never backdated.
+    let mut retries: EventQueue<Request> = EventQueue::new();
+    // id → (original arrival, redispatch count) for every request a fault
+    // touched; outcomes are rewritten from this before the report is cut.
+    let mut meta: BTreeMap<u64, RetryMeta> = BTreeMap::new();
     let mut window = (0u32, 0u32);
+    let mut window_shed = 0u32;
     let mut next_tick = SimTime::ZERO + cfg.tick;
     let mut outcomes = Vec::new();
     let mut groups = Vec::new();
@@ -232,8 +447,20 @@ pub fn serve_cluster(
     let mut peak = initial;
 
     loop {
-        let next_arrival = source.peek();
-        let eos = next_arrival.is_none();
+        let next_source = source.peek();
+        let next_retry = retries.peek_time();
+        let eos = next_source.is_none() && next_retry.is_none();
+        // A retry yields to a fresh arrival at the same instant, so the
+        // fault-free arrival interleave is untouched.
+        let pop_retry = match (next_source, next_retry) {
+            (Some(s), Some(r)) => r < s,
+            (None, Some(_)) => true,
+            _ => false,
+        };
+        let next_arrival = match (next_source, next_retry) {
+            (Some(s), Some(r)) => Some(s.min(r)),
+            (s, r) => s.or(r),
+        };
         // Warm replicas form groups under the admission policy; draining
         // replicas flush as if at end-of-stream (no more work is coming
         // *to them*), never backdated before the drain mark.
@@ -252,42 +479,228 @@ pub fn serve_cluster(
                 .map(|t| (t, i))
             })
             .min();
-        let Some(form_first) = formation_precedes(next_arrival, next_form.map(|(t, _)| t)) else {
+        let serving = formation_precedes(next_arrival, next_form.map(|(t, _)| t));
+        let real_t = serving.map(|form_first| {
+            if form_first {
+                next_form.expect("formation event").0
+            } else {
+                next_arrival.expect("arrival event")
+            }
+        });
+        let next_fault = injector.peek();
+        if serving.is_none() && next_fault.is_none() {
             break;
-        };
-        let real_t = if form_first {
-            next_form.expect("formation event").0
-        } else {
-            next_arrival.expect("arrival event")
-        };
+        }
 
         // Control events run before the serving event at the same instant:
-        // warm-up completions first (so a tick at the same tick sees the
-        // replica warm), then the autoscaler tick (so it sees the fleet
-        // *before* the arrival or formation lands).
+        // warm-up completions first (so a fault or tick at the same
+        // instant sees the replica warm), then injected faults (the
+        // failure precedes the system's reaction), then the autoscaler
+        // tick (so it sees the fleet *before* the arrival or formation
+        // lands). Once the serving stream is drained, ticks stop but
+        // pending faults still fire — a late crash can revive serving by
+        // scheduling retries.
         if let Some(tw) = warmups.peek_time() {
-            if tw <= next_tick && tw <= real_t {
+            if next_fault.is_none_or(|tf| tw <= tf)
+                && real_t.is_none_or(|t| tw <= t)
+                && (serving.is_none() || tw <= next_tick)
+            {
                 let (t, i) = warmups.pop().expect("peeked warm-up");
-                if let SlotState::Warming { ready_at } = fleet[i].state {
+                if let SlotState::Warming { ready_at, doomed } = fleet[i].state {
                     debug_assert_eq!(ready_at, t, "warm-up event drifted");
-                    fleet[i].state = SlotState::Warm;
+                    if doomed {
+                        // Injected cold-start failure: the slot never
+                        // becomes routable. The autoscaler sees the
+                        // missing capacity at its next tick and replaces
+                        // it through its normal signals.
+                        fleet[i].rep.retire(t);
+                        fleet[i].state = SlotState::Retired;
+                    } else {
+                        fleet[i].state = SlotState::Warm;
+                    }
                 }
                 // A cancelled (retired-while-warming) slot just drops its
                 // stale warm-up event.
                 continue;
             }
         }
+        if let Some(tf) = next_fault {
+            if real_t.is_none_or(|t| tf <= t) && (serving.is_none() || tf <= next_tick) {
+                let (t, ev) = injector.pop();
+                debug_assert_eq!(tf, t, "fault event drifted");
+                match ev {
+                    InjectorEvent::Crash {
+                        victim,
+                        restart_after,
+                    } => {
+                        let crashable: Vec<usize> = fleet
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, s)| {
+                                matches!(s.state, SlotState::Warm | SlotState::Draining { .. })
+                            })
+                            .map(|(i, _)| i)
+                            .collect();
+                        if crashable.is_empty() {
+                            stats.fizzled += 1;
+                        } else {
+                            let i = crashable[victim as usize % crashable.len()];
+                            let loss = fleet[i].rep.crash(t);
+                            fleet[i].state = SlotState::Retired;
+                            stats.crashes += 1;
+                            stats.lost_inflight += loss.inflight.len() as u32;
+                            stats.lost_queued += loss.queued.len() as u32;
+                            stats.wasted_busy += loss.wasted;
+                            if !loss.inflight.is_empty() {
+                                // Revoke the eagerly recorded outcomes of
+                                // requests whose tokens died with the
+                                // replica — and their windowed SLO
+                                // verdicts, which the autoscaler must
+                                // never count.
+                                let lost: BTreeSet<u64> =
+                                    loss.inflight.iter().map(|r| r.id).collect();
+                                outcomes.retain(|o: &RequestOutcome| !lost.contains(&o.id));
+                                for r in &loss.inflight {
+                                    let attempt = meta.get(&r.id).map_or(0, |m| m.attempts);
+                                    revoked.insert((r.id, attempt));
+                                }
+                            }
+                            for r in loss.inflight.into_iter().chain(loss.queued) {
+                                let (orig, attempts) = meta
+                                    .get(&r.id)
+                                    .map_or((r.arrival, 0), |m| (m.orig_arrival, m.attempts));
+                                if attempts < tol.max_retries {
+                                    let next = attempts + 1;
+                                    let at = t + tol.backoff(next);
+                                    meta.insert(
+                                        r.id,
+                                        RetryMeta {
+                                            orig_arrival: orig,
+                                            attempts: next,
+                                        },
+                                    );
+                                    retries.push(at, Request { arrival: at, ..r });
+                                    stats.retries += 1;
+                                } else {
+                                    stats.dropped += 1;
+                                    outcomes.push(RequestOutcome {
+                                        id: r.id,
+                                        arrival: orig,
+                                        dispatched: t,
+                                        first_token: t,
+                                        finished: t,
+                                        prompt_len: r.prompt_len,
+                                        gen_len: r.gen_len,
+                                        group: u32::MAX,
+                                        replica: i as u32,
+                                        failed: true,
+                                        retry: RetryOutcome::Dropped,
+                                    });
+                                }
+                            }
+                            if let Some(delay) = restart_after {
+                                injector.push_restart(t + delay);
+                            }
+                        }
+                    }
+                    InjectorEvent::DegradeStart {
+                        victim,
+                        slowdown_pct,
+                        until,
+                    } => {
+                        let warm: Vec<usize> = fleet
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, s)| matches!(s.state, SlotState::Warm))
+                            .map(|(i, _)| i)
+                            .collect();
+                        if warm.is_empty() {
+                            stats.fizzled += 1;
+                        } else {
+                            let i = warm[victim as usize % warm.len()];
+                            fleet[i].rep.set_slowdown(slowdown_pct);
+                            injector.push_degrade_end(until, i);
+                            stats.degraded += 1;
+                        }
+                    }
+                    InjectorEvent::DegradeEnd { slot } => {
+                        // A crash may have retired the slot mid-window;
+                        // clearing the multiplier is then a no-op.
+                        fleet[slot].rep.set_slowdown(100);
+                    }
+                    InjectorEvent::Restart => {
+                        stats.restarts += 1;
+                        spawn_slot(
+                            &mut fleet,
+                            &mut warmups,
+                            &mut injector,
+                            &mut stats,
+                            t,
+                            warmup,
+                            cfg.serve.seed,
+                        );
+                    }
+                }
+                continue;
+            }
+        }
+        let Some(form_first) = serving else {
+            // Only faults remained; they were handled above.
+            continue;
+        };
+        let real_t = real_t.expect("serving event");
+
         if next_tick <= real_t {
             let now = next_tick;
             while finishes.peek_time().is_some_and(|t| t <= now) {
-                let (_, met) = finishes.pop().expect("peeked finish");
+                let (_, (id, attempt, met)) = finishes.pop().expect("peeked finish");
+                if revoked.contains(&(id, attempt)) {
+                    continue;
+                }
                 window.0 += 1;
                 window.1 += u32::from(met);
             }
             for s in fleet.iter_mut() {
                 sweep_slot(s);
             }
-            let obs = observe(now, &fleet, window);
+            // Hedged redispatch: chat-class requests stuck on a suspect
+            // replica for at least `hedge_after` move to the healthiest
+            // warm replica before the policy observes the fleet. The
+            // request *moves* — it is never duplicated — so service stays
+            // exactly-once; its queue clock restarts at the tick (never
+            // backdated), while its latency clock keeps running from the
+            // original arrival via `meta`.
+            if tol.health_aware {
+                if let Some(hedge_after) = tol.hedge_after {
+                    let sus = suspect_warm(&fleet, tol);
+                    if !sus.is_empty() {
+                        let target = fleet
+                            .iter()
+                            .enumerate()
+                            .filter(|(i, s)| matches!(s.state, SlotState::Warm) && !sus.contains(i))
+                            .min_by_key(|(i, s)| (s.rep.backlog_tokens(now), *i))
+                            .map(|(i, _)| i);
+                        if let Some(ti) = target {
+                            let mut moved = Vec::new();
+                            for &si in &sus {
+                                moved.extend(fleet[si].rep.take_queued_where(&mut |r| {
+                                    tol.classes.class_of(r.id) == RequestClass::Chat
+                                        && now.saturating_since(r.arrival) >= hedge_after
+                                }));
+                            }
+                            for r in moved {
+                                stats.hedges += 1;
+                                meta.entry(r.id).or_insert(RetryMeta {
+                                    orig_arrival: r.arrival,
+                                    attempts: 0,
+                                });
+                                fleet[ti].rep.enqueue(Request { arrival: now, ..r });
+                            }
+                        }
+                    }
+                }
+            }
+            let obs = observe(now, &fleet, window, stats.crashes, window_shed);
             let provisioned = obs.provisioned();
             let desired = policy.desired(&obs).clamp(floor, cap);
             if desired > provisioned {
@@ -308,21 +721,15 @@ pub fn serve_cluster(
                     }
                 }
                 for _ in 0..grow {
-                    let i = fleet.len();
-                    let rep = Replica::new_at(i as u32, cfg.serve.seed, now);
-                    if warmup.is_zero() {
-                        fleet.push(Slot {
-                            rep,
-                            state: SlotState::Warm,
-                        });
-                    } else {
-                        let ready_at = now + warmup;
-                        warmups.push(ready_at, i);
-                        fleet.push(Slot {
-                            rep,
-                            state: SlotState::Warming { ready_at },
-                        });
-                    }
+                    spawn_slot(
+                        &mut fleet,
+                        &mut warmups,
+                        &mut injector,
+                        &mut stats,
+                        now,
+                        warmup,
+                        cfg.serve.seed,
+                    );
                 }
             } else if desired < provisioned {
                 let mut shrink = provisioned - desired;
@@ -363,6 +770,7 @@ pub fn serve_cluster(
                 peak = peak.max(desired);
             }
             window = (0, 0);
+            window_shed = 0;
             next_tick = now + cfg.tick;
             continue;
         }
@@ -379,19 +787,130 @@ pub fn serve_cluster(
                 source.on_complete(c.finished, c.failed);
             }
             for o in &outcomes[n_before..] {
-                let met = !o.failed && o.ttft() <= cfg.slo.ttft && o.tpot() <= cfg.slo.tpot;
-                finishes.push(o.finished, met);
+                // A retried request's latency clock runs from its original
+                // arrival, not the redispatch instant.
+                let (arr, attempt) = meta
+                    .get(&o.id)
+                    .map_or((o.arrival, 0), |m| (m.orig_arrival, m.attempts));
+                let ttft = o.first_token.saturating_since(arr);
+                let met = !o.failed && ttft <= cfg.slo.ttft && o.tpot() <= cfg.slo.tpot;
+                finishes.push(o.finished, (o.id, attempt, met));
+            }
+            // Straggler detection: fold the group's observed/estimated
+            // service ratio into the slot's health EWMA. The ratio is
+            // shape-normalized by the cost model, so a straggler stands
+            // out however uneven the dispatch mix is.
+            if tol.health_aware {
+                let g = groups.last().expect("group just ran");
+                if !g.oom {
+                    let est = estimate_group_service(
+                        ctx.cost(),
+                        cfg.serve.batch_size,
+                        g.workload.num_batches,
+                        g.workload.prompt_len,
+                        g.workload.gen_len,
+                    );
+                    let ratio_pm = (u128::from(g.service_time.as_nanos()) * 1000
+                        / u128::from(est.as_nanos().max(1)))
+                        as u64;
+                    let s = &mut fleet[i];
+                    s.ewma_pm = if s.h_groups == 0 {
+                        ratio_pm
+                    } else {
+                        (3 * s.ewma_pm + ratio_pm) / 4
+                    };
+                    s.h_groups += 1;
+                }
             }
             sweep_slot(&mut fleet[i]);
         } else {
-            let r = source.pop();
+            let r = if pop_retry {
+                retries.pop().expect("retry event").1
+            } else {
+                source.pop()
+            };
             last_arrival = last_arrival.max(r.arrival);
-            let candidates: Vec<(usize, &Replica)> = fleet
+            // Graceful degradation is an admission decision on *fresh*
+            // arrivals only: a retry already cost one service attempt and
+            // is never shed.
+            if !pop_retry {
+                if let DegradationPolicy::ShedBatchOver {
+                    backlog_per_replica,
+                } = tol.degradation
+                {
+                    if tol.classes.class_of(r.id) == RequestClass::Batch {
+                        let (mut warm_n, mut backlog) = (0u64, 0u64);
+                        for s in &fleet {
+                            if matches!(s.state, SlotState::Warm) {
+                                warm_n += 1;
+                                backlog += s.rep.backlog_tokens(r.arrival);
+                            }
+                        }
+                        if warm_n > 0 && backlog / warm_n > backlog_per_replica {
+                            stats.shed += 1;
+                            window_shed += 1;
+                            outcomes.push(RequestOutcome {
+                                id: r.id,
+                                arrival: r.arrival,
+                                dispatched: r.arrival,
+                                first_token: r.arrival,
+                                finished: r.arrival,
+                                prompt_len: r.prompt_len,
+                                gen_len: r.gen_len,
+                                group: u32::MAX,
+                                replica: u32::MAX,
+                                failed: true,
+                                retry: RetryOutcome::Shed,
+                            });
+                            source.on_complete(r.arrival, true);
+                            continue;
+                        }
+                    }
+                }
+            }
+            let mut candidates: Vec<(usize, &Replica)> = fleet
                 .iter()
                 .enumerate()
                 .filter(|(_, s)| matches!(s.state, SlotState::Warm))
                 .map(|(i, s)| (i, &s.rep))
                 .collect();
+            if candidates.is_empty() {
+                // Crashes outran the autoscaler: no routable replica
+                // exists right now. Defer the arrival to the next instant
+                // capacity can appear (a pending warm-up or the next
+                // autoscaler tick) — stalled, never dropped.
+                let defer_to = warmups
+                    .peek_time()
+                    .map_or(next_tick, |tw| tw.min(next_tick));
+                stats.stalled += 1;
+                meta.entry(r.id).or_insert(RetryMeta {
+                    orig_arrival: r.arrival,
+                    attempts: 0,
+                });
+                retries.push(
+                    defer_to,
+                    Request {
+                        arrival: defer_to,
+                        ..r
+                    },
+                );
+                continue;
+            }
+            // Health-aware dispatch: exclude suspected stragglers while a
+            // healthy candidate exists.
+            if tol.health_aware && candidates.len() > 1 {
+                let sus = suspect_warm(&fleet, tol);
+                if !sus.is_empty() {
+                    let healthy: Vec<(usize, &Replica)> = candidates
+                        .iter()
+                        .copied()
+                        .filter(|(i, _)| !sus.contains(i))
+                        .collect();
+                    if !healthy.is_empty() {
+                        candidates = healthy;
+                    }
+                }
+            }
             let idx = route_pick(
                 cfg.dispatch,
                 &mut rr,
@@ -415,6 +934,22 @@ pub fn serve_cluster(
     // is a cost the policy rightly pays for.
     for s in fleet.iter_mut() {
         sweep_slot(s);
+    }
+
+    // Restore fault-touched requests: latency clocks run from the original
+    // arrival, and the outcome records how many redispatches the request
+    // survived. Dropped and shed outcomes already carry their final form.
+    if !meta.is_empty() {
+        for o in &mut outcomes {
+            if let Some(m) = meta.get(&o.id) {
+                if matches!(o.retry, RetryOutcome::FirstTry) {
+                    o.arrival = m.orig_arrival;
+                    if m.attempts > 0 {
+                        o.retry = RetryOutcome::Retried(m.attempts);
+                    }
+                }
+            }
+        }
     }
 
     outcomes.sort_by_key(|o| o.id);
@@ -447,9 +982,9 @@ pub fn serve_cluster(
         peak_provisioned: peak,
         spawned_total,
         warmup,
+        faults: stats,
     })
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -927,6 +1462,454 @@ mod tests {
             prop_assert_eq!(report.serve.groups, again.serve.groups);
             prop_assert_eq!(report.serve.replicas, again.serve.replicas);
             prop_assert_eq!(report.scale_events, again.scale_events);
+        }
+    }
+
+    // ---- fault tolerance ----
+
+    use crate::continuous::ClassAssign;
+
+    fn crash_plan() -> FaultPlan {
+        FaultPlan {
+            faults: vec![Fault::Crash {
+                at: SimTime::ZERO + SimDuration::from_secs(2),
+                victim: 0,
+                restart_after: Some(SimDuration::from_millis(100)),
+            }],
+        }
+    }
+
+    fn cluster_faulty(
+        traffic: &Traffic,
+        cfg: &ClusterConfig,
+        policy: &mut dyn AutoscalePolicy,
+        plan: &FaultPlan,
+        tol: &ToleranceConfig,
+    ) -> ClusterReport {
+        let (spec, hw) = mixtral();
+        serve_cluster_faulty(&StubEngine, &spec, &hw, traffic, cfg, policy, plan, tol)
+            .expect("serve_cluster_faulty")
+    }
+
+    #[test]
+    fn none_plan_with_naive_tolerance_is_serve_cluster() {
+        let cfg = base_cfg(DispatchPolicy::JoinShortestQueue, ColdStartModel::Prewarmed);
+        let baseline = cluster(
+            &Traffic::Open(burst()),
+            &cfg,
+            &mut QueueDepthReactive::new(1, 4, 300, 50, 2),
+        );
+        assert_eq!(baseline.faults, FaultStats::default());
+        let faulty = cluster_faulty(
+            &Traffic::Open(burst()),
+            &cfg,
+            &mut QueueDepthReactive::new(1, 4, 300, 50, 2),
+            &FaultPlan::none(),
+            &ToleranceConfig::naive(),
+        );
+        assert_eq!(baseline.serve.outcomes, faulty.serve.outcomes);
+        assert_eq!(baseline.serve.groups, faulty.serve.groups);
+        assert_eq!(baseline.serve.replicas, faulty.serve.replicas);
+        assert_eq!(baseline.scale_events, faulty.scale_events);
+    }
+
+    #[test]
+    fn crash_loses_inflight_and_retries_exactly_once() {
+        let cfg = base_cfg(DispatchPolicy::JoinShortestQueue, ColdStartModel::Prewarmed);
+        let report = cluster_faulty(
+            &Traffic::Open(burst()),
+            &cfg,
+            &mut StaticFleet { replicas: 2 },
+            &crash_plan(),
+            &ToleranceConfig::default(),
+        );
+        let crash = SimTime::ZERO + SimDuration::from_secs(2);
+        // Every request served exactly once despite the crash.
+        let ids: Vec<u64> = report.serve.outcomes.iter().map(|o| o.id).collect();
+        assert_eq!(ids, (0..40).collect::<Vec<_>>());
+        let f = report.faults;
+        assert_eq!(f.crashes, 1);
+        assert!(f.lost_inflight + f.lost_queued > 0, "crash must lose work");
+        assert_eq!(f.retries, f.lost_inflight + f.lost_queued);
+        assert_eq!(f.dropped, 0);
+        assert_eq!(f.restarts, 1);
+        // Retried outcomes keep the original arrival — a redispatch never
+        // resets the latency clock.
+        let retried: Vec<_> = report
+            .serve
+            .outcomes
+            .iter()
+            .filter(|o| matches!(o.retry, RetryOutcome::Retried(_)))
+            .collect();
+        assert_eq!(retried.len(), f.retries as usize);
+        for o in &retried {
+            assert!(o.arrival < crash, "retry must keep its original arrival");
+            assert!(!o.failed);
+        }
+    }
+
+    /// Regression: a redispatched request re-enters the queues *at the
+    /// retry instant*, never at its original arrival. Re-enqueueing with
+    /// the original arrival lets the admission policy form groups dated
+    /// before the crash that necessitated the retry — backdated work on
+    /// the post-crash drain path. This test fails against that variant.
+    #[test]
+    fn retries_never_dispatch_before_the_crash() {
+        let cfg = base_cfg(DispatchPolicy::JoinShortestQueue, ColdStartModel::Prewarmed);
+        let report = cluster_faulty(
+            &Traffic::Open(burst()),
+            &cfg,
+            &mut StaticFleet { replicas: 2 },
+            &crash_plan(),
+            &ToleranceConfig::default(),
+        );
+        let crash = SimTime::ZERO + SimDuration::from_secs(2);
+        for o in &report.serve.outcomes {
+            if matches!(o.retry, RetryOutcome::Retried(_)) {
+                assert!(
+                    o.dispatched >= crash,
+                    "request {} redispatched at {} before the crash at {}",
+                    o.id,
+                    o.dispatched,
+                    crash
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn naive_tolerance_drops_lost_requests() {
+        let cfg = base_cfg(DispatchPolicy::JoinShortestQueue, ColdStartModel::Prewarmed);
+        let report = cluster_faulty(
+            &Traffic::Open(burst()),
+            &cfg,
+            &mut StaticFleet { replicas: 2 },
+            &crash_plan(),
+            &ToleranceConfig::naive(),
+        );
+        let crash = SimTime::ZERO + SimDuration::from_secs(2);
+        let f = report.faults;
+        assert!(f.dropped > 0, "the naive baseline must lose work");
+        assert_eq!(f.dropped, f.lost_inflight + f.lost_queued);
+        assert_eq!(f.retries, 0);
+        // Every request is still accounted for — dropped explicitly with a
+        // sentinel outcome, never silently lost.
+        let ids: Vec<u64> = report.serve.outcomes.iter().map(|o| o.id).collect();
+        assert_eq!(ids, (0..40).collect::<Vec<_>>());
+        let dropped: Vec<_> = report
+            .serve
+            .outcomes
+            .iter()
+            .filter(|o| matches!(o.retry, RetryOutcome::Dropped))
+            .collect();
+        assert_eq!(dropped.len(), f.dropped as usize);
+        for o in &dropped {
+            assert!(o.failed);
+            assert_eq!(o.finished, crash);
+            assert_eq!(o.group, u32::MAX);
+        }
+    }
+
+    #[test]
+    fn degraded_replica_is_detected_and_avoided() {
+        let cfg = base_cfg(DispatchPolicy::JoinShortestQueue, ColdStartModel::Prewarmed);
+        let plan = FaultPlan {
+            faults: vec![Fault::Degrade {
+                from: SimTime::ZERO,
+                until: SimTime::ZERO + SimDuration::from_secs(10_000),
+                victim: 1,
+                slowdown_pct: 300,
+            }],
+        };
+        let stream = generate(
+            Arrivals::Poisson { rate: 3.0 },
+            &TrafficConfig::fixed(60, 64, 4, 11),
+        );
+        let tol_health = ToleranceConfig {
+            suspect_pct: 150,
+            min_groups: 2,
+            ..ToleranceConfig::default()
+        };
+        let run = |tol: &ToleranceConfig| {
+            cluster_faulty(
+                &Traffic::Open(stream.clone()),
+                &cfg,
+                &mut StaticFleet { replicas: 3 },
+                &plan,
+                tol,
+            )
+        };
+        let health = run(&tol_health);
+        let naive = run(&ToleranceConfig::naive());
+        assert_eq!(health.faults.degraded, 1);
+        // Both configurations serve everything…
+        for r in [&health, &naive] {
+            let ids: Vec<u64> = r.serve.outcomes.iter().map(|o| o.id).collect();
+            assert_eq!(ids, (0..60).collect::<Vec<_>>());
+        }
+        // …but health-aware dispatch steers load off the straggler.
+        let on_victim =
+            |r: &ClusterReport| r.serve.outcomes.iter().filter(|o| o.replica == 1).count();
+        assert!(
+            on_victim(&health) < on_victim(&naive),
+            "straggler served {} outcomes health-aware vs {} naive",
+            on_victim(&health),
+            on_victim(&naive)
+        );
+    }
+
+    #[test]
+    fn hedging_moves_stuck_chat_requests() {
+        let cfg = base_cfg(DispatchPolicy::JoinShortestQueue, ColdStartModel::Prewarmed);
+        let plan = FaultPlan {
+            faults: vec![Fault::Degrade {
+                from: SimTime::ZERO + SimDuration::from_secs(1),
+                until: SimTime::ZERO + SimDuration::from_secs(10_000),
+                victim: 0,
+                slowdown_pct: 500,
+            }],
+        };
+        let tol = ToleranceConfig {
+            suspect_pct: 150,
+            min_groups: 1,
+            hedge_after: Some(SimDuration::from_millis(500)),
+            ..ToleranceConfig::default()
+        };
+        let stream = burst();
+        let report = cluster_faulty(
+            &Traffic::Open(stream.clone()),
+            &cfg,
+            &mut StaticFleet { replicas: 2 },
+            &plan,
+            &tol,
+        );
+        assert!(report.faults.hedges > 0, "stuck chat requests must move");
+        let ids: Vec<u64> = report.serve.outcomes.iter().map(|o| o.id).collect();
+        assert_eq!(ids, (0..40).collect::<Vec<_>>());
+        // A hedge moves the request (exactly-once service) and keeps its
+        // original arrival for latency purposes.
+        for o in &report.serve.outcomes {
+            let orig = stream.iter().find(|r| r.id == o.id).expect("id").arrival;
+            assert_eq!(o.arrival, orig, "hedge must not reset the latency clock");
+        }
+    }
+
+    #[test]
+    fn shedding_rejects_batch_class_over_watermark() {
+        let cfg = base_cfg(DispatchPolicy::JoinShortestQueue, ColdStartModel::Prewarmed);
+        let tol = ToleranceConfig {
+            degradation: DegradationPolicy::ShedBatchOver {
+                backlog_per_replica: 200,
+            },
+            classes: ClassAssign::ChatShare { chat_pct: 50 },
+            ..ToleranceConfig::default()
+        };
+        let report = cluster_faulty(
+            &Traffic::Open(burst()),
+            &cfg,
+            &mut StaticFleet { replicas: 1 },
+            &FaultPlan::none(),
+            &tol,
+        );
+        let f = report.faults;
+        assert!(f.shed > 0, "an overloaded replica must shed batch work");
+        let ids: Vec<u64> = report.serve.outcomes.iter().map(|o| o.id).collect();
+        assert_eq!(ids, (0..40).collect::<Vec<_>>());
+        let mut shed_seen = 0u32;
+        for o in &report.serve.outcomes {
+            if matches!(o.retry, RetryOutcome::Shed) {
+                shed_seen += 1;
+                assert!(o.failed);
+                assert_eq!(o.replica, u32::MAX);
+                assert_eq!(o.group, u32::MAX);
+                assert_eq!(o.finished, o.arrival);
+                // Only batch-class work is ever shed.
+                assert_eq!(tol.classes.class_of(o.id), RequestClass::Batch);
+            } else {
+                assert!(!o.failed, "non-shed requests must be served");
+            }
+        }
+        assert_eq!(shed_seen, f.shed);
+    }
+
+    #[test]
+    fn coldstart_stall_and_fail_are_accounted() {
+        let cfg = base_cfg(
+            DispatchPolicy::JoinShortestQueue,
+            ColdStartModel::Fixed(SimDuration::from_secs(2)),
+        );
+        let plan = FaultPlan {
+            faults: vec![
+                Fault::ColdStartStall {
+                    at: SimTime::ZERO,
+                    extra: SimDuration::from_secs(3),
+                },
+                Fault::ColdStartFail { at: SimTime::ZERO },
+            ],
+        };
+        let mut stream = generate(
+            Arrivals::Poisson { rate: 100.0 },
+            &TrafficConfig::fixed(10, 64, 4, 5),
+        );
+        for (i, at) in [(10u64, 7u64), (11, 8)] {
+            stream.push(crate::traffic::Request {
+                id: i,
+                arrival: SimTime::ZERO + SimDuration::from_secs(at),
+                prompt_len: 64,
+                gen_len: 4,
+            });
+        }
+        // Scripted growth to 3 replicas: the two mid-run spawns consume the
+        // pending cold-start faults (stall first — plan order).
+        let mut policy = Scripted {
+            sizes: vec![1, 1, 3],
+            i: 0,
+        };
+        let report = cluster_faulty(
+            &Traffic::Open(stream),
+            &cfg,
+            &mut policy,
+            &plan,
+            &ToleranceConfig::default(),
+        );
+        let f = report.faults;
+        assert_eq!(f.coldstart_stalls, 1);
+        assert_eq!(f.coldstart_failures, 1);
+        // The failed cold start (second spawn, slot 2) never served; the
+        // autoscaler replaced the missing capacity with a fresh spawn.
+        assert!(report.serve.outcomes.iter().all(|o| o.replica != 2));
+        assert_eq!(report.spawned_total, 4);
+        let ids: Vec<u64> = report.serve.outcomes.iter().map(|o| o.id).collect();
+        assert_eq!(ids, (0..12).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fault_runs_are_byte_deterministic() {
+        let plan = FaultPlan::generate(&FaultScenario {
+            seed: 42,
+            horizon: SimDuration::from_secs(15),
+            crashes: 2,
+            restart_after: Some(SimDuration::from_secs(1)),
+            degraded: 1,
+            slowdown_pct: 250,
+            degrade_width: SimDuration::from_secs(5),
+            coldstart_stalls: 1,
+            coldstart_stall: SimDuration::from_secs(1),
+            coldstart_fails: 1,
+        });
+        let cfg = base_cfg(
+            DispatchPolicy::JoinShortestQueue,
+            ColdStartModel::Fixed(SimDuration::from_millis(500)),
+        );
+        let run = || {
+            cluster_faulty(
+                &Traffic::Open(burst()),
+                &cfg,
+                &mut QueueDepthReactive::new(1, 4, 300, 50, 2),
+                &plan,
+                &ToleranceConfig::default(),
+            )
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.serve.outcomes, b.serve.outcomes);
+        assert_eq!(a.serve.groups, b.serve.groups);
+        assert_eq!(a.serve.replicas, b.serve.replicas);
+        assert_eq!(a.scale_events, b.scale_events);
+        assert_eq!(a.faults, b.faults);
+    }
+
+    #[test]
+    #[should_panic(expected = "open-loop")]
+    fn closed_loop_with_faults_rejected() {
+        let (spec, hw) = mixtral();
+        let cfg = base_cfg(DispatchPolicy::RoundRobin, ColdStartModel::Prewarmed);
+        let traffic = Traffic::Closed {
+            clients: 2,
+            think: SimDuration::from_millis(100),
+            cfg: TrafficConfig::fixed(4, 64, 4, 5),
+        };
+        let _ = serve_cluster_faulty(
+            &StubEngine,
+            &spec,
+            &hw,
+            &traffic,
+            &cfg,
+            &mut StaticFleet { replicas: 1 },
+            &crash_plan(),
+            &ToleranceConfig::default(),
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Fault runs conserve the request stream: every id resolves
+        /// exactly once (served, or explicitly dropped when the retry
+        /// budget runs out), and reruns are byte-identical.
+        #[test]
+        fn faulty_runs_conserve_requests(
+            seed in 0u64..200,
+            fseed in 0u64..200,
+            crashes in 0u32..3,
+            rate in 20.0f64..120.0,
+            n in 10u32..40,
+            naive_bit in 0u32..2,
+        ) {
+            let stream = generate(
+                Arrivals::Poisson { rate },
+                &TrafficConfig {
+                    num_requests: n,
+                    prompt: LengthDist::Uniform { lo: 16, hi: 96 },
+                    gen: LengthDist::Uniform { lo: 2, hi: 8 },
+                    seed,
+                },
+            );
+            let plan = FaultPlan::generate(&FaultScenario {
+                seed: fseed,
+                horizon: SimDuration::from_secs(10),
+                crashes,
+                restart_after: Some(SimDuration::from_secs(1)),
+                degraded: 1,
+                slowdown_pct: 200,
+                degrade_width: SimDuration::from_secs(4),
+                coldstart_stalls: 1,
+                coldstart_stall: SimDuration::from_secs(1),
+                coldstart_fails: 0,
+            });
+            let tol = if naive_bit == 1 {
+                ToleranceConfig::naive()
+            } else {
+                ToleranceConfig::default()
+            };
+            let cfg = base_cfg(
+                DispatchPolicy::JoinShortestQueue,
+                ColdStartModel::Fixed(SimDuration::from_millis(500)),
+            );
+            let run = |stream: Vec<crate::traffic::Request>| {
+                let (spec, hw) = mixtral();
+                serve_cluster_faulty(
+                    &StubEngine, &spec, &hw,
+                    &Traffic::Open(stream),
+                    &cfg,
+                    &mut QueueDepthReactive::new(1, 4, 300, 50, 2),
+                    &plan,
+                    &tol,
+                ).expect("serve_cluster_faulty")
+            };
+            let report = run(stream.clone());
+            // Exactly-once resolution in id order, drops explicit.
+            let ids: Vec<u64> = report.serve.outcomes.iter().map(|o| o.id).collect();
+            prop_assert_eq!(ids, (0..u64::from(n)).collect::<Vec<_>>());
+            let dropped = report.serve.outcomes.iter()
+                .filter(|o| matches!(o.retry, RetryOutcome::Dropped)).count();
+            prop_assert_eq!(dropped, report.faults.dropped as usize);
+            // Byte-determinism under faults.
+            let again = run(stream);
+            prop_assert_eq!(report.serve.outcomes, again.serve.outcomes);
+            prop_assert_eq!(report.serve.groups, again.serve.groups);
+            prop_assert_eq!(report.scale_events, again.scale_events);
+            prop_assert_eq!(report.faults, again.faults);
         }
     }
 }

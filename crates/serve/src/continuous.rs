@@ -596,6 +596,7 @@ impl<'a> SlotMachine<'a> {
             group: wave as u32,
             replica: 0,
             failed: false,
+            retry: crate::server::RetryOutcome::FirstTry,
         });
         self.served += 1;
         self.tokens += u64::from(r.gen_len);

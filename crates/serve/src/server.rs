@@ -68,6 +68,31 @@ pub struct ServeConfig {
     pub seed: u64,
 }
 
+/// How a request's service concluded under the fault-tolerance machinery
+/// (see [`cluster::faults`](crate::cluster::faults)). Fault-free paths
+/// always record [`RetryOutcome::FirstTry`], so adding this field changes
+/// no existing byte-identity: every pinned path produces identical values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetryOutcome {
+    /// Served on its first dispatch — the only value non-fault runs emit.
+    FirstTry,
+    /// Served after this many crash-driven redispatches (≥ 1).
+    Retried(u32),
+    /// Rejected at admission by the degradation policy; never served.
+    /// Timing fields all equal the arrival instant and `failed` is set.
+    Shed,
+    /// Lost to a crash with its retry budget exhausted. Timing fields all
+    /// equal the crash instant and `failed` is set.
+    Dropped,
+}
+
+impl RetryOutcome {
+    /// Whether the request was actually served (first try or retried).
+    pub fn served(&self) -> bool {
+        matches!(self, RetryOutcome::FirstTry | RetryOutcome::Retried(_))
+    }
+}
+
 /// One served request with its full timing breakdown.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RequestOutcome {
@@ -90,9 +115,13 @@ pub struct RequestOutcome {
     pub group: u32,
     /// Replica that served this request (0 for single-engine [`serve`]).
     pub replica: u32,
-    /// Whether the group aborted (OOM); timings are then meaningless and
-    /// the request counts as an SLO violation.
+    /// Whether the request failed: its group aborted (OOM), it was shed at
+    /// admission, or it was dropped after a crash — timings are then
+    /// meaningless and the request counts as an SLO violation.
     pub failed: bool,
+    /// Retry/shed disposition ([`RetryOutcome::FirstTry`] on every
+    /// fault-free path).
+    pub retry: RetryOutcome,
 }
 
 impl RequestOutcome {
@@ -418,6 +447,14 @@ pub(crate) struct Replica {
     inflight_tokens: u64,
     /// Service time of the group currently on the engine.
     inflight_service: SimDuration,
+    /// Dispatch instant of the group currently on the engine.
+    inflight_at: SimTime,
+    /// Requests of the group currently on the engine with their own
+    /// finish instants — what a crash loses (see [`Replica::crash`]).
+    inflight: Vec<(Request, SimTime)>,
+    /// Injected straggler multiplier in percent; 100 is healthy and takes
+    /// the exact pre-fault arithmetic path.
+    slowdown_pct: u32,
     local_groups: u64,
     busy: SimDuration,
     served: u32,
@@ -446,6 +483,9 @@ impl Replica {
             queued_tokens: 0,
             inflight_tokens: 0,
             inflight_service: SimDuration::ZERO,
+            inflight_at: spawned,
+            inflight: Vec::new(),
+            slowdown_pct: 100,
             local_groups: 0,
             busy: SimDuration::ZERO,
             served: 0,
@@ -586,6 +626,11 @@ impl Replica {
         } else {
             (plan.total(), plan.prefill)
         };
+        // An injected straggler runs every span of the group at the
+        // multiplier; 100% bypasses the scaling entirely so healthy
+        // replicas keep the exact pre-fault arithmetic (golden-pinned).
+        let pct = self.slowdown_pct;
+        let (service, prefill) = (scale_pct(service, pct), scale_pct(prefill, pct));
         let first_token = t_form + prefill;
         let group_end = t_form + service;
         // Decode pace of the padded group; each request stops at its own
@@ -595,11 +640,12 @@ impl Replica {
         let padded_gen = wl.gen_len;
         let mut done = Vec::with_capacity(batch.len());
         let mut latest = SimTime::ZERO;
+        self.inflight.clear();
         for r in &batch {
             let finished = if oom {
                 t_form
             } else {
-                t_form + plan.finish_offset(r.gen_len, padded_gen)
+                t_form + scale_pct(plan.finish_offset(r.gen_len, padded_gen), pct)
             };
             latest = latest.max(finished);
             outcomes.push(RequestOutcome {
@@ -613,11 +659,13 @@ impl Replica {
                 group: groups.len() as u32,
                 replica: self.id,
                 failed: oom,
+                retry: RetryOutcome::FirstTry,
             });
             done.push(Completion {
                 finished,
                 failed: oom,
             });
+            self.inflight.push((*r, finished));
         }
         assert!(
             oom || latest == group_end,
@@ -637,6 +685,7 @@ impl Replica {
         });
         self.t_free = group_end;
         self.inflight_service = service;
+        self.inflight_at = t_form;
         self.local_groups += 1;
         self.busy += service;
         self.served += batch.len() as u32;
@@ -644,6 +693,73 @@ impl Replica {
             self.tokens += batch.iter().map(|r| u64::from(r.gen_len)).sum::<u64>();
         }
         Ok(done)
+    }
+
+    /// Sets the injected straggler multiplier (percent; 100 = healthy).
+    /// Applies to groups *dispatched* while the multiplier is in force.
+    pub(crate) fn set_slowdown(&mut self, pct: u32) {
+        assert!(pct >= 100, "slowdown below 100% would speed the engine up");
+        self.slowdown_pct = pct;
+    }
+
+    /// The engine dies at `at`. Every queued request and every in-flight
+    /// request whose own last token had not landed by `at` is lost — the
+    /// group's KV state and any partially generated tokens are gone, so
+    /// lost requests must be re-served from scratch. Requests whose last
+    /// token landed at or before `at` stay served. The replica's counters
+    /// are rolled back to what it really delivered: busy time is cut at
+    /// the crash instant, and lost in-flight requests no longer count as
+    /// served. The replica retires at `at` and must not be routed to
+    /// again.
+    pub(crate) fn crash(&mut self, at: SimTime) -> CrashLoss {
+        let mut inflight = Vec::new();
+        let mut wasted = SimDuration::ZERO;
+        if self.t_free > at {
+            wasted = at.saturating_since(self.inflight_at);
+            self.busy = self.busy.saturating_sub(self.t_free.saturating_since(at));
+            let oom = self.inflight_service.is_zero();
+            for &(r, finished) in &self.inflight {
+                if finished > at {
+                    inflight.push(r);
+                    self.served -= 1;
+                    if !oom {
+                        self.tokens -= u64::from(r.gen_len);
+                    }
+                }
+            }
+        }
+        let queued: Vec<Request> = self.queue.drain(..).collect();
+        self.queued_tokens = 0;
+        self.inflight.clear();
+        self.inflight_tokens = 0;
+        self.inflight_service = SimDuration::ZERO;
+        self.t_free = at;
+        self.retired = Some(at);
+        CrashLoss {
+            inflight,
+            queued,
+            wasted,
+        }
+    }
+
+    /// Removes every queued request matching `pred` (queue order kept for
+    /// the rest) — the hedged-redispatch extraction path.
+    pub(crate) fn take_queued_where(
+        &mut self,
+        pred: &mut dyn FnMut(&Request) -> bool,
+    ) -> Vec<Request> {
+        let mut taken = Vec::new();
+        let mut kept = VecDeque::with_capacity(self.queue.len());
+        for r in self.queue.drain(..) {
+            if pred(&r) {
+                self.queued_tokens -= u64::from(r.prompt_len) + u64::from(r.gen_len);
+                taken.push(r);
+            } else {
+                kept.push_back(r);
+            }
+        }
+        self.queue = kept;
+        taken
     }
 
     /// Folds the replica's counters into a [`ReplicaUtilization`].
@@ -672,6 +788,28 @@ impl Replica {
             },
         }
     }
+}
+
+/// What a crash took from a replica (see [`Replica::crash`]).
+pub(crate) struct CrashLoss {
+    /// In-flight requests whose last token had not landed at the crash.
+    pub(crate) inflight: Vec<Request>,
+    /// Requests still waiting in the admission queue.
+    pub(crate) queued: Vec<Request>,
+    /// Engine-busy time the killed group burned before the crash — work
+    /// that produced nothing deliverable.
+    pub(crate) wasted: SimDuration,
+}
+
+/// Scales a duration by an integer percentage (exact in nanoseconds,
+/// truncating). `pct == 100` is the identity by construction — the scaled
+/// value never re-rounds, so healthy replicas are byte-identical to the
+/// pre-fault arithmetic.
+fn scale_pct(d: SimDuration, pct: u32) -> SimDuration {
+    if pct == 100 {
+        return d;
+    }
+    SimDuration::from_nanos((u128::from(d.as_nanos()) * u128::from(pct) / 100) as u64)
 }
 
 /// Clamps a requested drain to a shape [`group_workload`] represents

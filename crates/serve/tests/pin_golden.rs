@@ -12,8 +12,13 @@ use klotski_core::scenario::{Engine, EngineError, Scenario};
 use klotski_model::hardware::HardwareSpec;
 use klotski_model::spec::ModelSpec;
 use klotski_serve::admission::AdmissionPolicy;
+use klotski_serve::cluster::{
+    serve_cluster, serve_cluster_faulty, ClusterConfig, ColdStartModel, FaultPlan, FaultScenario,
+    QueueDepthReactive, ToleranceConfig,
+};
 use klotski_serve::continuous::{serve_continuous, ClassAssign, ContinuousConfig, CostEngine};
 use klotski_serve::dispatcher::{serve_scaled, DispatchPolicy, ScaleConfig};
+use klotski_serve::metrics::SloSpec;
 use klotski_serve::server::{serve, ServeConfig, ServeReport, Traffic};
 use klotski_serve::traffic::{generate, Arrivals, LengthDist, TrafficConfig};
 use klotski_sim::time::SimDuration;
@@ -214,7 +219,192 @@ const GOLDEN_JSQ3: u64 = 8315145353530956359;
 const GOLDEN_COST2: u64 = 246358002919420284;
 const GOLDEN_CLOSED: u64 = 12563207037895713828;
 
+#[test]
+fn cluster_output_is_pinned() {
+    // An autoscaled fleet with a real cold start: warm-up completions,
+    // ticks, drains, and reclaims all land in the event interleave this
+    // checksum pins. `FaultPlan::none()` must route through the exact
+    // same code path, so this golden (captured before fault injection
+    // existed) is the byte-identity anchor for the fault-free cluster.
+    let stream = generate(
+        Arrivals::Poisson { rate: 40.0 },
+        &TrafficConfig {
+            num_requests: 36,
+            prompt: LengthDist::Uniform { lo: 16, hi: 96 },
+            gen: LengthDist::Uniform { lo: 2, hi: 9 },
+            seed: 29,
+        },
+    );
+    let ccfg = ClusterConfig {
+        serve: cfg(),
+        dispatch: DispatchPolicy::JoinShortestQueue,
+        coldstart: ColdStartModel::Fixed(SimDuration::from_millis(1200)),
+        tick: SimDuration::from_millis(500),
+        slo: SloSpec::relaxed(),
+    };
+    let report = serve_cluster(
+        &StubEngine,
+        &ModelSpec::mixtral_8x7b(),
+        &HardwareSpec::env1_rtx3090(),
+        &Traffic::Open(stream),
+        &ccfg,
+        &mut QueueDepthReactive::new(1, 4, 300, 50, 2),
+    )
+    .expect("serve_cluster");
+    assert_eq!(
+        checksum(&report.serve),
+        GOLDEN_CLUSTER,
+        "autoscaled cluster timings drifted"
+    );
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for e in &report.scale_events {
+        for v in [
+            e.at.as_nanos(),
+            u64::from(e.from),
+            u64::from(e.to),
+            u64::from(e.warm),
+            e.backlog_tokens,
+        ] {
+            h ^= v;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    assert_eq!(h, GOLDEN_CLUSTER_SCALE, "scale-event stream drifted");
+}
+
 // Captured at introduction of the continuous scheduler (PR 8): pins the
 // slot machine's admission/preemption/decode event order byte for byte.
 const GOLDEN_CONTINUOUS: u64 = 13375584382816891046;
 const GOLDEN_CONTINUOUS_COUNTERS: (u32, u32, u32) = (0, 29, 36);
+
+// Captured from the pre-fault-injection cluster loop (PR 10): the
+// fault-free path (`FaultPlan::none()`) must reproduce these exactly.
+const GOLDEN_CLUSTER: u64 = 5057458218511373831;
+const GOLDEN_CLUSTER_SCALE: u64 = 13097772033778285638;
+
+fn cluster_cfg() -> ClusterConfig {
+    ClusterConfig {
+        serve: cfg(),
+        dispatch: DispatchPolicy::JoinShortestQueue,
+        coldstart: ColdStartModel::Fixed(SimDuration::from_millis(1200)),
+        tick: SimDuration::from_millis(500),
+        slo: SloSpec::relaxed(),
+    }
+}
+
+fn cluster_stream() -> Vec<klotski_serve::traffic::Request> {
+    generate(
+        Arrivals::Poisson { rate: 40.0 },
+        &TrafficConfig {
+            num_requests: 36,
+            prompt: LengthDist::Uniform { lo: 16, hi: 96 },
+            gen: LengthDist::Uniform { lo: 2, hi: 9 },
+            seed: 29,
+        },
+    )
+}
+
+#[test]
+fn faulty_entry_point_with_none_plan_reproduces_the_cluster_golden() {
+    // The wrapper contract, pinned from outside the crate: routing the
+    // exact `cluster_output_is_pinned` workload through the fault-aware
+    // entry point with an empty plan and the fault-oblivious tolerance
+    // must not move a single byte.
+    let report = serve_cluster_faulty(
+        &StubEngine,
+        &ModelSpec::mixtral_8x7b(),
+        &HardwareSpec::env1_rtx3090(),
+        &Traffic::Open(cluster_stream()),
+        &cluster_cfg(),
+        &mut QueueDepthReactive::new(1, 4, 300, 50, 2),
+        &FaultPlan::none(),
+        &ToleranceConfig::naive(),
+    )
+    .expect("serve_cluster_faulty");
+    assert_eq!(
+        checksum(&report.serve),
+        GOLDEN_CLUSTER,
+        "none-plan faulty path diverged from the fault-free cluster"
+    );
+}
+
+#[test]
+fn fault_run_output_is_pinned() {
+    // A generated plan under the full tolerance stack: crash revocation,
+    // backoff retries, restarts, and straggler windows all land in the
+    // pinned interleave. Two back-to-back runs must agree with each other
+    // *and* with the captured constant, so fault handling can never go
+    // nondeterministic silently.
+    let plan = FaultPlan::generate(&FaultScenario {
+        seed: 1234,
+        horizon: SimDuration::from_secs(3),
+        crashes: 2,
+        restart_after: Some(SimDuration::from_secs(1)),
+        degraded: 1,
+        slowdown_pct: 250,
+        degrade_width: SimDuration::from_secs(3),
+        coldstart_stalls: 1,
+        coldstart_stall: SimDuration::from_secs(1),
+        coldstart_fails: 1,
+    });
+    let run = || {
+        serve_cluster_faulty(
+            &StubEngine,
+            &ModelSpec::mixtral_8x7b(),
+            &HardwareSpec::env1_rtx3090(),
+            &Traffic::Open(cluster_stream()),
+            &cluster_cfg(),
+            &mut QueueDepthReactive::new(1, 4, 300, 50, 2),
+            &plan,
+            &ToleranceConfig::default(),
+        )
+        .expect("serve_cluster_faulty")
+    };
+    let a = run();
+    let b = run();
+    assert!(
+        a.faults.crashes > 0 && a.faults.retries > 0,
+        "pinned plan must actually lose and retry work: {:?}",
+        a.faults
+    );
+    assert_eq!(
+        checksum(&a.serve),
+        checksum(&b.serve),
+        "fault rerun drifted"
+    );
+    assert_eq!(a.faults, b.faults, "fault accounting drifted across reruns");
+    assert_eq!(
+        checksum(&a.serve),
+        GOLDEN_FAULTY,
+        "fault-run timings drifted"
+    );
+    let f = a.faults;
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for v in [
+        f.crashes,
+        f.fizzled,
+        f.degraded,
+        f.restarts,
+        f.lost_inflight,
+        f.lost_queued,
+        f.retries,
+        f.dropped,
+        f.shed,
+        f.hedges,
+        f.stalled,
+        f.coldstart_stalls,
+        f.coldstart_failures,
+    ] {
+        h ^= u64::from(v);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h ^= f.wasted_busy.as_nanos();
+    h = h.wrapping_mul(0x100_0000_01b3);
+    assert_eq!(h, GOLDEN_FAULTY_STATS, "fault accounting drifted");
+}
+
+// Captured at introduction of fault injection (PR 10): pins the fault
+// event interleave (crash < tick < serving ordering, retry instants,
+// restart spawns) and the fault ledger byte for byte.
+const GOLDEN_FAULTY: u64 = 17147578113817329578;
+const GOLDEN_FAULTY_STATS: u64 = 2014719808468303536;

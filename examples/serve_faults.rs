@@ -1,0 +1,145 @@
+//! Fault-tolerant cluster serving: one bursty request stream, one seeded
+//! fault plan (replica crashes, a straggler window, cold-start trouble),
+//! three recovery postures.
+//!
+//! The fault plan is data, not chance: `FaultPlan::generate` draws crash
+//! instants and victims from a seed, and the cluster loop replays them as
+//! ordinary simulation events — so every row below is byte-reproducible.
+//! The postures:
+//!
+//! * `naive` — fault-oblivious: crash-lost requests are dropped on the
+//!   spot, stragglers keep receiving load.
+//! * `retry+health` — lost requests re-enqueue with capped exponential
+//!   backoff; suspected stragglers (observed/estimated service EWMA) are
+//!   excluded from dispatch while healthy replicas exist.
+//! * `full` — additionally hedges stuck chat-class requests off suspect
+//!   replicas and sheds batch-class work at admission when the backlog
+//!   passes a watermark.
+//!
+//! ```sh
+//! cargo run --release --example serve_faults
+//! ```
+
+use klotski::core::engine::{KlotskiConfig, KlotskiEngine};
+use klotski::model::hardware::HardwareSpec;
+use klotski::model::spec::ModelSpec;
+use klotski::serve::admission::AdmissionPolicy;
+use klotski::serve::cluster::{
+    serve_cluster_faulty, ClusterConfig, ColdStartModel, DegradationPolicy, FaultPlan,
+    FaultScenario, QueueDepthReactive, ToleranceConfig,
+};
+use klotski::serve::continuous::ClassAssign;
+use klotski::serve::dispatcher::DispatchPolicy;
+use klotski::serve::metrics::{summarize, SloSpec};
+use klotski::serve::server::{ServeConfig, Traffic};
+use klotski::serve::traffic::{generate, Arrivals, LengthDist, TrafficConfig};
+use klotski::sim::time::SimDuration;
+
+fn main() {
+    let spec = ModelSpec::mixtral_8x7b();
+    let hw = HardwareSpec::env1_rtx3090();
+    let engine = KlotskiEngine::new(KlotskiConfig::full());
+    let slo = SloSpec {
+        ttft: SimDuration::from_secs(90),
+        tpot: SimDuration::from_secs(8),
+    };
+    let cfg = ClusterConfig {
+        serve: ServeConfig {
+            batch_size: 4,
+            policy: AdmissionPolicy::Deadline {
+                n: 4,
+                deadline: SimDuration::from_secs(15),
+            },
+            seed: 7,
+        },
+        dispatch: DispatchPolicy::JoinShortestQueue,
+        coldstart: ColdStartModel::Fixed(SimDuration::from_secs(20)),
+        tick: SimDuration::from_secs(10),
+        slo,
+    };
+
+    // 48 bursty requests — enough pressure that losing a replica hurts.
+    let stream = generate(
+        Arrivals::Bursty {
+            rate: 0.6,
+            burst: 4,
+        },
+        &TrafficConfig {
+            num_requests: 48,
+            prompt: LengthDist::Uniform { lo: 32, hi: 96 },
+            gen: LengthDist::Uniform { lo: 2, hi: 6 },
+            seed: 7,
+        },
+    );
+
+    // Two crashes (each replaced after 30 s), one 3× straggler window,
+    // and a stalled cold start, all inside the arrival span.
+    let plan = FaultPlan::generate(&FaultScenario {
+        seed: 42,
+        horizon: SimDuration::from_secs(70),
+        crashes: 2,
+        restart_after: Some(SimDuration::from_secs(30)),
+        degraded: 1,
+        slowdown_pct: 300,
+        degrade_width: SimDuration::from_secs(40),
+        coldstart_stalls: 1,
+        coldstart_stall: SimDuration::from_secs(15),
+        coldstart_fails: 0,
+    });
+
+    let naive = ToleranceConfig::naive();
+    let retry_health = ToleranceConfig::default();
+    let full = ToleranceConfig {
+        hedge_after: Some(SimDuration::from_secs(20)),
+        degradation: DegradationPolicy::ShedBatchOver {
+            backlog_per_replica: 600,
+        },
+        classes: ClassAssign::ChatShare { chat_pct: 60 },
+        ..ToleranceConfig::default()
+    };
+
+    println!("== 48 bursty requests, 2 crashes + 1 straggler window + 1 stalled cold start ==");
+    println!("SLO: TTFT <= {}, TPOT <= {}\n", slo.ttft, slo.tpot);
+    for (label, tol) in [
+        ("naive", &naive),
+        ("retry+health", &retry_health),
+        ("full", &full),
+    ] {
+        let report = serve_cluster_faulty(
+            &engine,
+            &spec,
+            &hw,
+            &Traffic::Open(stream.clone()),
+            &cfg,
+            &mut QueueDepthReactive::new(2, 5, 2_000, 400, 2),
+            &plan,
+            tol,
+        )
+        .expect("serve_cluster_faulty");
+        let s = summarize(&report.serve, &slo);
+        let f = report.faults;
+        println!(
+            "{label:<13} served {:>2}/{}  dropped {:>2}  shed {:>2}  retried {:>2}  \
+             SLO {:>2}/{}  goodput {:>5.2} tok/s",
+            s.requests - s.dropped - s.shed,
+            s.requests,
+            s.dropped,
+            s.shed,
+            s.retried,
+            s.slo_met,
+            s.requests,
+            s.goodput_tps,
+        );
+        println!(
+            "              faults: {} crash(es), {} lost in-flight, {} lost queued, \
+             {} restart(s), {} hedge(s), wasted busy {}",
+            f.crashes, f.lost_inflight, f.lost_queued, f.restarts, f.hedges, f.wasted_busy,
+        );
+    }
+
+    println!(
+        "\nThe naive posture loses every crash-hit request; retry+health re-serves \
+         them (exactly once) and routes around the straggler; the full stack \
+         additionally trades batch-class work for chat latency under pressure."
+    );
+}

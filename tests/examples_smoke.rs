@@ -239,3 +239,36 @@ fn serve_cluster_is_byte_deterministic() {
         assert!(stdout.contains(needle), "missing {needle:?}:\n{stdout}");
     }
 }
+
+/// The fault-tolerance walkthrough (seeded fault plan, three recovery
+/// postures) must run end-to-end and be byte-identical across two runs —
+/// fault injection, crash recovery, and shedding are all deterministic.
+#[test]
+fn serve_faults_example_is_byte_deterministic() {
+    let run = || {
+        let out = cargo()
+            .args(["run", "--example", "serve_faults", "--quiet"])
+            .output()
+            .expect("spawning cargo");
+        assert!(
+            out.status.success(),
+            "serve_faults example exited nonzero:\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        out.stdout
+    };
+    let first = run();
+    let second = run();
+    assert_eq!(first, second, "serve_faults output differs between runs");
+
+    let stdout = String::from_utf8_lossy(&first);
+    // All three postures report, and the fault ledger shows real damage:
+    // the naive row must lose work while the tolerant rows drop nothing.
+    for needle in ["naive", "retry+health", "full", "crash(es)", "wasted busy"] {
+        assert!(stdout.contains(needle), "missing {needle:?}:\n{stdout}");
+    }
+    assert!(
+        stdout.contains("dropped  0"),
+        "tolerant postures must drop nothing:\n{stdout}"
+    );
+}
